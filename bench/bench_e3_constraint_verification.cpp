@@ -1,0 +1,249 @@
+// E3 — per-constraint verification cost by privacy mechanism (DESIGN.md
+// §3). Paper anchor (§4, RC1): privacy-preserving techniques "have
+// considerable overhead" — this bench quantifies the overhead of each
+// mechanism PReVer composes, on the same logical check (a bounded
+// aggregate).
+//
+// Expected shape, per verification:
+//   plaintext eval  ~ microseconds (scan-bound)
+//   MPC comparison  ~ tens of microseconds (bit circuit) + rounds
+//   token spend     ~ RSA verify per unit
+//   ZK range proof  ~ milliseconds (bit commitments, grows with bits)
+//   Paillier path   ~ milliseconds (modular exponentiations)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "constraint/parser.h"
+#include "core/prever.h"
+#include "crypto/montgomery.h"
+#include "mpc/compare.h"
+
+namespace {
+
+using namespace prever;
+
+// --------------------------------------------------------------- Plaintext
+
+void BM_PlaintextEval(benchmark::State& state) {
+  int64_t rows = state.range(0);
+  storage::Database db;
+  storage::Schema schema({{"id", storage::ValueType::kString},
+                          {"worker", storage::ValueType::kString},
+                          {"hours", storage::ValueType::kInt64},
+                          {"at", storage::ValueType::kTimestamp}});
+  (void)db.CreateTable("worklog", schema);
+  auto* table = *db.GetMutableTable("worklog");
+  for (int64_t i = 0; i < rows; ++i) {
+    (void)table->Insert({storage::Value::String("t" + std::to_string(i)),
+                         storage::Value::String("w" + std::to_string(i % 10)),
+                         storage::Value::Int64(1),
+                         storage::Value::Timestamp(i * kMinute)});
+  }
+  auto expr = constraint::ParseConstraint(
+      "SUM(worklog.hours WHERE worker = update.worker WINDOW 7d) + "
+      "update.hours <= 1000000");
+  constraint::UpdateFields fields = {
+      {"worker", storage::Value::String("w3")},
+      {"hours", storage::Value::Int64(2)}};
+  constraint::EvalContext ctx{&db, &fields, rows * kMinute};
+  for (auto _ : state) {
+    auto ok = constraint::EvaluateBool(**expr, ctx);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_PlaintextEval)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+// --------------------------------------------------------------------- MPC
+
+void BM_MpcCompare(benchmark::State& state) {
+  size_t parties = static_cast<size_t>(state.range(0));
+  size_t bits = static_cast<size_t>(state.range(1));
+  Rng dealer(7);
+  std::vector<uint64_t> inputs(parties, 10);
+  mpc::MpcTranscript transcript;
+  for (auto _ : state) {
+    auto r = mpc::SecureComparison::SumLessEqual(inputs, 1000, bits, dealer,
+                                                 &transcript);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rounds/op"] = static_cast<double>(transcript.rounds) /
+                                static_cast<double>(state.iterations());
+  state.counters["bytes/op"] = static_cast<double>(transcript.bytes) /
+                               static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MpcCompare)
+    ->Args({2, 16})->Args({3, 16})->Args({5, 16})
+    ->Args({3, 32})->Args({3, 48})
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------------------------- Token
+
+void BM_TokenWithdrawSpend(benchmark::State& state) {
+  token::TokenAuthority authority(512, 1u << 30, kWeek, 3);
+  ledger::LedgerDb ledger;
+  token::TokenVerifier verifier(authority.public_key(), &ledger);
+  token::TokenWallet wallet(authority.public_key(), 5);
+  for (auto _ : state) {
+    (void)wallet.Withdraw(authority, "w", 1, 0);
+    auto t = wallet.Take();
+    Status s = verifier.Spend(*t, 0);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_TokenWithdrawSpend)->Unit(benchmark::kMillisecond)
+    ->Iterations(50);
+
+void BM_TokenSpendOnly(benchmark::State& state) {
+  token::TokenAuthority authority(512, 1u << 30, kWeek, 3);
+  ledger::LedgerDb ledger;
+  token::TokenVerifier verifier(authority.public_key(), &ledger);
+  token::TokenWallet wallet(authority.public_key(), 5);
+  (void)wallet.Withdraw(authority, "w", 2000, 0);
+  for (auto _ : state) {
+    auto t = wallet.Take();
+    if (!t.ok()) {
+      state.SkipWithError("wallet drained");
+      break;
+    }
+    Status s = verifier.Spend(*t, 0);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_TokenSpendOnly)->Unit(benchmark::kMicrosecond)
+    ->Iterations(1000);
+
+// ---------------------------------------------------------------------- ZK
+
+void BM_ZkUpperBoundProve(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  const auto& params = crypto::PedersenParams::Test256();
+  crypto::Drbg drbg(uint64_t{9});
+  auto opening = crypto::PedersenCommitFresh(params, crypto::BigInt(38), drbg);
+  for (auto _ : state) {
+    auto proof = crypto::ProveUpperBound(params, opening.commitment,
+                                         crypto::BigInt(38),
+                                         opening.randomness,
+                                         crypto::BigInt(40), bits, drbg);
+    benchmark::DoNotOptimize(proof);
+  }
+}
+BENCHMARK(BM_ZkUpperBoundProve)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->Iterations(20);
+
+void BM_ZkUpperBoundVerify(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  const auto& params = crypto::PedersenParams::Test256();
+  crypto::Drbg drbg(uint64_t{9});
+  auto opening = crypto::PedersenCommitFresh(params, crypto::BigInt(38), drbg);
+  auto proof = crypto::ProveUpperBound(params, opening.commitment,
+                                       crypto::BigInt(38), opening.randomness,
+                                       crypto::BigInt(40), bits, drbg);
+  for (auto _ : state) {
+    bool ok = crypto::VerifyUpperBound(params, opening.commitment, *proof,
+                                       crypto::BigInt(40), bits);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ZkUpperBoundVerify)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->Iterations(20);
+
+// ---------------------------------------------------------------- Paillier
+
+void BM_PaillierVerificationChain(benchmark::State& state) {
+  // The RC1 inner loop per verification: 1 encrypt (incoming value) +
+  // k homomorphic adds (window) + 1 decrypt (owner side).
+  int64_t window_rows = state.range(0);
+  crypto::Drbg drbg(uint64_t{11});
+  auto key = crypto::PaillierGenerateKey(256, drbg).value();
+  std::vector<crypto::PaillierCiphertext> window;
+  for (int64_t i = 0; i < window_rows; ++i) {
+    window.push_back(
+        crypto::PaillierEncrypt(key.pub, crypto::BigInt(i % 8), drbg).value());
+  }
+  for (auto _ : state) {
+    auto fresh = crypto::PaillierEncrypt(key.pub, crypto::BigInt(5), drbg);
+    crypto::PaillierCiphertext acc = *fresh;
+    for (const auto& ct : window) acc = crypto::PaillierAdd(key.pub, acc, ct);
+    auto total = crypto::PaillierDecrypt(key, acc);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PaillierVerificationChain)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Iterations(20);
+
+void BM_PaillierVerificationChain512(benchmark::State& state) {
+  // Same chain at 512-bit modulus: parameter-scale ablation.
+  crypto::Drbg drbg(uint64_t{13});
+  auto key = crypto::PaillierGenerateKey(512, drbg).value();
+  std::vector<crypto::PaillierCiphertext> window;
+  for (int64_t i = 0; i < 16; ++i) {
+    window.push_back(
+        crypto::PaillierEncrypt(key.pub, crypto::BigInt(i % 8), drbg).value());
+  }
+  for (auto _ : state) {
+    auto fresh = crypto::PaillierEncrypt(key.pub, crypto::BigInt(5), drbg);
+    crypto::PaillierCiphertext acc = *fresh;
+    for (const auto& ct : window) acc = crypto::PaillierAdd(key.pub, acc, ct);
+    auto total = crypto::PaillierDecrypt(key, acc);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PaillierVerificationChain512)->Unit(benchmark::kMillisecond)
+    ->Iterations(10);
+
+// ------------------------------------------- modular-arithmetic ablation
+
+// The engineering lever under every crypto mechanism: Montgomery (CIOS)
+// exponentiation vs classic divide-and-reduce square-and-multiply.
+void BM_PowModMontgomery(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  crypto::Drbg drbg(uint64_t{42});
+  crypto::BigInt m = drbg.RandomBits(bits);
+  if (m.IsEven()) m = m + crypto::BigInt(1);
+  crypto::BigInt base = drbg.RandomBelow(m);
+  crypto::BigInt exp = drbg.RandomBits(bits);
+  auto ctx = crypto::MontgomeryContext::Create(m).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.PowMod(base, exp));
+  }
+}
+BENCHMARK(BM_PowModMontgomery)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Iterations(20);
+
+void BM_PowModClassic(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  crypto::Drbg drbg(uint64_t{42});
+  crypto::BigInt m = drbg.RandomBits(bits);
+  if (m.IsEven()) m = m + crypto::BigInt(1);
+  crypto::BigInt base = drbg.RandomBelow(m);
+  crypto::BigInt exp = drbg.RandomBits(bits);
+  for (auto _ : state) {
+    // Classic square-and-multiply with a division-based reduction per step.
+    crypto::BigInt b = base.Mod(m);
+    crypto::BigInt result(1);
+    for (size_t i = exp.BitLength(); i-- > 0;) {
+      result = result.MulMod(result, m);
+      if (exp.Bit(i)) result = result.MulMod(b, m);
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PowModClassic)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E3: one bounded-aggregate verification under each mechanism.\n"
+      "Expected shape: plaintext (us) < MPC (us, +rounds) < token (RSA "
+      "verify/unit) < ZK range proof (ms, ~linear in bits) ~ Paillier "
+      "chain (ms, grows with window and modulus).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

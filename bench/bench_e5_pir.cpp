@@ -1,0 +1,121 @@
+// E5 — PIR performance vs database size (DESIGN.md §3). Paper anchor (§4,
+// RC3): PIR is the tool for private access to public data, but "more
+// research needs to be conducted to efficiently support updates" — server
+// work is linear in the database size for both schemes.
+//
+// Expected shape: XOR-PIR per-query time linear in n with tiny constants;
+// Paillier cPIR linear in n with ~1000x larger constants (one modular
+// exponentiation per record); the private-update append is cheap for both.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "crypto/paillier.h"
+#include "pir/cpir.h"
+#include "pir/xor_pir.h"
+
+namespace {
+
+using namespace prever;
+
+std::vector<Bytes> Records(size_t n, size_t size) {
+  std::vector<Bytes> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Bytes r = ToBytes("rec" + std::to_string(i));
+    r.resize(size, static_cast<uint8_t>(i));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+void BM_XorPirFetch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kRecordSize = 64;
+  auto records = Records(n, kRecordSize);
+  pir::XorPirServer s0(records, kRecordSize), s1(records, kRecordSize);
+  pir::XorPirClient client(1);
+  size_t index = 0;
+  for (auto _ : state) {
+    auto rec = client.Fetch(index++ % n, s0, s1);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.counters["records"] = static_cast<double>(n);
+  state.counters["queries/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_XorPirFetch)
+    ->Arg(1 << 8)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_XorPirAppend(benchmark::State& state) {
+  constexpr size_t kRecordSize = 64;
+  pir::XorPirServer s0(Records(1 << 10, kRecordSize), kRecordSize);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Status s = s0.Append(ToBytes("new" + std::to_string(i++)));
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_XorPirAppend)->Unit(benchmark::kMicrosecond);
+
+struct CpirFixture {
+  CpirFixture() : drbg(uint64_t{3}) {
+    key = crypto::PaillierGenerateKey(256, drbg).value();
+  }
+  crypto::Drbg drbg;
+  crypto::PaillierKeyPair key;
+};
+
+CpirFixture& Cpir() {
+  static CpirFixture* fixture = new CpirFixture();
+  return *fixture;
+}
+
+void BM_PaillierCpirFetch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kRecordSize = 16;
+  pir::PaillierPirServer server(Records(n, kRecordSize), kRecordSize,
+                                Cpir().key.pub);
+  pir::PaillierPirClient client(Cpir().key, 5);
+  size_t index = 0;
+  for (auto _ : state) {
+    auto rec = client.Fetch(index++ % n, server);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.counters["records"] = static_cast<double>(n);
+}
+BENCHMARK(BM_PaillierCpirFetch)->Arg(1 << 4)->Arg(1 << 6)->Arg(1 << 8)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_PaillierCpirServerOnly(benchmark::State& state) {
+  // Isolates server-side homomorphic work from client query generation.
+  size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kRecordSize = 16;
+  pir::PaillierPirServer server(Records(n, kRecordSize), kRecordSize,
+                                Cpir().key.pub);
+  pir::PaillierPirClient client(Cpir().key, 7);
+  auto query = client.BuildQuery(n / 2, n).value();
+  for (auto _ : state) {
+    auto answer = server.Answer(query);
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["records"] = static_cast<double>(n);
+}
+BENCHMARK(BM_PaillierCpirServerOnly)->Arg(1 << 4)->Arg(1 << 6)->Arg(1 << 8)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E5: PIR read/update cost vs database size.\nExpected shape: both "
+      "schemes linear in n; XOR-PIR ~ns/record, Paillier cPIR ~ms/record "
+      "(modular exponentiation each); appends are O(1).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

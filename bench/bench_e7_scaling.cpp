@@ -1,0 +1,146 @@
+// E7 — scaling with update frequency and data size (DESIGN.md §3). Paper
+// anchor (§6): solutions must "scale with respect to the frequency of
+// updates as well as the size of the data."
+//
+// Two sweeps per engine:
+//   * data size   — preloaded table size n grows; per-update verification
+//     cost follows the aggregate-scan / homomorphic-aggregation cost;
+//   * update rate — sustained-throughput runs (a fixed burst of updates),
+//     reporting updates/second as the burst grows.
+//
+// Expected shape: plaintext per-update cost grows mildly with the scanned
+// window; RC1 grows with the per-group ciphertext count; throughput of
+// every private engine sits orders of magnitude below plaintext.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/prever.h"
+#include "workload/tpc_lite.h"
+
+namespace {
+
+using namespace prever;
+
+// ------------------------------- data-size sweep (plaintext, TPC-lite) ---
+
+void BM_PlaintextDataSize(benchmark::State& state) {
+  int64_t preload = state.range(0);
+  workload::TpcLiteConfig config;
+  config.num_customers = 50;
+  config.credit_limit = 1u << 30;  // Effectively unbounded: measure cost.
+  workload::TpcLiteWorkload gen(config);
+
+  storage::Database db;
+  (void)db.CreateTable(workload::TpcLiteWorkload::kTableName,
+                       workload::TpcLiteWorkload::OrdersSchema());
+  constraint::ConstraintCatalog catalog;
+  (void)catalog.Add("credit", constraint::ConstraintScope::kRegulation,
+                    constraint::ConstraintVisibility::kPublic,
+                    gen.CreditConstraint());
+  core::CentralizedOrdering ordering;
+  core::PlaintextEngine engine(&db, &catalog, &ordering);
+  // Preload bypasses the engine (bulk load, no per-row verification).
+  auto* table = *db.GetMutableTable(workload::TpcLiteWorkload::kTableName);
+  for (int64_t i = 0; i < preload; ++i) {
+    (void)table->Insert(gen.NextOrder().mutation.row);
+  }
+  for (auto _ : state) {
+    Status s = engine.SubmitUpdate(gen.NextOrder());
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["preloaded_rows"] = static_cast<double>(preload);
+  state.counters["ops/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PlaintextDataSize)
+    ->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000)
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------- data-size sweep (RC1, per-group rows) ---
+
+void BM_EncryptedGroupHistory(benchmark::State& state) {
+  int64_t history = state.range(0);
+  core::DataOwner owner(256, crypto::PedersenParams::Test256(), 3);
+  core::CentralizedOrdering ordering;
+  std::vector<core::RegulatedBound> bounds = {
+      {constraint::BoundDirection::kUpper, 1 << 20, /*window=*/0, 24}};
+  core::EncryptedEngine engine(&owner, &ordering, "group", "value", bounds,
+                               /*value_bits=*/7, /*seed=*/5);
+  // Preload `history` sealed rows in one group.
+  for (int64_t i = 0; i < history; ++i) {
+    core::Update u;
+    u.id = "pre" + std::to_string(i);
+    u.producer = "org";
+    u.timestamp = (i + 1) * kMinute;
+    u.fields = {{"group", storage::Value::String("g0")},
+                {"value", storage::Value::Int64(i % 100)}};
+    if (!engine.SubmitUpdate(u).ok()) {
+      state.SkipWithError("preload failed");
+      return;
+    }
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    core::Update u;
+    u.id = "op" + std::to_string(i);
+    u.producer = "org";
+    u.timestamp = (history + 1 + static_cast<int64_t>(i)) * kMinute;
+    u.fields = {{"group", storage::Value::String("g0")},
+                {"value", storage::Value::Int64(1)}};
+    Status s = engine.SubmitUpdate(u);
+    benchmark::DoNotOptimize(s);
+    ++i;
+  }
+  state.counters["group_rows"] = static_cast<double>(history);
+}
+BENCHMARK(BM_EncryptedGroupHistory)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+// ------------------------------- rate sweep (burst throughput) -----------
+
+void BM_PlaintextBurst(benchmark::State& state) {
+  int64_t burst = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    workload::TpcLiteConfig config;
+    config.credit_limit = 1u << 30;
+    workload::TpcLiteWorkload gen(config);
+    storage::Database db;
+    (void)db.CreateTable(workload::TpcLiteWorkload::kTableName,
+                         workload::TpcLiteWorkload::OrdersSchema());
+    constraint::ConstraintCatalog catalog;
+    (void)catalog.Add("credit", constraint::ConstraintScope::kRegulation,
+                      constraint::ConstraintVisibility::kPublic,
+                      gen.CreditConstraint());
+    core::CentralizedOrdering ordering;
+    core::PlaintextEngine engine(&db, &catalog, &ordering);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < burst; ++i) {
+      Status s = engine.SubmitUpdate(gen.NextOrder());
+      benchmark::DoNotOptimize(s);
+    }
+  }
+  state.counters["updates/s"] = benchmark::Counter(
+      static_cast<double>(burst) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PlaintextBurst)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E7: scaling sweeps — per-update cost vs data size, and burst "
+      "throughput vs burst size.\nExpected shape: plaintext scan cost grows "
+      "with table size; RC1 cost grows linearly with per-group ciphertext "
+      "history; plaintext throughput is orders of magnitude above the "
+      "private engines (cf. E1).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

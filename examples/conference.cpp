@@ -1,0 +1,96 @@
+// In-person conference participation (§2.2, Research Challenge 3):
+// the attendee list is PUBLIC; the vaccination record in the update is
+// PRIVATE. Registrants prove "doses >= 2" in zero knowledge, and can
+// consult the public list through two-server PIR without revealing what
+// they looked at.
+//
+// Build & run:  ./build/examples/conference
+
+#include <cstdio>
+
+#include "core/prever.h"
+
+using namespace prever;
+
+int main() {
+  std::printf("== RC3: public attendee list, private vaccine records ==\n\n");
+
+  storage::Database db;
+  storage::Schema attendees({{"name", storage::ValueType::kString},
+                             {"mode", storage::ValueType::kString}});
+  if (!db.CreateTable("attendees", attendees).ok()) return 1;
+
+  // Public constraint: venue capacity (counting the incoming registrant).
+  constraint::ConstraintCatalog catalog;
+  if (!catalog
+           .Add("capacity", constraint::ConstraintScope::kInternal,
+                constraint::ConstraintVisibility::kPublic,
+                "COUNT(attendees) + 1 <= 3")
+           .ok()) {
+    return 1;
+  }
+  // Private requirement: at least two vaccine doses, proven in ZK.
+  std::vector<core::AttestationRequirement> requirements = {
+      {"doses", constraint::BoundDirection::kLower, 2, /*slack_bits=*/8}};
+
+  core::CentralizedOrdering ordering;
+  core::PublicDataEngine desk(&db, &catalog, requirements, &ordering,
+                              crypto::PedersenParams::Test256());
+  crypto::Drbg registrant_rng(uint64_t{99});
+
+  struct Registrant {
+    const char* name;
+    int64_t doses;
+  };
+  const Registrant people[] = {
+      {"ada", 3}, {"bob", 2}, {"eve", 1}, {"carol", 2}};
+  for (const Registrant& p : people) {
+    core::PublicDataEngine::Submission s;
+    s.update.id = std::string("reg-") + p.name;
+    s.update.producer = p.name;
+    s.update.timestamp = kDay;
+    s.update.fields = {{"name", storage::Value::String(p.name)}};
+    s.update.mutation.op = storage::Mutation::Op::kInsert;
+    s.update.mutation.table = "attendees";
+    s.update.mutation.row = {storage::Value::String(p.name),
+                             storage::Value::String("in-person")};
+    auto attestation =
+        desk.Attest(desk.requirements()[0], p.doses, registrant_rng);
+    if (attestation.ok()) s.attestations.push_back(std::move(*attestation));
+    Status verdict = attestation.ok()
+                         ? desk.Submit(s)
+                         : attestation.status();
+    std::printf("  %-6s (doses hidden) -> %s\n", p.name,
+                verdict.ok() ? "REGISTERED" : verdict.ToString().c_str());
+  }
+  // eve was rejected (1 dose), carol hit the capacity limit.
+
+  std::printf("\npublic attendee list (%llu rows):\n",
+              static_cast<unsigned long long>((*db.GetTable("attendees"))->size()));
+  (*db.GetTable("attendees"))->Scan([](const storage::Row& row) {
+    std::printf("  %s\n", (*row[0].AsString()).c_str());
+    return true;
+  });
+
+  // A registrant privately checks row 1 of the list via two-server PIR —
+  // neither server learns which entry was read.
+  auto snapshot = desk.BuildPirSnapshot("attendees", /*record_size=*/64);
+  if (snapshot.ok()) {
+    pir::XorPirClient reader(uint64_t{5});
+    auto record = reader.Fetch(1, *snapshot->server0, *snapshot->server1);
+    if (record.ok()) {
+      BinaryReader r(*record);
+      auto name = storage::Value::DecodeFrom(r);
+      std::printf("\nPIR read of row 1 (servers learned nothing): %s\n",
+                  name.ok() ? name->ToString().c_str() : "?");
+    }
+    std::printf("server scan work per query: %llu records (linear — the "
+                "RC3 cost the paper flags)\n",
+                static_cast<unsigned long long>(snapshot->server0->records_scanned()));
+  }
+  std::printf("\nledger audit: %s\n",
+              core::IntegrityAuditor::AuditLedger(ordering.Ledger())
+                  .ToString()
+                  .c_str());
+  return 0;
+}

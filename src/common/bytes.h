@@ -1,0 +1,36 @@
+#ifndef PREVER_COMMON_BYTES_H_
+#define PREVER_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prever {
+
+/// Raw byte buffer used for keys, ciphertexts, digests and wire messages.
+using Bytes = std::vector<uint8_t>;
+
+/// Converts a UTF-8/ASCII string to bytes (no terminator).
+Bytes ToBytes(std::string_view s);
+
+/// Converts bytes back to a std::string (may contain NULs).
+std::string ToString(const Bytes& b);
+
+/// Lower-case hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string HexEncode(const Bytes& b);
+
+/// Parses lower/upper-case hex; fails on odd length or non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+/// Constant-time equality for secret material (digests, MACs, tokens).
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b);
+
+/// Appends `src` to `dst`.
+void Append(Bytes& dst, const Bytes& src);
+
+}  // namespace prever
+
+#endif  // PREVER_COMMON_BYTES_H_

@@ -1,0 +1,32 @@
+#include "common/crc32.h"
+
+namespace prever {
+
+namespace {
+struct Crc32Table {
+  uint32_t entries[256];
+
+  constexpr Crc32Table() : entries() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+constexpr Crc32Table kTable;
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = kTable.entries[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32(const Bytes& data) { return Crc32(data.data(), data.size()); }
+
+}  // namespace prever

@@ -1,0 +1,17 @@
+#ifndef PREVER_COMMON_CRC32_H_
+#define PREVER_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace prever {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used by the write-ahead log to
+/// detect torn or corrupted records during recovery.
+uint32_t Crc32(const uint8_t* data, size_t len);
+uint32_t Crc32(const Bytes& data);
+
+}  // namespace prever
+
+#endif  // PREVER_COMMON_CRC32_H_

@@ -1,0 +1,64 @@
+#ifndef PREVER_COMMON_RNG_H_
+#define PREVER_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace prever {
+
+/// Deterministic pseudo-random generator (xoshiro256**) used everywhere a
+/// seedable, reproducible stream is needed: workload generation, simulated
+/// network jitter, and as entropy source for the crypto DRBG in tests.
+///
+/// NOT a CSPRNG by itself; the crypto layer wraps it in an HMAC-based DRBG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next 64 uniform random bits.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound); bound must be > 0. Uses rejection sampling, so
+  /// the result is unbiased.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Fills `n` pseudo-random bytes.
+  Bytes NextBytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian distribution over [0, n) with parameter theta (default 0.99 as in
+/// YCSB). Heavier skew for larger theta.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  /// Draws an item; item 0 is the most popular.
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace prever
+
+#endif  // PREVER_COMMON_RNG_H_

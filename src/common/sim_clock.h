@@ -1,0 +1,41 @@
+#ifndef PREVER_COMMON_SIM_CLOCK_H_
+#define PREVER_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace prever {
+
+/// Simulated time in microseconds since an arbitrary epoch. All timestamps in
+/// PReVer (update times, sliding windows, consensus timers) use SimTime so
+/// experiments are deterministic and replayable.
+using SimTime = uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+constexpr SimTime kWeek = 7 * kDay;
+
+/// Monotonic simulated clock. The network simulator advances it as events
+/// fire; workload generators advance it per-arrival.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime Now() const { return now_; }
+
+  /// Moves time forward; ignores attempts to move backwards.
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+  void Advance(SimTime delta) { now_ += delta; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace prever
+
+#endif  // PREVER_COMMON_SIM_CLOCK_H_

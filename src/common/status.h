@@ -1,0 +1,136 @@
+#ifndef PREVER_COMMON_STATUS_H_
+#define PREVER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace prever {
+
+/// Error categories used across PReVer. Modeled after the RocksDB/Arrow
+/// Status idiom: no exceptions cross module boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kConstraintViolation,   ///< Update rejected by a constraint/regulation.
+  kIntegrityViolation,    ///< Tamper or proof-verification failure.
+  kPermissionDenied,      ///< Privacy/role policy forbids the operation.
+  kUnavailable,           ///< Transient failure (e.g., no quorum).
+  kCorruption,            ///< Persistent state failed validation.
+  kNotSupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. Functions that can fail return
+/// Status (or Result<T> when they also produce a value).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status IntegrityViolation(std::string msg) {
+    return Status(StatusCode::kIntegrityViolation, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds both.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : value_(std::move(status)) {      // NOLINT
+    // An OK status without a value is a programming error; normalize it so
+    // callers always observe an error.
+    if (std::get<Status>(value_).ok()) {
+      value_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Requires ok().
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace prever
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define PREVER_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::prever::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// moves the value into `lhs`.
+#define PREVER_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto PREVER_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!PREVER_CONCAT_(_res_, __LINE__).ok())          \
+    return PREVER_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(PREVER_CONCAT_(_res_, __LINE__)).value()
+
+#define PREVER_CONCAT_(a, b) PREVER_CONCAT_IMPL_(a, b)
+#define PREVER_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PREVER_COMMON_STATUS_H_

@@ -1,0 +1,440 @@
+#include "consensus/pbft.h"
+
+#include "common/serial.h"
+#include "crypto/sha256.h"
+
+namespace prever::consensus {
+
+namespace {
+
+enum PbftMsgType : uint32_t {
+  kClientRequest = 1,
+  kPrePrepare = 2,
+  kPrepare = 3,
+  kCommit = 4,
+  kViewChange = 5,
+  kNewView = 6,
+};
+
+Bytes DigestOf(const Bytes& command) { return crypto::Sha256::Hash(command); }
+
+Bytes EncodePrePrepare(uint64_t view, uint64_t seq, const Bytes& command) {
+  BinaryWriter w;
+  w.WriteU64(view);
+  w.WriteU64(seq);
+  w.WriteBytes(command);
+  return w.Take();
+}
+
+Bytes EncodeVote(uint64_t view, uint64_t seq, const Bytes& digest) {
+  BinaryWriter w;
+  w.WriteU64(view);
+  w.WriteU64(seq);
+  w.WriteBytes(digest);
+  return w.Take();
+}
+
+using PreparedEntry = PbftReplica::PreparedEntry;
+
+Bytes EncodeViewChange(uint64_t new_view,
+                       const std::vector<PreparedEntry>& entries) {
+  BinaryWriter w;
+  w.WriteU64(new_view);
+  w.WriteU32(static_cast<uint32_t>(entries.size()));
+  for (const PreparedEntry& e : entries) {
+    w.WriteU64(e.seq);
+    w.WriteU64(e.view);
+    w.WriteBytes(e.command);
+  }
+  return w.Take();
+}
+
+Result<std::pair<uint64_t, std::vector<PreparedEntry>>> DecodeViewChange(
+    const Bytes& payload) {
+  BinaryReader r(payload);
+  PREVER_ASSIGN_OR_RETURN(uint64_t new_view, r.ReadU64());
+  PREVER_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  std::vector<PreparedEntry> entries(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PREVER_ASSIGN_OR_RETURN(entries[i].seq, r.ReadU64());
+    PREVER_ASSIGN_OR_RETURN(entries[i].view, r.ReadU64());
+    PREVER_ASSIGN_OR_RETURN(entries[i].command, r.ReadBytes());
+  }
+  return std::make_pair(new_view, std::move(entries));
+}
+
+}  // namespace
+
+PbftReplica::PbftReplica(net::NodeId id, const PbftConfig& config,
+                         net::SimNetwork* net)
+    : id_(id), config_(config), net_(net) {}
+
+void PbftReplica::OnMessage(const net::Message& msg) {
+  if (fault_mode_ == PbftFaultMode::kSilent) return;
+  switch (msg.type) {
+    case kClientRequest:
+      OnClientRequest(msg.payload);
+      break;
+    case kPrePrepare:
+      HandlePrePrepare(msg);
+      break;
+    case kPrepare:
+      HandlePrepare(msg);
+      break;
+    case kCommit:
+      HandleCommit(msg);
+      break;
+    case kViewChange:
+      HandleViewChange(msg);
+      break;
+    case kNewView:
+      HandleNewView(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void PbftReplica::OnClientRequest(const Bytes& command) {
+  if (fault_mode_ == PbftFaultMode::kSilent) return;
+  Bytes digest = DigestOf(command);
+  if (executed_digests_.count(digest)) return;
+  pending_requests_[digest] = command;
+  if (IsPrimary() && !view_changing_) {
+    if (!seen_requests_.count(digest)) {
+      seen_requests_.insert(digest);
+      Propose(command);
+    }
+  } else {
+    ArmRequestTimer(digest);
+  }
+}
+
+void PbftReplica::Propose(const Bytes& command) {
+  uint64_t seq = next_seq_++;
+  Bytes digest = DigestOf(command);
+  SlotState& slot = Slot(seq);
+  slot.view = view_;
+  slot.digest = digest;
+  slot.command = command;
+  slot.pre_prepared = true;
+  slot.prepares[digest].insert(id_);
+
+  if (fault_mode_ == PbftFaultMode::kEquivocate) {
+    // Send conflicting proposals to the two halves of the cluster; PBFT's
+    // prepare quorums must prevent both from committing.
+    Bytes other = command;
+    other.push_back(0xEE);
+    for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+      if (to == id_) continue;
+      const Bytes& cmd = (to % 2 == 0) ? command : other;
+      net_->Send(id_, to, kPrePrepare, EncodePrePrepare(view_, seq, cmd));
+    }
+    return;
+  }
+  for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+    if (to == id_) continue;
+    net_->Send(id_, to, kPrePrepare, EncodePrePrepare(view_, seq, command));
+  }
+}
+
+void PbftReplica::HandlePrePrepare(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto view = r.ReadU64();
+  auto seq = r.ReadU64();
+  auto command = r.ReadBytes();
+  if (!view.ok() || !seq.ok() || !command.ok()) return;
+  if (*view > view_ || (view_changing_ && *view == view_)) {
+    Stash(msg);  // Raced ahead of our NewView; replay after installation.
+    return;
+  }
+  if (*view != view_ || view_changing_) return;
+  if (msg.from != view_ % config_.num_replicas) return;  // Not the primary.
+
+  SlotState& slot = Slot(*seq);
+  Bytes digest = DigestOf(*command);
+  if (slot.pre_prepared && slot.digest != digest) {
+    // Conflicting proposal for the same (view, seq): refuse; the timer will
+    // force a view change if progress stalls.
+    return;
+  }
+  slot.view = *view;
+  slot.digest = digest;
+  slot.command = *command;
+  slot.pre_prepared = true;
+  slot.prepares[digest].insert(id_);
+  if (*seq >= next_seq_) next_seq_ = *seq + 1;
+  for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+    if (to == id_) continue;
+    net_->Send(id_, to, kPrepare, EncodeVote(*view, *seq, digest));
+  }
+  ArmRequestTimer(digest);
+  MaybeSendCommit(*seq);
+}
+
+void PbftReplica::HandlePrepare(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto view = r.ReadU64();
+  auto seq = r.ReadU64();
+  auto digest = r.ReadBytes();
+  if (!view.ok() || !seq.ok() || !digest.ok()) return;
+  if (*view > view_ || (view_changing_ && *view == view_)) {
+    Stash(msg);
+    return;
+  }
+  if (*view != view_ || view_changing_) return;
+  SlotState& slot = Slot(*seq);
+  slot.prepares[*digest].insert(msg.from);
+  MaybeSendCommit(*seq);
+}
+
+void PbftReplica::MaybeSendCommit(uint64_t seq) {
+  SlotState& slot = Slot(seq);
+  if (!slot.pre_prepared || slot.sent_commit) return;
+  if (slot.prepares[slot.digest].size() < quorum2f1()) return;
+  slot.sent_commit = true;
+  slot.commits[slot.digest].insert(id_);
+  for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+    if (to == id_) continue;
+    net_->Send(id_, to, kCommit, EncodeVote(view_, seq, slot.digest));
+  }
+  TryExecute();
+}
+
+void PbftReplica::HandleCommit(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto view = r.ReadU64();
+  auto seq = r.ReadU64();
+  auto digest = r.ReadBytes();
+  if (!view.ok() || !seq.ok() || !digest.ok()) return;
+  SlotState& slot = Slot(*seq);
+  slot.commits[*digest].insert(msg.from);
+  TryExecute();
+}
+
+void PbftReplica::TryExecute() {
+  for (;;) {
+    auto it = log_.find(last_executed_ + 1);
+    if (it == log_.end()) return;
+    SlotState& slot = it->second;
+    if (slot.executed) {
+      ++last_executed_;
+      continue;
+    }
+    if (!slot.pre_prepared || slot.sent_commit == false) return;
+    if (slot.commits[slot.digest].size() < quorum2f1()) return;
+    slot.executed = true;
+    ++last_executed_;
+    ++num_executed_;
+    executed_digests_.insert(slot.digest);
+    pending_requests_.erase(slot.digest);
+    pending_timers_.erase(slot.digest);
+    if (commit_cb_) commit_cb_(last_executed_, slot.command);
+  }
+}
+
+void PbftReplica::Stash(const net::Message& msg) {
+  constexpr size_t kMaxStash = 4096;
+  if (stashed_.size() < kMaxStash) stashed_.push_back(msg);
+}
+
+void PbftReplica::ArmRequestTimer(const Bytes& digest) {
+  if (pending_timers_.count(digest)) return;
+  pending_timers_[digest] = true;
+  uint64_t armed_view = view_;
+  net_->ScheduleAfter(config_.view_change_timeout, [this, digest, armed_view] {
+    if (fault_mode_ == PbftFaultMode::kSilent) return;
+    if (executed_digests_.count(digest)) return;
+    if (!pending_timers_.count(digest)) return;
+    if (view_ != armed_view) return;  // Already moved on; a fresh timer runs.
+    StartViewChange(view_ + 1);
+  });
+}
+
+void PbftReplica::StartViewChange(uint64_t new_view) {
+  if (new_view <= view_) return;
+  view_changing_ = true;
+  // Escalation timer: if this view change stalls (e.g. the new primary is
+  // faulty too), move on to the next view — PBFT's exponential-backoff
+  // cascade, simplified to a fixed period.
+  net_->ScheduleAfter(2 * config_.view_change_timeout, [this, new_view] {
+    if (fault_mode_ == PbftFaultMode::kSilent) return;
+    bool installed = view_ >= new_view && !view_changing_;
+    if (!installed && view_ < new_view + 1) {
+      StartViewChange(new_view + 1);
+    }
+  });
+  std::vector<PreparedEntry> prepared;
+  for (auto& [seq, slot] : log_) {
+    if (slot.executed) continue;
+    if (slot.pre_prepared &&
+        slot.prepares[slot.digest].size() >= quorum2f1()) {
+      prepared.push_back(PreparedEntry{seq, slot.view, slot.command});
+    }
+  }
+  Bytes payload = EncodeViewChange(new_view, prepared);
+  // Record our own view-change vote, then broadcast.
+  view_change_entries_[new_view][id_] = prepared;
+  for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+    if (to == id_) continue;
+    net_->Send(id_, to, kViewChange, payload);
+  }
+  MaybeBecomeNewPrimary(new_view);
+}
+
+void PbftReplica::HandleViewChange(const net::Message& msg) {
+  auto decoded = DecodeViewChange(msg.payload);
+  if (!decoded.ok()) return;
+  uint64_t new_view = decoded->first;
+  if (new_view <= view_) return;
+  view_change_entries_[new_view][msg.from] = std::move(decoded->second);
+  // Join the view change once f+1 replicas are attempting it (standard
+  // liveness amplification).
+  if (!view_changing_ &&
+      view_change_entries_[new_view].size() >= f() + 1) {
+    StartViewChange(new_view);
+    return;
+  }
+  MaybeBecomeNewPrimary(new_view);
+}
+
+void PbftReplica::MaybeBecomeNewPrimary(uint64_t new_view) {
+  if (new_view % config_.num_replicas != id_) return;
+  auto it = view_change_entries_.find(new_view);
+  if (it == view_change_entries_.end()) return;
+  if (it->second.size() < quorum2f1()) return;
+  if (new_view <= installed_new_view_) return;
+  installed_new_view_ = new_view;
+
+  // Union of prepared entries: highest view wins per sequence number.
+  std::map<uint64_t, PreparedEntry> merged;
+  for (auto& [from, entries] : it->second) {
+    for (const PreparedEntry& e : entries) {
+      auto found = merged.find(e.seq);
+      if (found == merged.end() || found->second.view < e.view) {
+        merged[e.seq] = e;
+      }
+    }
+  }
+  std::vector<PreparedEntry> reproposals;
+  reproposals.reserve(merged.size());
+  for (auto& [seq, e] : merged) reproposals.push_back(e);
+
+  Bytes payload = EncodeViewChange(new_view, reproposals);  // Same format.
+  for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+    if (to == id_) continue;
+    net_->Send(id_, to, kNewView, payload);
+  }
+  InstallNewView(new_view, reproposals);
+}
+
+void PbftReplica::HandleNewView(const net::Message& msg) {
+  auto decoded = DecodeViewChange(msg.payload);
+  if (!decoded.ok()) return;
+  uint64_t new_view = decoded->first;
+  if (new_view <= view_ && !(new_view == view_ && view_changing_)) return;
+  if (msg.from != new_view % config_.num_replicas) return;
+  InstallNewView(new_view, decoded->second);
+}
+
+void PbftReplica::InstallNewView(uint64_t new_view,
+                                 const std::vector<PreparedEntry>& entries) {
+  view_ = new_view;
+  view_changing_ = false;
+  // Re-run the protocol for carried-over prepared entries in the new view.
+  for (const PreparedEntry& e : entries) {
+    SlotState& slot = Slot(e.seq);
+    if (slot.executed) continue;
+    Bytes digest = DigestOf(e.command);
+    slot.view = new_view;
+    slot.digest = digest;
+    slot.command = e.command;
+    slot.pre_prepared = true;
+    slot.sent_commit = false;
+    slot.prepares[digest].insert(id_);
+    if (e.seq >= next_seq_) next_seq_ = e.seq + 1;
+    for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+      if (to == id_) continue;
+      net_->Send(id_, to, kPrepare, EncodeVote(new_view, e.seq, digest));
+    }
+  }
+  // The new primary re-proposes pending requests that were never prepared.
+  if (IsPrimary()) {
+    for (auto& [digest, command] : pending_requests_) {
+      bool already_in_log = false;
+      for (auto& [seq, slot] : log_) {
+        if (slot.pre_prepared && slot.digest == digest && !slot.executed) {
+          already_in_log = true;
+          break;
+        }
+        if (slot.executed && slot.digest == digest) {
+          already_in_log = true;
+          break;
+        }
+      }
+      if (!already_in_log) {
+        seen_requests_.insert(digest);
+        Propose(command);
+      }
+    }
+  } else {
+    // Backups re-arm timers for still-pending requests in the new view.
+    std::vector<Bytes> digests;
+    for (auto& [digest, command] : pending_requests_) digests.push_back(digest);
+    for (const Bytes& d : digests) {
+      pending_timers_.erase(d);
+      ArmRequestTimer(d);
+    }
+  }
+  // Replay messages that raced ahead of this installation.
+  std::vector<net::Message> stashed = std::move(stashed_);
+  stashed_.clear();
+  for (const net::Message& msg : stashed) OnMessage(msg);
+}
+
+PbftCluster::PbftCluster(const PbftConfig& config, net::SimNetwork* net) {
+  executed_.resize(config.num_replicas);
+  for (size_t i = 0; i < config.num_replicas; ++i) {
+    auto replica = std::make_unique<PbftReplica>(
+        static_cast<net::NodeId>(i), config, net);
+    PbftReplica* raw = replica.get();
+    net::NodeId node = net->AddNode(
+        [raw](const net::Message& msg) { raw->OnMessage(msg); });
+    (void)node;
+    replicas_.push_back(std::move(replica));
+  }
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->SetCommitCallback(
+        [this, i](uint64_t /*seq*/, const Bytes& cmd) {
+          executed_[i].push_back(cmd);
+        });
+  }
+}
+
+void PbftCluster::Submit(const Bytes& command) {
+  // Clients broadcast to every replica (backups arm timers; the primary
+  // proposes). Delivery goes through each replica directly, which models a
+  // client colocated with the cluster edge.
+  for (auto& replica : replicas_) replica->OnClientRequest(command);
+}
+
+void PbftCluster::SetCommitCallback(
+    std::function<void(net::NodeId, uint64_t, const Bytes&)> cb) {
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->SetCommitCallback(
+        [this, i, cb](uint64_t seq, const Bytes& cmd) {
+          executed_[i].push_back(cmd);
+          cb(static_cast<net::NodeId>(i), seq, cmd);
+        });
+  }
+}
+
+bool PbftCluster::ReachedCommitCount(uint64_t count, size_t quorum) const {
+  size_t reached = 0;
+  for (const auto& log : executed_) {
+    if (log.size() >= count) ++reached;
+  }
+  return reached >= quorum;
+}
+
+}  // namespace prever::consensus

@@ -1,0 +1,162 @@
+#ifndef PREVER_CONSENSUS_PBFT_H_
+#define PREVER_CONSENSUS_PBFT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/sim_net.h"
+
+namespace prever::consensus {
+
+/// Invoked on every replica, in sequence order, exactly once per committed
+/// command.
+using CommitCallback =
+    std::function<void(uint64_t sequence, const Bytes& command)>;
+
+/// Fault modes for adversarial testing. A Byzantine replica deviates from
+/// the protocol; PBFT must stay safe (no divergence) and, with at most
+/// f = (n-1)/3 faults, live.
+enum class PbftFaultMode {
+  kHonest,
+  kSilent,       ///< Crashed / mute replica.
+  kEquivocate,   ///< As primary, proposes different commands to different
+                 ///< replicas for the same sequence number.
+};
+
+struct PbftConfig {
+  size_t num_replicas = 4;
+  SimTime view_change_timeout = 200 * kMillisecond;
+};
+
+/// One PBFT replica (Castro–Liskov three-phase protocol over the simulated
+/// network): pre-prepare → prepare (2f matching) → commit (2f+1 matching),
+/// with view changes on primary failure. Checkpoints/garbage collection are
+/// omitted (bounded experiment horizons); commands travel in full rather
+/// than digest-only.
+class PbftReplica {
+ public:
+  PbftReplica(net::NodeId id, const PbftConfig& config, net::SimNetwork* net);
+
+  net::NodeId id() const { return id_; }
+  uint64_t view() const { return view_; }
+  uint64_t num_executed() const { return num_executed_; }
+  bool IsPrimary() const { return view_ % config_.num_replicas == id_; }
+
+  void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
+  void SetFaultMode(PbftFaultMode mode) { fault_mode_ = mode; }
+
+  /// Network ingress (registered with SimNetwork).
+  void OnMessage(const net::Message& msg);
+
+  /// Client request entry point (clients broadcast to all replicas; the
+  /// primary proposes, backups arm a view-change timer).
+  void OnClientRequest(const Bytes& command);
+
+ public:
+  /// A prepared-but-unexecuted slot carried across a view change. Public so
+  /// the wire codec helpers can name it.
+  struct PreparedEntry {
+    uint64_t seq = 0;
+    uint64_t view = 0;
+    Bytes command;
+  };
+
+ private:
+  struct SlotState {
+    uint64_t view = 0;
+    Bytes digest;
+    Bytes command;
+    bool pre_prepared = false;
+    /// Votes per digest so an equivocating primary cannot pool quorums
+    /// across conflicting proposals.
+    std::map<Bytes, std::set<net::NodeId>> prepares;
+    std::map<Bytes, std::set<net::NodeId>> commits;
+    bool sent_commit = false;
+    bool executed = false;
+  };
+
+  size_t f() const { return (config_.num_replicas - 1) / 3; }
+  size_t quorum2f() const { return 2 * f(); }
+  size_t quorum2f1() const { return 2 * f() + 1; }
+
+  void HandlePrePrepare(const net::Message& msg);
+  void HandlePrepare(const net::Message& msg);
+  void HandleCommit(const net::Message& msg);
+  void HandleViewChange(const net::Message& msg);
+  void HandleNewView(const net::Message& msg);
+
+  void Propose(const Bytes& command);
+  void MaybeSendCommit(uint64_t seq);
+  void TryExecute();
+  void ArmRequestTimer(const Bytes& digest);
+  void Stash(const net::Message& msg);
+  void StartViewChange(uint64_t new_view);
+  void MaybeBecomeNewPrimary(uint64_t new_view);
+  void InstallNewView(uint64_t new_view,
+                      const std::vector<PreparedEntry>& entries);
+
+  SlotState& Slot(uint64_t seq) { return log_[seq]; }
+
+  net::NodeId id_;
+  PbftConfig config_;
+  net::SimNetwork* net_;
+  CommitCallback commit_cb_;
+  PbftFaultMode fault_mode_ = PbftFaultMode::kHonest;
+
+  uint64_t view_ = 0;
+  bool view_changing_ = false;
+  uint64_t next_seq_ = 1;       // Primary's next proposal number.
+  uint64_t last_executed_ = 0;  // Highest contiguously executed seq.
+  uint64_t num_executed_ = 0;
+  std::map<uint64_t, SlotState> log_;
+  std::set<Bytes> seen_requests_;    // Digests proposed (primary dedup).
+  std::set<Bytes> executed_digests_; // For timer cancellation.
+  std::map<Bytes, bool> pending_timers_;  // digest -> armed.
+  std::map<Bytes, Bytes> pending_requests_;  // digest -> command.
+  // View-change bookkeeping: new_view -> sender -> prepared entries.
+  std::map<uint64_t, std::map<net::NodeId, std::vector<PreparedEntry>>>
+      view_change_entries_;
+  uint64_t installed_new_view_ = 0;  // Highest NewView this primary sent.
+  /// Normal-phase messages that raced ahead of a view installation are
+  /// stashed and replayed after InstallNewView (bounded to avoid unbounded
+  /// growth under Byzantine spam).
+  std::vector<net::Message> stashed_;
+};
+
+/// Convenience wrapper owning n replicas wired to one SimNetwork, plus the
+/// client side (broadcast submission and commit counting).
+class PbftCluster {
+ public:
+  PbftCluster(const PbftConfig& config, net::SimNetwork* net);
+
+  /// Broadcasts a client request to all replicas.
+  void Submit(const Bytes& command);
+
+  PbftReplica& replica(size_t i) { return *replicas_[i]; }
+  size_t size() const { return replicas_.size(); }
+
+  /// Sets one callback invoked per replica commit (replica id, seq, cmd).
+  void SetCommitCallback(
+      std::function<void(net::NodeId, uint64_t, const Bytes&)> cb);
+
+  /// Commands executed by replica i, in order.
+  const std::vector<Bytes>& ExecutedBy(size_t i) const {
+    return executed_[i];
+  }
+
+  /// True when at least `quorum` replicas executed at least `count` commands.
+  bool ReachedCommitCount(uint64_t count, size_t quorum) const;
+
+ private:
+  std::vector<std::unique_ptr<PbftReplica>> replicas_;
+  std::vector<std::vector<Bytes>> executed_;
+};
+
+}  // namespace prever::consensus
+
+#endif  // PREVER_CONSENSUS_PBFT_H_

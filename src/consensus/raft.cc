@@ -1,0 +1,321 @@
+#include "consensus/raft.h"
+
+#include "common/serial.h"
+
+namespace prever::consensus {
+
+namespace {
+
+enum RaftMsgType : uint32_t {
+  kRequestVote = 10,
+  kVoteReply = 11,
+  kAppendEntries = 12,
+  kAppendReply = 13,
+};
+
+}  // namespace
+
+RaftReplica::RaftReplica(net::NodeId id, const RaftConfig& config,
+                         net::SimNetwork* net, uint64_t seed)
+    : id_(id),
+      config_(config),
+      net_(net),
+      rng_(seed),
+      next_index_(config.num_replicas, 1),
+      match_index_(config.num_replicas, 0) {}
+
+void RaftReplica::Start() { ArmElectionTimer(); }
+
+void RaftReplica::Crash() {
+  crashed_ = true;
+  ++timer_epoch_;
+}
+
+void RaftReplica::Restart() {
+  crashed_ = false;
+  role_ = Role::kFollower;
+  votes_.clear();
+  ++timer_epoch_;
+  ArmElectionTimer();
+}
+
+void RaftReplica::ArmElectionTimer() {
+  uint64_t epoch = ++timer_epoch_;
+  SimTime span =
+      config_.election_timeout_max - config_.election_timeout_min + 1;
+  SimTime delay = config_.election_timeout_min + rng_.NextBelow(span);
+  net_->ScheduleAfter(delay, [this, epoch] {
+    if (crashed_ || epoch != timer_epoch_) return;
+    if (role_ != Role::kLeader) StartElection();
+  });
+}
+
+void RaftReplica::ArmHeartbeatTimer() {
+  uint64_t epoch = timer_epoch_;
+  net_->ScheduleAfter(config_.heartbeat_interval, [this, epoch] {
+    if (crashed_ || epoch != timer_epoch_ || role_ != Role::kLeader) return;
+    BroadcastAppendEntries();
+    ArmHeartbeatTimer();
+  });
+}
+
+void RaftReplica::BecomeFollower(uint64_t term) {
+  term_ = term;
+  role_ = Role::kFollower;
+  voted_for_ = -1;
+  votes_.clear();
+  ArmElectionTimer();
+}
+
+void RaftReplica::StartElection() {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = static_cast<int64_t>(id_);
+  votes_ = {id_};
+  ArmElectionTimer();  // Retry election if this one stalls.
+  BinaryWriter w;
+  w.WriteU64(term_);
+  w.WriteU64(log_.size());
+  w.WriteU64(LastLogTerm());
+  for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+    if (to != id_) net_->Send(id_, to, kRequestVote, w.bytes());
+  }
+  if (votes_.size() >= Majority()) BecomeLeader();  // 1-node cluster.
+}
+
+void RaftReplica::BecomeLeader() {
+  role_ = Role::kLeader;
+  for (size_t i = 0; i < config_.num_replicas; ++i) {
+    next_index_[i] = log_.size() + 1;
+    match_index_[i] = 0;
+  }
+  match_index_[id_] = log_.size();
+  ++timer_epoch_;  // Cancel election timers.
+  BroadcastAppendEntries();
+  ArmHeartbeatTimer();
+}
+
+Status RaftReplica::Submit(const Bytes& command) {
+  if (crashed_) return Status::Unavailable("replica crashed");
+  if (role_ != Role::kLeader) return Status::NotSupported("not the leader");
+  log_.push_back(LogEntry{term_, command});
+  match_index_[id_] = log_.size();
+  BroadcastAppendEntries();
+  return Status::Ok();
+}
+
+void RaftReplica::BroadcastAppendEntries() {
+  for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+    if (to != id_) SendAppendEntries(to);
+  }
+}
+
+void RaftReplica::SendAppendEntries(net::NodeId to) {
+  uint64_t prev_index = next_index_[to] - 1;
+  uint64_t prev_term =
+      prev_index == 0 ? 0 : log_[prev_index - 1].term;
+  BinaryWriter w;
+  w.WriteU64(term_);
+  w.WriteU64(prev_index);
+  w.WriteU64(prev_term);
+  w.WriteU64(commit_index_);
+  uint64_t count = log_.size() - prev_index;
+  w.WriteU32(static_cast<uint32_t>(count));
+  for (uint64_t i = prev_index; i < log_.size(); ++i) {
+    w.WriteU64(log_[i].term);
+    w.WriteBytes(log_[i].command);
+  }
+  net_->Send(id_, to, kAppendEntries, w.bytes());
+}
+
+void RaftReplica::OnMessage(const net::Message& msg) {
+  if (crashed_) return;
+  switch (msg.type) {
+    case kRequestVote:
+      HandleRequestVote(msg);
+      break;
+    case kVoteReply:
+      HandleVoteReply(msg);
+      break;
+    case kAppendEntries:
+      HandleAppendEntries(msg);
+      break;
+    case kAppendReply:
+      HandleAppendReply(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void RaftReplica::HandleRequestVote(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto term = r.ReadU64();
+  auto last_log_index = r.ReadU64();
+  auto last_log_term = r.ReadU64();
+  if (!term.ok() || !last_log_index.ok() || !last_log_term.ok()) return;
+
+  if (*term > term_) BecomeFollower(*term);
+  bool grant = false;
+  if (*term == term_ &&
+      (voted_for_ == -1 || voted_for_ == static_cast<int64_t>(msg.from))) {
+    // Election restriction: candidate's log must be at least as up to date.
+    bool up_to_date =
+        *last_log_term > LastLogTerm() ||
+        (*last_log_term == LastLogTerm() && *last_log_index >= log_.size());
+    if (up_to_date) {
+      grant = true;
+      voted_for_ = static_cast<int64_t>(msg.from);
+      ArmElectionTimer();
+    }
+  }
+  BinaryWriter w;
+  w.WriteU64(term_);
+  w.WriteBool(grant);
+  net_->Send(id_, msg.from, kVoteReply, w.bytes());
+}
+
+void RaftReplica::HandleVoteReply(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto term = r.ReadU64();
+  auto grant = r.ReadBool();
+  if (!term.ok() || !grant.ok()) return;
+  if (*term > term_) {
+    BecomeFollower(*term);
+    return;
+  }
+  if (role_ != Role::kCandidate || *term != term_ || !*grant) return;
+  votes_.insert(msg.from);
+  if (votes_.size() >= Majority()) BecomeLeader();
+}
+
+void RaftReplica::HandleAppendEntries(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto term = r.ReadU64();
+  auto prev_index = r.ReadU64();
+  auto prev_term = r.ReadU64();
+  auto leader_commit = r.ReadU64();
+  auto count = r.ReadU32();
+  if (!term.ok() || !prev_index.ok() || !prev_term.ok() ||
+      !leader_commit.ok() || !count.ok()) {
+    return;
+  }
+
+  bool success = false;
+  if (*term >= term_) {
+    if (*term > term_ || role_ != Role::kFollower) BecomeFollower(*term);
+    ArmElectionTimer();
+    // Log consistency check at prev_index.
+    if (*prev_index == 0 ||
+        (*prev_index <= log_.size() &&
+         log_[*prev_index - 1].term == *prev_term)) {
+      success = true;
+      uint64_t index = *prev_index;
+      for (uint32_t i = 0; i < *count; ++i) {
+        auto entry_term = r.ReadU64();
+        auto command = r.ReadBytes();
+        if (!entry_term.ok() || !command.ok()) return;
+        ++index;
+        if (index <= log_.size()) {
+          if (log_[index - 1].term != *entry_term) {
+            log_.resize(index - 1);  // Conflict: truncate.
+            log_.push_back(LogEntry{*entry_term, *command});
+          }
+        } else {
+          log_.push_back(LogEntry{*entry_term, *command});
+        }
+      }
+      if (*leader_commit > commit_index_) {
+        commit_index_ = std::min<uint64_t>(*leader_commit, log_.size());
+        ApplyCommitted();
+      }
+    }
+  }
+  BinaryWriter w;
+  w.WriteU64(term_);
+  w.WriteBool(success);
+  w.WriteU64(success ? *prev_index + *count : 0);  // New match index.
+  net_->Send(id_, msg.from, kAppendReply, w.bytes());
+}
+
+void RaftReplica::HandleAppendReply(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto term = r.ReadU64();
+  auto success = r.ReadBool();
+  auto match = r.ReadU64();
+  if (!term.ok() || !success.ok() || !match.ok()) return;
+  if (*term > term_) {
+    BecomeFollower(*term);
+    return;
+  }
+  if (role_ != Role::kLeader || *term != term_) return;
+  if (*success) {
+    match_index_[msg.from] = std::max(match_index_[msg.from], *match);
+    next_index_[msg.from] = match_index_[msg.from] + 1;
+    AdvanceCommitIndex();
+  } else {
+    if (next_index_[msg.from] > 1) --next_index_[msg.from];
+    SendAppendEntries(msg.from);
+  }
+}
+
+void RaftReplica::AdvanceCommitIndex() {
+  for (uint64_t n = log_.size(); n > commit_index_; --n) {
+    if (log_[n - 1].term != term_) break;  // Only current-term entries.
+    size_t count = 0;
+    for (size_t i = 0; i < config_.num_replicas; ++i) {
+      if (match_index_[i] >= n) ++count;
+    }
+    if (count >= Majority()) {
+      commit_index_ = n;
+      ApplyCommitted();
+      break;
+    }
+  }
+}
+
+void RaftReplica::ApplyCommitted() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    if (apply_cb_) apply_cb_(last_applied_, log_[last_applied_ - 1].command);
+  }
+}
+
+RaftCluster::RaftCluster(const RaftConfig& config, net::SimNetwork* net) {
+  applied_.resize(config.num_replicas);
+  for (size_t i = 0; i < config.num_replicas; ++i) {
+    auto replica = std::make_unique<RaftReplica>(
+        static_cast<net::NodeId>(i), config, net, config.seed * 1000 + i);
+    RaftReplica* raw = replica.get();
+    net->AddNode([raw](const net::Message& msg) { raw->OnMessage(msg); });
+    replicas_.push_back(std::move(replica));
+  }
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->SetApplyCallback(
+        [this, i](uint64_t /*index*/, const Bytes& cmd) {
+          applied_[i].push_back(cmd);
+        });
+    replicas_[i]->Start();
+  }
+}
+
+Result<RaftReplica*> RaftCluster::Leader() {
+  RaftReplica* leader = nullptr;
+  uint64_t best_term = 0;
+  for (auto& r : replicas_) {
+    if (r->role() == RaftReplica::Role::kLeader && !r->crashed() &&
+        r->term() >= best_term) {
+      leader = r.get();
+      best_term = r->term();
+    }
+  }
+  if (leader == nullptr) return Status::Unavailable("no leader elected");
+  return leader;
+}
+
+Status RaftCluster::Submit(const Bytes& command) {
+  PREVER_ASSIGN_OR_RETURN(RaftReplica * leader, Leader());
+  return leader->Submit(command);
+}
+
+}  // namespace prever::consensus

@@ -1,0 +1,128 @@
+#ifndef PREVER_CONSENSUS_RAFT_H_
+#define PREVER_CONSENSUS_RAFT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/sim_net.h"
+
+namespace prever::consensus {
+
+/// Raft (the engineerable Paxos-family protocol) serves as the paper's §6
+/// crash-fault-tolerant comparator: one round-trip to a majority per commit,
+/// versus PBFT's three phases and 3f+1 quorums.
+struct RaftConfig {
+  size_t num_replicas = 3;
+  SimTime election_timeout_min = 150 * kMillisecond;
+  SimTime election_timeout_max = 300 * kMillisecond;
+  SimTime heartbeat_interval = 50 * kMillisecond;
+  uint64_t seed = 7;  ///< Randomized election timeouts.
+};
+
+class RaftReplica {
+ public:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  using ApplyCallback =
+      std::function<void(uint64_t index, const Bytes& command)>;
+
+  RaftReplica(net::NodeId id, const RaftConfig& config, net::SimNetwork* net,
+              uint64_t seed);
+
+  net::NodeId id() const { return id_; }
+  Role role() const { return role_; }
+  uint64_t term() const { return term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  size_t log_size() const { return log_.size(); }
+  bool crashed() const { return crashed_; }
+
+  void SetApplyCallback(ApplyCallback cb) { apply_cb_ = std::move(cb); }
+
+  /// Starts timers; call once after all replicas exist.
+  void Start();
+
+  /// Leader-side client submission; NotSupported if not leader.
+  Status Submit(const Bytes& command);
+
+  void OnMessage(const net::Message& msg);
+
+  /// Crash-stop: drops all state transitions until Restart. Volatile state
+  /// (role, leadership) resets on restart; term/vote/log persist, modeling
+  /// durable storage.
+  void Crash();
+  void Restart();
+
+ private:
+  struct LogEntry {
+    uint64_t term = 0;
+    Bytes command;
+  };
+
+  size_t Majority() const { return config_.num_replicas / 2 + 1; }
+
+  void BecomeFollower(uint64_t term);
+  void StartElection();
+  void BecomeLeader();
+  void SendAppendEntries(net::NodeId to);
+  void BroadcastAppendEntries();
+  void AdvanceCommitIndex();
+  void ApplyCommitted();
+  void ArmElectionTimer();
+  void ArmHeartbeatTimer();
+
+  void HandleRequestVote(const net::Message& msg);
+  void HandleVoteReply(const net::Message& msg);
+  void HandleAppendEntries(const net::Message& msg);
+  void HandleAppendReply(const net::Message& msg);
+
+  uint64_t LastLogTerm() const {
+    return log_.empty() ? 0 : log_.back().term;
+  }
+
+  net::NodeId id_;
+  RaftConfig config_;
+  net::SimNetwork* net_;
+  Rng rng_;
+  ApplyCallback apply_cb_;
+
+  bool crashed_ = false;
+  Role role_ = Role::kFollower;
+  uint64_t term_ = 0;
+  int64_t voted_for_ = -1;
+  std::vector<LogEntry> log_;       // 1-based indexing via helpers.
+  uint64_t commit_index_ = 0;
+  uint64_t last_applied_ = 0;
+  std::set<net::NodeId> votes_;
+  std::vector<uint64_t> next_index_;
+  std::vector<uint64_t> match_index_;
+  uint64_t timer_epoch_ = 0;  // Invalidates stale scheduled timers.
+};
+
+/// Owns n replicas over one SimNetwork and provides the client view.
+class RaftCluster {
+ public:
+  RaftCluster(const RaftConfig& config, net::SimNetwork* net);
+
+  RaftReplica& replica(size_t i) { return *replicas_[i]; }
+  size_t size() const { return replicas_.size(); }
+
+  /// Current leader, or error if none elected yet.
+  Result<RaftReplica*> Leader();
+
+  /// Submits via the current leader.
+  Status Submit(const Bytes& command);
+
+  const std::vector<Bytes>& AppliedBy(size_t i) const { return applied_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<RaftReplica>> replicas_;
+  std::vector<std::vector<Bytes>> applied_;
+};
+
+}  // namespace prever::consensus
+
+#endif  // PREVER_CONSENSUS_RAFT_H_

@@ -1,0 +1,126 @@
+#include "constraint/linear.h"
+
+namespace prever::constraint {
+
+namespace {
+
+/// Collects `agg (+ update.field)*` from a sum tree. Returns false if the
+/// shape does not match.
+bool CollectLinearSide(const Expr& e, const Expr** agg,
+                       std::vector<std::string>* update_terms) {
+  if (e.kind == ExprKind::kAggregate) {
+    if (*agg != nullptr) return false;  // At most one aggregate.
+    *agg = &e;
+    return true;
+  }
+  if (e.kind == ExprKind::kField) {
+    // Bare or update-qualified fields are update terms at top level.
+    if (!e.qualifier.empty() && e.qualifier != "update") return false;
+    update_terms->push_back(e.field);
+    return true;
+  }
+  if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAdd) {
+    return CollectLinearSide(*e.lhs, agg, update_terms) &&
+           CollectLinearSide(*e.rhs, agg, update_terms);
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<LinearBoundForm> ExtractLinearBound(const Expr& expr) {
+  if (expr.kind != ExprKind::kBinary) {
+    return Status::NotSupported("not a comparison");
+  }
+  BinaryOp op = expr.binary_op;
+  if (op != BinaryOp::kLe && op != BinaryOp::kLt && op != BinaryOp::kGe &&
+      op != BinaryOp::kGt) {
+    return Status::NotSupported("not an ordering comparison");
+  }
+  const Expr* lhs = expr.lhs.get();
+  const Expr* rhs = expr.rhs.get();
+  // Normalize so the linear side is on the left.
+  bool flipped = false;
+  if (rhs->kind != ExprKind::kLiteral && lhs->kind == ExprKind::kLiteral) {
+    std::swap(lhs, rhs);
+    flipped = true;
+  }
+  if (rhs->kind != ExprKind::kLiteral || !rhs->literal.is_int64()) {
+    return Status::NotSupported("bound side is not an integer literal");
+  }
+  int64_t bound = rhs->literal.AsInt64().value();
+
+  const Expr* agg = nullptr;
+  std::vector<std::string> update_terms;
+  if (!CollectLinearSide(*lhs, &agg, &update_terms) || agg == nullptr) {
+    return Status::NotSupported(
+        "left side is not `aggregate (+ update.field)*`");
+  }
+  if (agg->agg_kind != AggregateKind::kSum &&
+      agg->agg_kind != AggregateKind::kCount) {
+    return Status::NotSupported(
+        "only SUM/COUNT aggregates have a linear form");
+  }
+
+  // Normalize the operator, accounting for a flipped comparison.
+  if (flipped) {
+    switch (op) {
+      case BinaryOp::kLe:
+        op = BinaryOp::kGe;
+        break;
+      case BinaryOp::kLt:
+        op = BinaryOp::kGt;
+        break;
+      case BinaryOp::kGe:
+        op = BinaryOp::kLe;
+        break;
+      case BinaryOp::kGt:
+        op = BinaryOp::kLt;
+        break;
+      default:
+        break;
+    }
+  }
+  LinearBoundForm form;
+  form.aggregate = agg->Clone();
+  form.update_terms = std::move(update_terms);
+  switch (op) {
+    case BinaryOp::kLe:
+      form.direction = BoundDirection::kUpper;
+      form.bound = bound;
+      break;
+    case BinaryOp::kLt:
+      form.direction = BoundDirection::kUpper;
+      form.bound = bound - 1;
+      break;
+    case BinaryOp::kGe:
+      form.direction = BoundDirection::kLower;
+      form.bound = bound;
+      break;
+    case BinaryOp::kGt:
+      form.direction = BoundDirection::kLower;
+      form.bound = bound + 1;
+      break;
+    default:
+      return Status::Internal("unreachable");
+  }
+  return form;
+}
+
+Result<std::vector<LinearBoundForm>> ExtractLinearConjunction(
+    const Expr& expr) {
+  if (expr.kind == ExprKind::kBinary && expr.binary_op == BinaryOp::kAnd) {
+    PREVER_ASSIGN_OR_RETURN(std::vector<LinearBoundForm> left,
+                            ExtractLinearConjunction(*expr.lhs));
+    PREVER_ASSIGN_OR_RETURN(std::vector<LinearBoundForm> right,
+                            ExtractLinearConjunction(*expr.rhs));
+    for (auto& f : right) left.push_back(std::move(f));
+    return left;
+  }
+  PREVER_ASSIGN_OR_RETURN(LinearBoundForm form, ExtractLinearBound(expr));
+  std::vector<LinearBoundForm> out;
+  out.push_back(std::move(form));
+  return out;
+}
+
+}  // namespace prever::constraint

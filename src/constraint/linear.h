@@ -1,0 +1,65 @@
+#ifndef PREVER_CONSTRAINT_LINEAR_H_
+#define PREVER_CONSTRAINT_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraint/ast.h"
+
+namespace prever::constraint {
+
+/// Bound direction after normalization.
+enum class BoundDirection : uint8_t {
+  kUpper,  ///< value <= bound (e.g. weekly hours <= 40).
+  kLower,  ///< value >= bound (e.g. Separ lower-bound regulations).
+};
+
+/// The linear normal form recognized by PReVer's cryptographic engines:
+///
+///   AGG(table.column [WHERE pred] [WINDOW w]) (+ update.f)* {<=,<,>=,>} K
+///
+/// Paillier evaluates exactly this class homomorphically; the token engine
+/// encodes the bound as a per-participant budget; the MPC engine evaluates
+/// the aggregate share-wise. Constraints outside this class fall back to the
+/// plaintext engine (or are rejected by privacy-preserving engines — the
+/// paper's RC2 discussion of token-mechanism expressiveness limits).
+struct LinearBoundForm {
+  /// The aggregate side (cloned subtree, never null).
+  ExprPtr aggregate;
+  /// Update fields added to the aggregate (unit coefficients).
+  std::vector<std::string> update_terms;
+  BoundDirection direction = BoundDirection::kUpper;
+  /// Normalized inclusive bound: aggregate + terms <= bound (kUpper) or
+  /// >= bound (kLower). Strict comparisons are tightened by one.
+  int64_t bound = 0;
+
+  LinearBoundForm() = default;
+  LinearBoundForm(const LinearBoundForm& o)
+      : aggregate(o.aggregate ? o.aggregate->Clone() : nullptr),
+        update_terms(o.update_terms),
+        direction(o.direction),
+        bound(o.bound) {}
+  LinearBoundForm& operator=(const LinearBoundForm& o) {
+    aggregate = o.aggregate ? o.aggregate->Clone() : nullptr;
+    update_terms = o.update_terms;
+    direction = o.direction;
+    bound = o.bound;
+    return *this;
+  }
+  LinearBoundForm(LinearBoundForm&&) = default;
+  LinearBoundForm& operator=(LinearBoundForm&&) = default;
+};
+
+/// Attempts to put `expr` into linear bound form. NotSupported if the
+/// constraint is outside the class.
+Result<LinearBoundForm> ExtractLinearBound(const Expr& expr);
+
+/// True if the whole expression is a conjunction of linear bound forms;
+/// fills `forms` with all of them.
+Result<std::vector<LinearBoundForm>> ExtractLinearConjunction(
+    const Expr& expr);
+
+}  // namespace prever::constraint
+
+#endif  // PREVER_CONSTRAINT_LINEAR_H_

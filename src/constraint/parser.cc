@@ -1,0 +1,489 @@
+#include "constraint/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace prever::constraint {
+
+namespace {
+
+enum class TokenKind {
+  kInt,
+  kDuration,
+  kString,
+  kIdent,     // Includes keywords; resolved by spelling.
+  kSymbol,    // Operators and punctuation, stored in `text`.
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;      // Identifier spelling / symbol / string contents.
+  int64_t int_value = 0;  // For kInt.
+  SimTime duration = 0;   // For kDuration.
+  size_t pos = 0;         // Byte offset, for error messages.
+};
+
+std::string UpperCased(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        PREVER_ASSIGN_OR_RETURN(Token t, LexNumber());
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdent());
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        PREVER_ASSIGN_OR_RETURN(Token t, LexString());
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      PREVER_ASSIGN_OR_RETURN(Token t, LexSymbol());
+      tokens.push_back(std::move(t));
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", 0, 0, pos_});
+    return tokens;
+  }
+
+ private:
+  Result<Token> LexNumber() {
+    size_t start = pos_;
+    int64_t value = 0;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      int digit = input_[pos_] - '0';
+      if (value > (INT64_MAX - digit) / 10) {
+        return Status::InvalidArgument("integer literal overflows int64");
+      }
+      value = value * 10 + digit;
+      ++pos_;
+    }
+    // Duration suffix: s/m/h/d/w not followed by an identifier character.
+    if (pos_ < input_.size()) {
+      char suffix = input_[pos_];
+      bool next_is_ident =
+          pos_ + 1 < input_.size() &&
+          (std::isalnum(static_cast<unsigned char>(input_[pos_ + 1])) ||
+           input_[pos_ + 1] == '_');
+      if (!next_is_ident) {
+        SimTime unit = 0;
+        switch (suffix) {
+          case 's':
+            unit = kSecond;
+            break;
+          case 'm':
+            unit = kMinute;
+            break;
+          case 'h':
+            unit = kHour;
+            break;
+          case 'd':
+            unit = kDay;
+            break;
+          case 'w':
+            unit = kWeek;
+            break;
+          default:
+            break;
+        }
+        if (unit != 0) {
+          ++pos_;
+          Token t{TokenKind::kDuration, "", 0, 0, start};
+          t.duration = static_cast<SimTime>(value) * unit;
+          return t;
+        }
+      }
+    }
+    Token t{TokenKind::kInt, "", 0, 0, start};
+    t.int_value = value;
+    return t;
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    return Token{TokenKind::kIdent, std::string(input_.substr(start, pos_ - start)),
+                 0, 0, start};
+  }
+
+  Result<Token> LexString() {
+    char quote = input_[pos_];
+    size_t start = pos_++;
+    std::string contents;
+    while (pos_ < input_.size() && input_[pos_] != quote) {
+      char c = input_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= input_.size()) {
+          return Status::InvalidArgument("dangling escape in string literal");
+        }
+        char esc = input_[pos_++];
+        switch (esc) {
+          case 'n':
+            contents.push_back('\n');
+            break;
+          case 't':
+            contents.push_back('\t');
+            break;
+          default:
+            contents.push_back(esc);  // \", \', \\ and friends.
+        }
+      } else {
+        contents.push_back(c);
+      }
+    }
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    ++pos_;  // Closing quote.
+    return Token{TokenKind::kString, std::move(contents), 0, 0, start};
+  }
+
+  Result<Token> LexSymbol() {
+    size_t start = pos_;
+    char c = input_[pos_];
+    // Two-character operators first.
+    if (pos_ + 1 < input_.size()) {
+      std::string two = std::string(input_.substr(pos_, 2));
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        pos_ += 2;
+        if (two == "<>") two = "!=";
+        return Token{TokenKind::kSymbol, two, 0, 0, start};
+      }
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case '.':
+      case ',':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '%':
+      case '<':
+      case '>':
+      case '=':
+      case ':':
+        ++pos_;
+        return Token{TokenKind::kSymbol, std::string(1, c), 0, 0, start};
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " +
+                                       std::to_string(pos_));
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    PREVER_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(Peek().pos));
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool MatchSymbol(std::string_view symbol) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == symbol) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchKeyword(std::string_view keyword) {
+    if (Peek().kind == TokenKind::kIdent &&
+        UpperCased(Peek().text) == keyword) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!MatchSymbol(symbol)) {
+      return Status::InvalidArgument("expected '" + std::string(symbol) +
+                                     "' at offset " + std::to_string(Peek().pos));
+    }
+    return Status::Ok();
+  }
+
+  Result<ExprPtr> ParseOr() {
+    PREVER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      PREVER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PREVER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (MatchKeyword("AND")) {
+      PREVER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      PREVER_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    PREVER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseSum());
+    struct CmpOp {
+      const char* symbol;
+      BinaryOp op;
+    };
+    constexpr CmpOp kOps[] = {{"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                              {"!=", BinaryOp::kNe}, {"<", BinaryOp::kLt},
+                              {">", BinaryOp::kGt},  {"=", BinaryOp::kEq}};
+    for (const CmpOp& c : kOps) {
+      if (MatchSymbol(c.symbol)) {
+        PREVER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseSum());
+        return Expr::Binary(c.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseSum() {
+    PREVER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+    for (;;) {
+      if (MatchSymbol("+")) {
+        PREVER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+        lhs = Expr::Binary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (MatchSymbol("-")) {
+        PREVER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+        lhs = Expr::Binary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    PREVER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseFactor());
+    for (;;) {
+      if (MatchSymbol("*")) {
+        PREVER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+        lhs = Expr::Binary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (MatchSymbol("/")) {
+        PREVER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+        lhs = Expr::Binary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else if (MatchSymbol("%")) {
+        PREVER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+        lhs = Expr::Binary(BinaryOp::kMod, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    if (MatchSymbol("-")) {
+      PREVER_ASSIGN_OR_RETURN(ExprPtr operand, ParseFactor());
+      return Expr::Unary(UnaryOp::kNegate, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  static Result<AggregateKind> AggregateKindFor(const std::string& upper) {
+    if (upper == "COUNT") return AggregateKind::kCount;
+    if (upper == "SUM") return AggregateKind::kSum;
+    if (upper == "MIN") return AggregateKind::kMin;
+    if (upper == "MAX") return AggregateKind::kMax;
+    if (upper == "AVG") return AggregateKind::kAvg;
+    return Status::InvalidArgument("not an aggregate: " + upper);
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        Advance();
+        return Expr::Literal(storage::Value::Int64(t.int_value));
+      }
+      case TokenKind::kDuration: {
+        Advance();
+        return Expr::Literal(
+            storage::Value::Int64(static_cast<int64_t>(t.duration)));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return Expr::Literal(storage::Value::String(t.text));
+      }
+      case TokenKind::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          PREVER_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+          PREVER_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        return Status::InvalidArgument("unexpected symbol '" + t.text +
+                                       "' at offset " + std::to_string(t.pos));
+      case TokenKind::kIdent: {
+        std::string upper = UpperCased(t.text);
+        if (upper == "TRUE") {
+          Advance();
+          return Expr::Literal(storage::Value::Bool(true));
+        }
+        if (upper == "FALSE") {
+          Advance();
+          return Expr::Literal(storage::Value::Bool(false));
+        }
+        // Aggregate, EXISTS or FORALL call?
+        bool is_exists = upper == "EXISTS";
+        bool is_forall = upper == "FORALL";
+        auto agg = AggregateKindFor(upper);
+        if ((agg.ok() || is_exists || is_forall) &&
+            index_ + 1 < tokens_.size() &&
+            tokens_[index_ + 1].kind == TokenKind::kSymbol &&
+            tokens_[index_ + 1].text == "(") {
+          Advance();  // Call name.
+          Advance();  // '('.
+          if (is_exists) return ParseExistsBody();
+          if (is_forall) return ParseForAllBody();
+          return ParseAggregateBody(*agg);
+        }
+        // Plain or qualified field reference.
+        Advance();
+        std::string first = t.text;
+        if (MatchSymbol(".")) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return Status::InvalidArgument("expected identifier after '.'");
+          }
+          std::string second = Advance().text;
+          return Expr::Field(first, second);
+        }
+        return Expr::Field("", first);
+      }
+      case TokenKind::kEnd:
+        return Status::InvalidArgument("unexpected end of input");
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Result<ExprPtr> ParseAggregateBody(AggregateKind kind) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected table name in aggregate");
+    }
+    std::string table = Advance().text;
+    std::string column;
+    if (MatchSymbol(".")) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Status::InvalidArgument("expected column name after '.'");
+      }
+      column = Advance().text;
+    }
+    if (kind != AggregateKind::kCount && column.empty()) {
+      return Status::InvalidArgument(
+          std::string(AggregateKindName(kind)) + " requires a column");
+    }
+    ExprPtr where;
+    if (MatchKeyword("WHERE")) {
+      PREVER_ASSIGN_OR_RETURN(where, ParseOr());
+    }
+    SimTime window = 0;
+    if (MatchKeyword("WINDOW")) {
+      if (Peek().kind != TokenKind::kDuration) {
+        return Status::InvalidArgument(
+            "WINDOW requires a duration literal (e.g. 7d)");
+      }
+      window = Advance().duration;
+    }
+    PREVER_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return Expr::Aggregate(kind, std::move(table), std::move(column),
+                           std::move(where), window);
+  }
+
+  Result<ExprPtr> ParseExistsBody() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected table name in EXISTS");
+    }
+    std::string table = Advance().text;
+    ExprPtr where;
+    if (MatchKeyword("WHERE")) {
+      PREVER_ASSIGN_OR_RETURN(where, ParseOr());
+    }
+    SimTime window = 0;
+    if (MatchKeyword("WINDOW")) {
+      if (Peek().kind != TokenKind::kDuration) {
+        return Status::InvalidArgument(
+            "WINDOW requires a duration literal (e.g. 7d)");
+      }
+      window = Advance().duration;
+    }
+    PREVER_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return Expr::Exists(std::move(table), std::move(where), window);
+  }
+
+  Result<ExprPtr> ParseForAllBody() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected table name in FORALL");
+    }
+    std::string table = Advance().text;
+    PREVER_RETURN_IF_ERROR(ExpectSymbol("."));
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected column name in FORALL");
+    }
+    std::string column = Advance().text;
+    PREVER_RETURN_IF_ERROR(ExpectSymbol(":"));
+    PREVER_ASSIGN_OR_RETURN(ExprPtr body, ParseOr());
+    PREVER_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return Expr::ForAll(std::move(table), std::move(column), std::move(body));
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseConstraint(std::string_view input) {
+  Lexer lexer(input);
+  PREVER_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace prever::constraint

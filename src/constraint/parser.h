@@ -1,0 +1,38 @@
+#ifndef PREVER_CONSTRAINT_PARSER_H_
+#define PREVER_CONSTRAINT_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "constraint/ast.h"
+
+namespace prever::constraint {
+
+/// Parses the PReVer constraint language into an AST.
+///
+/// Grammar (keywords are case-insensitive; `update.` prefixes update fields):
+///
+///   expr       := and_expr (OR and_expr)*
+///   and_expr   := not_expr (AND not_expr)*
+///   not_expr   := NOT not_expr | comparison
+///   comparison := sum (('='|'!='|'<'|'<='|'>'|'>=') sum)?
+///   sum        := term (('+'|'-') term)*
+///   term       := factor (('*'|'/'|'%') factor)*
+///   factor     := '-' factor | primary
+///   primary    := INT | DURATION | STRING | TRUE | FALSE
+///               | AGG '(' target [WHERE expr] [WINDOW DURATION] ')'
+///               | IDENT ('.' IDENT)?
+///               | '(' expr ')'
+///   AGG        := COUNT | SUM | MIN | MAX | AVG
+///   target     := IDENT ('.' IDENT)?          -- table or table.column
+///   DURATION   := INT ('s'|'m'|'h'|'d'|'w')   -- e.g. 7d, 40h
+///
+/// Examples:
+///   SUM(worklog.hours WHERE worker = update.worker WINDOW 7d)
+///       + update.hours <= 40
+///   COUNT(attendees) < 500 AND update.vaccinated = true
+Result<ExprPtr> ParseConstraint(std::string_view input);
+
+}  // namespace prever::constraint
+
+#endif  // PREVER_CONSTRAINT_PARSER_H_

@@ -1,0 +1,149 @@
+#include "core/demarcation_engine.h"
+
+#include "crypto/sha256.h"
+
+namespace prever::core {
+
+DemarcationEngine::DemarcationEngine(
+    std::vector<FederatedPlatform*> platforms,
+    const constraint::ConstraintCatalog* regulations,
+    OrderingService* ordering)
+    : platforms_(std::move(platforms)),
+      regulations_(regulations),
+      ordering_(ordering) {}
+
+Status DemarcationEngine::ValidateRegulations() const {
+  for (const constraint::Constraint& c : regulations_->constraints()) {
+    auto forms = constraint::ExtractLinearConjunction(*c.expr);
+    if (!forms.ok()) {
+      return Status::NotSupported("regulation '" + c.name +
+                                  "' is not linear: " +
+                                  forms.status().message());
+    }
+    for (const auto& form : *forms) {
+      if (form.direction != constraint::BoundDirection::kUpper) {
+        return Status::NotSupported(
+            "demarcation handles upper bounds only (regulation '" + c.name +
+            "')");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DemarcationEngine::CheckAndConsume(
+    size_t regulation_index, const constraint::LinearBoundForm& form,
+    size_t platform_index, const Update& update) {
+  // The demarcated quantity is the sum of the update's terms; the group is
+  // the identity the WHERE filter pins (we key budgets on the update's own
+  // filter fields — e.g. the worker id — by hashing all string fields).
+  int64_t cost = 0;
+  for (const std::string& field : form.update_terms) {
+    auto it = update.fields.find(field);
+    if (it == update.fields.end()) {
+      return Status::InvalidArgument("update lacks field '" + field + "'");
+    }
+    PREVER_ASSIGN_OR_RETURN(int64_t v, it->second.AsInt64());
+    if (v < 0) return Status::NotSupported("negative terms unsupported");
+    cost += v;
+  }
+  std::string group;
+  for (const auto& [name, value] : update.fields) {
+    if (value.is_string()) group += *value.AsString() + "|";
+  }
+  uint64_t bucket =
+      form.aggregate->window == 0 ? 0 : update.timestamp / form.aggregate->window;
+
+  BudgetKey key{regulation_index, group, bucket};
+  auto it = budgets_.find(key);
+  if (it == budgets_.end()) {
+    // Fresh (group, bucket): split the bound evenly into local limits.
+    BudgetState state;
+    state.consumed.assign(platforms_.size(), 0);
+    state.limit.assign(platforms_.size(), form.bound / static_cast<int64_t>(
+                                              platforms_.size()));
+    // Remainder goes to platform 0.
+    state.limit[0] += form.bound % static_cast<int64_t>(platforms_.size());
+    it = budgets_.emplace(std::move(key), std::move(state)).first;
+  }
+  BudgetState& state = it->second;
+  int64_t& consumed = state.consumed[platform_index];
+  int64_t& limit = state.limit[platform_index];
+
+  if (consumed + cost <= limit) {
+    consumed += cost;  // Zero-communication fast path.
+    ++local_admissions_;
+    return Status::Ok();
+  }
+  // Limit-transfer negotiation: pull slack from peers (one message round).
+  ++transfers_;
+  int64_t need = consumed + cost - limit;
+  for (size_t peer = 0; peer < platforms_.size() && need > 0; ++peer) {
+    if (peer == platform_index) continue;
+    int64_t slack = state.limit[peer] - state.consumed[peer];
+    if (slack <= 0) continue;
+    int64_t take = std::min(slack, need);
+    state.limit[peer] -= take;
+    limit += take;
+    need -= take;
+  }
+  if (consumed + cost <= limit) {
+    consumed += cost;
+    return Status::Ok();
+  }
+  return Status::ConstraintViolation(
+      "update exceeds the global bound (no transferable slack left)");
+}
+
+Status DemarcationEngine::SubmitVia(size_t platform_index,
+                                    const Update& update) {
+  ++stats_.submitted;
+  if (platform_index >= platforms_.size()) {
+    ++stats_.rejected_error;
+    return Status::InvalidArgument("no such platform");
+  }
+  FederatedPlatform* home = platforms_[platform_index];
+  constraint::EvalContext local_ctx{&home->db, &update.fields,
+                                    update.timestamp};
+  Status internal = home->internal_constraints.CheckAll(local_ctx);
+  if (!internal.ok()) {
+    ++stats_.rejected_constraint;
+    return internal;
+  }
+  const auto& regulations = regulations_->constraints();
+  for (size_t r = 0; r < regulations.size(); ++r) {
+    auto forms = constraint::ExtractLinearConjunction(*regulations[r].expr);
+    if (!forms.ok()) {
+      ++stats_.rejected_error;
+      return forms.status();
+    }
+    for (const auto& form : *forms) {
+      Status checked = CheckAndConsume(r, form, platform_index, update);
+      if (!checked.ok()) {
+        if (checked.code() == StatusCode::kConstraintViolation) {
+          ++stats_.rejected_constraint;
+        } else {
+          ++stats_.rejected_error;
+        }
+        return checked;
+      }
+    }
+  }
+  Status applied = home->db.Apply(update.mutation);
+  if (!applied.ok()) {
+    ++stats_.rejected_error;
+    return applied;
+  }
+  BinaryWriter w;
+  w.WriteString(home->id);
+  w.WriteBytes(crypto::Sha256::Hash(update.Encode()));
+  Status ordered = ordering_->Append(w.Take(), update.timestamp);
+  if (!ordered.ok()) {
+    ++stats_.rejected_error;
+    return ordered;
+  }
+  ++stats_.accepted;
+  return Status::Ok();
+}
+
+}  // namespace prever::core

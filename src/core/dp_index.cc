@@ -1,0 +1,55 @@
+#include "core/dp_index.h"
+
+#include <cmath>
+
+namespace prever::core {
+
+DpAggregateIndex::DpAggregateIndex(double epsilon_total,
+                                   double epsilon_per_release,
+                                   double sensitivity,
+                                   DpExhaustionPolicy policy, uint64_t seed)
+    : epsilon_total_(epsilon_total),
+      epsilon_per_release_(epsilon_per_release),
+      sensitivity_(sensitivity),
+      policy_(policy),
+      rng_(seed) {}
+
+double DpAggregateIndex::SampleLaplace(double scale) {
+  // Inverse-CDF sampling: u uniform in (-1/2, 1/2),
+  // x = -scale * sgn(u) * ln(1 - 2|u|).
+  double u = rng_.NextDouble() - 0.5;
+  double sign = u < 0 ? -1.0 : 1.0;
+  double mag = std::abs(u);
+  // Guard the log argument away from 0.
+  double arg = std::max(1.0 - 2.0 * mag, 1e-300);
+  return -scale * sign * std::log(arg);
+}
+
+Result<DpAggregateIndex::Release> DpAggregateIndex::Update(int64_t value) {
+  true_value_ += static_cast<double>(value);
+  double epsilon_this_release;
+  if (policy_ == DpExhaustionPolicy::kRefuse) {
+    if (epsilon_spent_ + epsilon_per_release_ > epsilon_total_) {
+      return Status::Unavailable(
+          "privacy budget exhausted: no further releases possible");
+    }
+    epsilon_this_release = epsilon_per_release_;
+  } else {
+    // kDegrade: spend half of whatever remains — releases never stop but
+    // epsilon per release decays geometrically and noise explodes.
+    double remaining = epsilon_total_ - epsilon_spent_;
+    epsilon_this_release = remaining / 2.0;
+    if (epsilon_this_release <= 0) {
+      return Status::Unavailable("privacy budget fully consumed");
+    }
+  }
+  epsilon_spent_ += epsilon_this_release;
+  ++releases_;
+  Release out;
+  out.noise_scale = sensitivity_ / epsilon_this_release;
+  out.noisy_value = true_value_ + SampleLaplace(out.noise_scale);
+  out.epsilon_spent_total = epsilon_spent_;
+  return out;
+}
+
+}  // namespace prever::core

@@ -1,0 +1,73 @@
+#ifndef PREVER_CORE_DP_INDEX_H_
+#define PREVER_CORE_DP_INDEX_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace prever::core {
+
+/// What to do when the privacy budget runs out — the two failure modes §4
+/// predicts for naive differentially-private indexing under high update
+/// rates: "either … impossibility to support additional updates or … an
+/// uncontrolled increase of the noise magnitude."
+enum class DpExhaustionPolicy : uint8_t {
+  kRefuse,   ///< Stop releasing: further updates error with Unavailable.
+  kDegrade,  ///< Keep releasing by splitting the remaining budget — noise
+             ///< magnitude grows without bound.
+};
+
+/// A differentially private running aggregate (the partial-disclosure
+/// alternative to the RC1 crypto path, for the E8 ablation). Every update
+/// both changes the true aggregate and triggers a noisy release under the
+/// Laplace mechanism; each release spends privacy budget.
+class DpAggregateIndex {
+ public:
+  /// `epsilon_total`: lifetime budget; `epsilon_per_release`: spent per
+  /// noisy release under kRefuse (under kDegrade it is the *initial* rate);
+  /// `sensitivity`: max per-update contribution.
+  DpAggregateIndex(double epsilon_total, double epsilon_per_release,
+                   double sensitivity, DpExhaustionPolicy policy,
+                   uint64_t seed);
+
+  struct Release {
+    double noisy_value = 0;
+    double epsilon_spent_total = 0;
+    double noise_scale = 0;  ///< Laplace b parameter used for this release.
+  };
+
+  /// Applies an update of `value` and releases a fresh noisy aggregate.
+  /// Unavailable when the budget is exhausted under kRefuse.
+  Result<Release> Update(int64_t value);
+
+  double true_value() const { return true_value_; }
+  double epsilon_spent() const { return epsilon_spent_; }
+  double epsilon_remaining() const { return epsilon_total_ - epsilon_spent_; }
+  uint64_t releases() const { return releases_; }
+  /// True when the policy cannot fund another release: under kRefuse, the
+  /// next fixed-rate release would overdraw the budget; under kDegrade the
+  /// budget is numerically gone.
+  bool exhausted() const {
+    if (policy_ == DpExhaustionPolicy::kRefuse) {
+      return epsilon_spent_ + epsilon_per_release_ > epsilon_total_;
+    }
+    return epsilon_total_ - epsilon_spent_ <= 0;
+  }
+
+ private:
+  double SampleLaplace(double scale);
+
+  double epsilon_total_;
+  double epsilon_per_release_;
+  double sensitivity_;
+  DpExhaustionPolicy policy_;
+  Rng rng_;
+  double true_value_ = 0;
+  double epsilon_spent_ = 0;
+  uint64_t releases_ = 0;
+};
+
+}  // namespace prever::core
+
+#endif  // PREVER_CORE_DP_INDEX_H_

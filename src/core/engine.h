@@ -1,0 +1,34 @@
+#ifndef PREVER_CORE_ENGINE_H_
+#define PREVER_CORE_ENGINE_H_
+
+#include "common/status.h"
+#include "core/update.h"
+
+namespace prever::core {
+
+/// The Fig. 2 pipeline contract every PReVer engine implements:
+///   (0) authorities registered constraints/regulations at setup;
+///   (1) a data producer submits an update;
+///   (2) the engine verifies it against constraints — under the privacy
+///       discipline of its setting (RC1/RC2/RC3);
+///   (3) the verified update is incorporated into the database(s) and
+///       recorded on the integrity layer (RC4).
+///
+/// SubmitUpdate returns OK when the update was accepted and durably
+/// recorded; ConstraintViolation when verification rejected it; other codes
+/// for malformed input or infrastructure failures.
+class UpdateEngine {
+ public:
+  virtual ~UpdateEngine() = default;
+
+  virtual Status SubmitUpdate(const Update& update) = 0;
+
+  virtual const EngineStats& stats() const = 0;
+
+  /// Human-readable engine identifier (benchmark rows use it).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace prever::core
+
+#endif  // PREVER_CORE_ENGINE_H_

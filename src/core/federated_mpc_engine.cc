@@ -1,0 +1,154 @@
+#include "core/federated_mpc_engine.h"
+
+#include "crypto/sha256.h"
+
+namespace prever::core {
+
+namespace {
+constexpr size_t kComparisonBits = 32;
+}  // namespace
+
+FederatedMpcEngine::FederatedMpcEngine(
+    std::vector<FederatedPlatform*> platforms,
+    const constraint::ConstraintCatalog* regulations,
+    OrderingService* ordering, uint64_t dealer_seed)
+    : platforms_(std::move(platforms)),
+      regulations_(regulations),
+      ordering_(ordering),
+      dealer_rng_(dealer_seed) {}
+
+Status FederatedMpcEngine::ValidateRegulations() const {
+  for (const constraint::Constraint& c : regulations_->constraints()) {
+    auto forms = constraint::ExtractLinearConjunction(*c.expr);
+    if (!forms.ok()) {
+      return Status::NotSupported(
+          "regulation '" + c.name +
+          "' is outside the linear bound class the MPC engine supports: " +
+          forms.status().message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status FederatedMpcEngine::CheckRegulation(
+    const constraint::Constraint& regulation, size_t platform_index,
+    const Update& update) {
+  PREVER_ASSIGN_OR_RETURN(auto forms,
+                          constraint::ExtractLinearConjunction(*regulation.expr));
+  for (const constraint::LinearBoundForm& form : forms) {
+    // Each platform evaluates the aggregate over ITS private database. The
+    // WHERE predicate may reference update fields (e.g. worker id), which
+    // are shared with the platforms for routing — the Separ model, where
+    // task metadata is visible to the involved platforms but totals are not.
+    std::vector<uint64_t> local_aggregates;
+    local_aggregates.reserve(platforms_.size());
+    for (FederatedPlatform* platform : platforms_) {
+      constraint::EvalContext ctx{&platform->db, &update.fields,
+                                  update.timestamp};
+      PREVER_ASSIGN_OR_RETURN(int64_t local,
+                              constraint::EvaluateAggregate(*form.aggregate, ctx));
+      if (local < 0) {
+        return Status::NotSupported(
+            "MPC engine requires non-negative local aggregates");
+      }
+      local_aggregates.push_back(static_cast<uint64_t>(local));
+    }
+    // The submitting platform contributes the update's own terms.
+    for (const std::string& field : form.update_terms) {
+      auto it = update.fields.find(field);
+      if (it == update.fields.end()) {
+        return Status::InvalidArgument("update lacks field '" + field + "'");
+      }
+      PREVER_ASSIGN_OR_RETURN(int64_t v, it->second.AsInt64());
+      if (v < 0) {
+        return Status::NotSupported("negative update terms not supported");
+      }
+      local_aggregates[platform_index] += static_cast<uint64_t>(v);
+    }
+
+    bool satisfied;
+    if (form.direction == constraint::BoundDirection::kUpper) {
+      if (form.bound < 0) {
+        satisfied = false;  // Non-negative sums cannot meet negative bounds.
+      } else {
+        PREVER_ASSIGN_OR_RETURN(
+            satisfied, mpc::SecureComparison::SumLessEqual(
+                           local_aggregates, static_cast<uint64_t>(form.bound),
+                           kComparisonBits, dealer_rng_, &transcript_));
+      }
+    } else {
+      // sum >= bound  ⇔  NOT (sum <= bound - 1).
+      if (form.bound <= 0) {
+        satisfied = true;
+      } else {
+        PREVER_ASSIGN_OR_RETURN(
+            bool below, mpc::SecureComparison::SumLessEqual(
+                            local_aggregates,
+                            static_cast<uint64_t>(form.bound) - 1,
+                            kComparisonBits, dealer_rng_, &transcript_));
+        satisfied = !below;
+      }
+    }
+    if (!satisfied) {
+      return Status::ConstraintViolation("update violates regulation '" +
+                                         regulation.name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status FederatedMpcEngine::SubmitVia(size_t platform_index,
+                                     const Update& update) {
+  ++stats_.submitted;
+  if (platform_index >= platforms_.size()) {
+    ++stats_.rejected_error;
+    return Status::InvalidArgument("no such platform");
+  }
+  FederatedPlatform* home = platforms_[platform_index];
+
+  // Local internal constraints first (cheap, no cross-platform traffic).
+  constraint::EvalContext local_ctx{&home->db, &update.fields,
+                                    update.timestamp};
+  Status internal = home->internal_constraints.CheckAll(local_ctx);
+  if (!internal.ok()) {
+    if (internal.code() == StatusCode::kConstraintViolation) {
+      ++stats_.rejected_constraint;
+    } else {
+      ++stats_.rejected_error;
+    }
+    return internal;
+  }
+
+  // Global regulations via MPC across all platforms.
+  for (const constraint::Constraint& regulation : regulations_->constraints()) {
+    Status checked = CheckRegulation(regulation, platform_index, update);
+    if (!checked.ok()) {
+      if (checked.code() == StatusCode::kConstraintViolation) {
+        ++stats_.rejected_constraint;
+      } else {
+        ++stats_.rejected_error;
+      }
+      return checked;
+    }
+  }
+
+  // Apply locally; order a content DIGEST globally (other platforms must
+  // not see the private update body — they audit existence and order only).
+  Status applied = home->db.Apply(update.mutation);
+  if (!applied.ok()) {
+    ++stats_.rejected_error;
+    return applied;
+  }
+  BinaryWriter w;
+  w.WriteString(home->id);
+  w.WriteBytes(crypto::Sha256::Hash(update.Encode()));
+  Status ordered = ordering_->Append(w.Take(), update.timestamp);
+  if (!ordered.ok()) {
+    ++stats_.rejected_error;
+    return ordered;
+  }
+  ++stats_.accepted;
+  return Status::Ok();
+}
+
+}  // namespace prever::core

@@ -1,0 +1,74 @@
+#ifndef PREVER_CORE_FEDERATED_MPC_ENGINE_H_
+#define PREVER_CORE_FEDERATED_MPC_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraint/constraint.h"
+#include "constraint/linear.h"
+#include "core/engine.h"
+#include "core/ordering.h"
+#include "mpc/compare.h"
+#include "storage/database.h"
+
+namespace prever::core {
+
+/// One federated platform (data manager) in the RC2 decentralized setting:
+/// it holds its own private database (plaintext locally, invisible to the
+/// other platforms) plus local internal constraints.
+struct FederatedPlatform {
+  std::string id;
+  storage::Database db;
+  constraint::ConstraintCatalog internal_constraints;
+};
+
+/// RC2, decentralized path: multiple mutually distrustful data managers
+/// collectively verify a distributed regulation — e.g. FLSA's "total hours
+/// across ALL platforms <= 40/week" — via secure multi-party computation,
+/// without any platform revealing its local aggregate. The accepted update
+/// executes on the submitting platform only; a content digest goes through
+/// the ordering service so every platform can audit the global history.
+///
+/// Regulations must be in linear bound form (SUM/COUNT + update terms vs. a
+/// constant); richer constraints are rejected with NotSupported — exactly
+/// the expressiveness frontier §4 calls out for token/MPC mechanisms.
+class FederatedMpcEngine : public UpdateEngine {
+ public:
+  /// `regulations` are the global (external-authority) constraints; each is
+  /// compiled to linear bound form at construction. `platforms` must
+  /// outlive the engine.
+  FederatedMpcEngine(std::vector<FederatedPlatform*> platforms,
+                     const constraint::ConstraintCatalog* regulations,
+                     OrderingService* ordering, uint64_t dealer_seed);
+
+  /// Validates that every regulation is in linear bound form.
+  Status ValidateRegulations() const;
+
+  /// Submits via platform `platform_index` (the manager the producer talks
+  /// to). The base-class SubmitUpdate routes to platform 0.
+  Status SubmitVia(size_t platform_index, const Update& update);
+  Status SubmitUpdate(const Update& update) override {
+    return SubmitVia(0, update);
+  }
+
+  const EngineStats& stats() const override { return stats_; }
+  const char* name() const override { return "federated-mpc-rc2"; }
+
+  const mpc::MpcTranscript& transcript() const { return transcript_; }
+
+ private:
+  Status CheckRegulation(const constraint::Constraint& regulation,
+                         size_t platform_index, const Update& update);
+
+  std::vector<FederatedPlatform*> platforms_;
+  const constraint::ConstraintCatalog* regulations_;
+  OrderingService* ordering_;
+  Rng dealer_rng_;
+  mpc::MpcTranscript transcript_;
+  EngineStats stats_;
+};
+
+}  // namespace prever::core
+
+#endif  // PREVER_CORE_FEDERATED_MPC_ENGINE_H_

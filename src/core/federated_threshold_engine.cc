@@ -1,0 +1,133 @@
+#include "core/federated_threshold_engine.h"
+
+#include "crypto/sha256.h"
+
+namespace prever::core {
+
+namespace {
+// Aggregates PReVer regulates are small (hours, counts, cents-scale); the
+// dlog recovery bound caps the scan.
+constexpr int64_t kMaxAggregate = 1 << 20;
+}  // namespace
+
+FederatedThresholdEngine::FederatedThresholdEngine(
+    std::vector<FederatedPlatform*> platforms,
+    const constraint::ConstraintCatalog* regulations,
+    OrderingService* ordering, const crypto::PedersenParams& params,
+    uint64_t seed)
+    : platforms_(std::move(platforms)),
+      regulations_(regulations),
+      ordering_(ordering),
+      drbg_(seed),
+      keys_(params, platforms_.size(), drbg_) {}
+
+Status FederatedThresholdEngine::CheckRegulation(
+    const constraint::Constraint& regulation, size_t platform_index,
+    const Update& update) {
+  PREVER_ASSIGN_OR_RETURN(
+      auto forms, constraint::ExtractLinearConjunction(*regulation.expr));
+  for (const constraint::LinearBoundForm& form : forms) {
+    // Each platform: local aggregate over its private database, plus the
+    // incoming update's terms at the submitting platform.
+    auto total_ct = keys_.Encrypt(0, drbg_);
+    PREVER_RETURN_IF_ERROR(total_ct.status());
+    for (size_t i = 0; i < platforms_.size(); ++i) {
+      constraint::EvalContext ctx{&platforms_[i]->db, &update.fields,
+                                  update.timestamp};
+      PREVER_ASSIGN_OR_RETURN(
+          int64_t local, constraint::EvaluateAggregate(*form.aggregate, ctx));
+      if (i == platform_index) {
+        for (const std::string& field : form.update_terms) {
+          auto it = update.fields.find(field);
+          if (it == update.fields.end()) {
+            return Status::InvalidArgument("update lacks field '" + field +
+                                           "'");
+          }
+          PREVER_ASSIGN_OR_RETURN(int64_t v, it->second.AsInt64());
+          local += v;
+        }
+      }
+      if (local < 0 || local > kMaxAggregate) {
+        return Status::NotSupported(
+            "local aggregate outside the threshold engine's domain");
+      }
+      // Platform i encrypts its contribution under the joint key and
+      // publishes only the ciphertext.
+      PREVER_ASSIGN_OR_RETURN(crypto::ElGamalCiphertext ct,
+                              keys_.Encrypt(local, drbg_));
+      *total_ct = crypto::ThresholdElGamal::Add(keys_.params(), *total_ct, ct);
+    }
+    // Joint decryption of the total: every platform contributes a partial.
+    std::vector<crypto::BigInt> partials;
+    partials.reserve(platforms_.size());
+    for (size_t i = 0; i < platforms_.size(); ++i) {
+      PREVER_ASSIGN_OR_RETURN(crypto::BigInt partial,
+                              keys_.PartialDecrypt(i, *total_ct));
+      partials.push_back(std::move(partial));
+    }
+    PREVER_ASSIGN_OR_RETURN(
+        int64_t total,
+        keys_.Combine(*total_ct, partials,
+                      kMaxAggregate * static_cast<int64_t>(platforms_.size())));
+    ++totals_opened_;
+
+    bool satisfied = form.direction == constraint::BoundDirection::kUpper
+                         ? total <= form.bound
+                         : total >= form.bound;
+    if (!satisfied) {
+      return Status::ConstraintViolation("update violates regulation '" +
+                                         regulation.name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status FederatedThresholdEngine::SubmitVia(size_t platform_index,
+                                           const Update& update) {
+  ++stats_.submitted;
+  if (platform_index >= platforms_.size()) {
+    ++stats_.rejected_error;
+    return Status::InvalidArgument("no such platform");
+  }
+  FederatedPlatform* home = platforms_[platform_index];
+  constraint::EvalContext local_ctx{&home->db, &update.fields,
+                                    update.timestamp};
+  Status internal = home->internal_constraints.CheckAll(local_ctx);
+  if (!internal.ok()) {
+    if (internal.code() == StatusCode::kConstraintViolation) {
+      ++stats_.rejected_constraint;
+    } else {
+      ++stats_.rejected_error;
+    }
+    return internal;
+  }
+  for (const constraint::Constraint& regulation :
+       regulations_->constraints()) {
+    Status checked = CheckRegulation(regulation, platform_index, update);
+    if (!checked.ok()) {
+      if (checked.code() == StatusCode::kConstraintViolation) {
+        ++stats_.rejected_constraint;
+      } else {
+        ++stats_.rejected_error;
+      }
+      return checked;
+    }
+  }
+  Status applied = home->db.Apply(update.mutation);
+  if (!applied.ok()) {
+    ++stats_.rejected_error;
+    return applied;
+  }
+  BinaryWriter w;
+  w.WriteString(home->id);
+  w.WriteBytes(crypto::Sha256::Hash(update.Encode()));
+  Status ordered = ordering_->Append(w.Take(), update.timestamp);
+  if (!ordered.ok()) {
+    ++stats_.rejected_error;
+    return ordered;
+  }
+  ++stats_.accepted;
+  return Status::Ok();
+}
+
+}  // namespace prever::core

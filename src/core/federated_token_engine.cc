@@ -1,0 +1,105 @@
+#include "core/federated_token_engine.h"
+
+namespace prever::core {
+
+FederatedTokenEngine::FederatedTokenEngine(
+    std::vector<FederatedPlatform*> platforms,
+    token::TokenAuthority* authority, OrderingService* ordering,
+    std::string cost_field)
+    : platforms_(std::move(platforms)),
+      authority_(authority),
+      ordering_(ordering),
+      cost_field_(std::move(cost_field)) {}
+
+token::TokenWallet& FederatedTokenEngine::WalletOf(
+    const std::string& producer) {
+  auto it = wallets_.find(producer);
+  if (it == wallets_.end()) {
+    it = wallets_
+             .emplace(producer, std::make_unique<token::TokenWallet>(
+                                    authority_->public_key(),
+                                    next_wallet_seed_++))
+             .first;
+  }
+  return *it->second;
+}
+
+Status FederatedTokenEngine::SubmitVia(size_t platform_index,
+                                       const Update& update) {
+  ++stats_.submitted;
+  if (platform_index >= platforms_.size()) {
+    ++stats_.rejected_error;
+    return Status::InvalidArgument("no such platform");
+  }
+  auto cost_it = update.fields.find(cost_field_);
+  if (cost_it == update.fields.end()) {
+    ++stats_.rejected_error;
+    return Status::InvalidArgument("update lacks cost field '" + cost_field_ +
+                                   "'");
+  }
+  auto cost = cost_it->second.AsInt64();
+  if (!cost.ok() || *cost < 0) {
+    ++stats_.rejected_error;
+    return Status::InvalidArgument("cost must be a non-negative int");
+  }
+
+  // Producer side: ensure the wallet holds `cost` tokens, withdrawing the
+  // shortfall. A failed withdrawal IS the regulation rejecting the update:
+  // the budget encodes the bound.
+  token::TokenWallet& wallet = WalletOf(update.producer);
+  size_t need = static_cast<size_t>(*cost);
+  if (wallet.NumTokens() < need) {
+    auto got = wallet.Withdraw(*authority_, update.producer,
+                               need - wallet.NumTokens(), update.timestamp);
+    if (!got.ok()) {
+      ++stats_.rejected_error;
+      return got.status();
+    }
+    if (wallet.NumTokens() < need) {
+      ++stats_.rejected_constraint;
+      return Status::ConstraintViolation(
+          "token budget exhausted: regulation limit reached for '" +
+          update.producer + "'");
+    }
+  }
+
+  // Platform side: verify and spend each token against the shared ledger
+  // state (signature check + double-spend check).
+  std::vector<token::Token> to_spend;
+  to_spend.reserve(need);
+  for (size_t i = 0; i < need; ++i) {
+    auto t = wallet.Take();
+    if (!t.ok()) {
+      ++stats_.rejected_error;
+      return t.status();
+    }
+    if (!crypto::RsaVerify(authority_->public_key(), t->serial,
+                           t->signature)) {
+      ++stats_.rejected_error;
+      return Status::IntegrityViolation("token signature invalid");
+    }
+    if (spent_.count(t->serial)) {
+      ++stats_.rejected_error;
+      return Status::AlreadyExists("token double spend detected");
+    }
+    to_spend.push_back(std::move(*t));
+  }
+
+  // Apply locally, then order the spent serials + update digest so every
+  // platform learns the tokens are burned (and nothing else).
+  FederatedPlatform* home = platforms_[platform_index];
+  Status applied = home->db.Apply(update.mutation);
+  if (!applied.ok()) {
+    ++stats_.rejected_error;
+    return applied;
+  }
+  for (const token::Token& t : to_spend) {
+    spent_.insert(t.serial);
+    PREVER_RETURN_IF_ERROR(ordering_->Append(t.serial, update.timestamp));
+    ++tokens_spent_;
+  }
+  ++stats_.accepted;
+  return Status::Ok();
+}
+
+}  // namespace prever::core

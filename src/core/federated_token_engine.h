@@ -1,0 +1,65 @@
+#ifndef PREVER_CORE_FEDERATED_TOKEN_ENGINE_H_
+#define PREVER_CORE_FEDERATED_TOKEN_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/federated_mpc_engine.h"  // FederatedPlatform.
+#include "core/ordering.h"
+#include "token/token.h"
+
+namespace prever::core {
+
+/// RC2, centralized path — the Separ instantiation (§5): a trusted external
+/// authority encodes the regulation as a per-participant budget of
+/// single-use pseudonymous tokens (blind-signed, hence unlinkable), and the
+/// mutually distrustful platforms cooperate only through a shared spent-
+/// token ledger ordered by this engine's ordering service.
+///
+/// An update consuming `cost` units (e.g. hours) must present `cost` fresh
+/// tokens. Platforms verify signatures and double-spends; they never learn
+/// the worker's totals at other platforms. The expressiveness limit §4
+/// notes — only COUNT/budget-style regulations — is inherent and surfaced
+/// by the engine's interface: no constraint catalog, just the budget.
+class FederatedTokenEngine : public UpdateEngine {
+ public:
+  /// `cost_field`: update field holding how many tokens the update costs.
+  FederatedTokenEngine(std::vector<FederatedPlatform*> platforms,
+                       token::TokenAuthority* authority,
+                       OrderingService* ordering, std::string cost_field);
+
+  /// Producer-side: a wallet per producer, lazily created.
+  token::TokenWallet& WalletOf(const std::string& producer);
+
+  /// Submits via a platform, paying with tokens drawn from the producer's
+  /// wallet (withdrawing on demand from the authority). PermissionDenied
+  /// when the period budget cannot cover the cost.
+  Status SubmitVia(size_t platform_index, const Update& update);
+  Status SubmitUpdate(const Update& update) override {
+    return SubmitVia(0, update);
+  }
+
+  const EngineStats& stats() const override { return stats_; }
+  const char* name() const override { return "federated-token-rc2"; }
+
+  uint64_t tokens_spent() const { return tokens_spent_; }
+
+ private:
+  std::vector<FederatedPlatform*> platforms_;
+  token::TokenAuthority* authority_;
+  OrderingService* ordering_;
+  std::string cost_field_;
+  /// Shared spent-serial set, rebuilt from the ordering ledger as needed.
+  std::map<std::string, std::unique_ptr<token::TokenWallet>> wallets_;
+  std::set<Bytes> spent_;
+  uint64_t next_wallet_seed_ = 1000;
+  uint64_t tokens_spent_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace prever::core
+
+#endif  // PREVER_CORE_FEDERATED_TOKEN_ENGINE_H_

@@ -1,0 +1,146 @@
+#include "core/ordering.h"
+
+#include "common/serial.h"
+
+namespace prever::core {
+
+Status CentralizedOrdering::Append(const Bytes& payload, SimTime timestamp) {
+  ledger_.Append(payload, timestamp);
+  return Status::Ok();
+}
+
+PbftOrdering::PbftOrdering(size_t num_replicas, net::SimNetConfig net_config)
+    : net_(std::make_unique<net::SimNetwork>(net_config)),
+      ledgers_(num_replicas) {
+  consensus::PbftConfig config;
+  config.num_replicas = num_replicas;
+  cluster_ = std::make_unique<consensus::PbftCluster>(config, net_.get());
+  // Commands are batch envelopes; each committed envelope is unpacked into
+  // one ledger entry per payload. Entries are stamped with (seq, index) —
+  // deterministic across replicas so replica agreement is auditable by
+  // digest.
+  cluster_->SetCommitCallback(
+      [this](net::NodeId replica, uint64_t seq, const Bytes& cmd) {
+        BinaryReader r(cmd);
+        auto batch_id = r.ReadU64();
+        auto count = r.ReadU32();
+        if (!batch_id.ok() || !count.ok()) return;  // Corrupt: skip.
+        for (uint32_t i = 0; i < *count; ++i) {
+          auto payload = r.ReadBytes();
+          if (!payload.ok()) return;
+          ledgers_[replica].Append(*payload, seq * 1000 + i);
+          if (replica == 0) ++committed_;
+        }
+      });
+}
+
+Status PbftOrdering::Append(const Bytes& payload, SimTime timestamp) {
+  return AppendBatch({payload}, timestamp);
+}
+
+Status PbftOrdering::AppendBatch(const std::vector<Bytes>& payloads,
+                                 SimTime timestamp) {
+  (void)timestamp;  // The simulated network clock stamps commits.
+  if (payloads.empty()) return Status::InvalidArgument("empty batch");
+  uint64_t target = ledgers_[0].size() + payloads.size();
+  BinaryWriter w;
+  w.WriteU64(batch_counter_++);
+  w.WriteU32(static_cast<uint32_t>(payloads.size()));
+  for (const Bytes& p : payloads) w.WriteBytes(p);
+  cluster_->Submit(w.Take());
+  // Drive the simulation until replica 0 commits (bounded by a generous
+  // deadline to surface liveness bugs as errors instead of hangs).
+  SimTime deadline = net_->Now() + 60 * kSecond;
+  while (ledgers_[0].size() < target && net_->Now() < deadline) {
+    if (!net_->Step()) break;
+  }
+  if (ledgers_[0].size() < target) {
+    return Status::Unavailable("PBFT did not commit within deadline");
+  }
+  return Status::Ok();
+}
+
+ShardedPbftOrdering::ShardedPbftOrdering(size_t num_shards,
+                                         size_t replicas_per_shard,
+                                         net::SimNetConfig net_config) {
+  for (size_t i = 0; i < num_shards; ++i) {
+    net::SimNetConfig cfg = net_config;
+    cfg.seed = net_config.seed + i;  // Independent shard networks.
+    shards_.push_back(std::make_unique<PbftOrdering>(replicas_per_shard, cfg));
+  }
+}
+
+Status ShardedPbftOrdering::AppendRouted(const std::string& routing_key,
+                                         const Bytes& payload,
+                                         SimTime timestamp) {
+  // FNV-1a over the routing key.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : routing_key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return shards_[h % shards_.size()]->Append(payload, timestamp);
+}
+
+Status ShardedPbftOrdering::Append(const Bytes& payload, SimTime timestamp) {
+  return AppendRouted(ToString(payload), payload, timestamp);
+}
+
+uint64_t ShardedPbftOrdering::CommittedCount() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->CommittedCount();
+  return total;
+}
+
+SimTime ShardedPbftOrdering::MaxShardTime() const {
+  SimTime max_time = 0;
+  for (const auto& shard : shards_) {
+    // network() is non-const; shards are owned, safe to cast for a read.
+    SimTime t = const_cast<PbftOrdering*>(shard.get())->network().Now();
+    if (t > max_time) max_time = t;
+  }
+  return max_time;
+}
+
+RaftOrdering::RaftOrdering(size_t num_replicas, net::SimNetConfig net_config)
+    : net_(std::make_unique<net::SimNetwork>(net_config)),
+      ledgers_(num_replicas) {
+  consensus::RaftConfig config;
+  config.num_replicas = num_replicas;
+  cluster_ = std::make_unique<consensus::RaftCluster>(config, net_.get());
+  for (size_t i = 0; i < num_replicas; ++i) {
+    cluster_->replica(i).SetApplyCallback(
+        [this, i](uint64_t index, const Bytes& cmd) {
+          ledgers_[i].Append(cmd, index);  // Deterministic across replicas.
+          if (i == 0) ++committed_;
+        });
+  }
+  // Elect an initial leader.
+  SimTime deadline = net_->Now() + 30 * kSecond;
+  while (!cluster_->Leader().ok() && net_->Now() < deadline) {
+    if (!net_->Step()) break;
+  }
+}
+
+Status RaftOrdering::Append(const Bytes& payload, SimTime timestamp) {
+  (void)timestamp;
+  uint64_t target = ledgers_[0].size() + 1;
+  SimTime deadline = net_->Now() + 60 * kSecond;
+  for (;;) {
+    Status submitted = cluster_->Submit(payload);
+    if (submitted.ok()) break;
+    if (net_->Now() >= deadline) return submitted;
+    if (!net_->Step()) {
+      return Status::Unavailable("no Raft leader and network idle");
+    }
+  }
+  while (ledgers_[0].size() < target && net_->Now() < deadline) {
+    if (!net_->Step()) break;
+  }
+  if (ledgers_[0].size() < target) {
+    return Status::Unavailable("Raft did not commit within deadline");
+  }
+  return Status::Ok();
+}
+
+}  // namespace prever::core

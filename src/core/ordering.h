@@ -1,0 +1,137 @@
+#ifndef PREVER_CORE_ORDERING_H_
+#define PREVER_CORE_ORDERING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "consensus/pbft.h"
+#include "consensus/raft.h"
+#include "ledger/ledger_db.h"
+#include "net/sim_net.h"
+
+namespace prever::core {
+
+/// How verified updates reach the immutable store (§4 RC4): a centralized
+/// ledger database for the single-manager setting, or consensus-replicated
+/// ledgers (PBFT for mutually distrustful managers, Raft as the §6 CFT
+/// comparator). Engines order through this interface and stay agnostic.
+class OrderingService {
+ public:
+  virtual ~OrderingService() = default;
+
+  /// Durably appends `payload`; returns only after the payload is committed
+  /// on a quorum (consensus impls drive the simulated network to completion).
+  virtual Status Append(const Bytes& payload, SimTime timestamp) = 0;
+
+  /// A ledger reflecting the committed order (for consensus impls, the
+  /// first correct replica's ledger).
+  virtual const ledger::LedgerDb& Ledger() const = 0;
+
+  /// Committed entries so far.
+  virtual uint64_t CommittedCount() const = 0;
+};
+
+/// Centralized ledger database ordering (Amazon QLDB / LedgerDB style).
+class CentralizedOrdering : public OrderingService {
+ public:
+  CentralizedOrdering() = default;
+
+  Status Append(const Bytes& payload, SimTime timestamp) override;
+  const ledger::LedgerDb& Ledger() const override { return ledger_; }
+  uint64_t CommittedCount() const override { return ledger_.size(); }
+
+  ledger::LedgerDb& MutableLedger() { return ledger_; }
+
+ private:
+  ledger::LedgerDb ledger_;
+};
+
+/// PBFT-replicated ordering: each replica maintains its own ledger; Append
+/// submits to the cluster and drains the simulated network until a quorum
+/// has executed the command. Payloads travel in batch envelopes, so one
+/// consensus instance can carry many updates (the StreamChain/FastFabric
+/// batching lever §4 alludes to for Fabric's overhead).
+class PbftOrdering : public OrderingService {
+ public:
+  PbftOrdering(size_t num_replicas, net::SimNetConfig net_config);
+
+  Status Append(const Bytes& payload, SimTime timestamp) override;
+  /// Orders a whole batch through ONE consensus instance; the replica
+  /// ledgers still record one entry per payload.
+  Status AppendBatch(const std::vector<Bytes>& payloads, SimTime timestamp);
+
+  const ledger::LedgerDb& Ledger() const override { return ledgers_[0]; }
+  uint64_t CommittedCount() const override { return committed_; }
+
+  net::SimNetwork& network() { return *net_; }
+  const ledger::LedgerDb& ReplicaLedger(size_t i) const { return ledgers_[i]; }
+  size_t num_replicas() const { return ledgers_.size(); }
+
+ private:
+  std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<consensus::PbftCluster> cluster_;
+  std::vector<ledger::LedgerDb> ledgers_;
+  uint64_t committed_ = 0;
+  uint64_t batch_counter_ = 0;  // Makes identical batches distinct commands.
+};
+
+/// SharPer/Qanaat-style sharded ordering (§4 RC4: "Qanaat further provides
+/// scalability by partitioning data into data shards"): k independent PBFT
+/// clusters, each ordering the updates routed to it by key. Shards progress
+/// in parallel (independent simulated networks), so aggregate throughput
+/// scales with the shard count for single-shard updates. Cross-shard
+/// transactions are out of scope (they need SharPer's cross-cluster
+/// protocol; see DESIGN.md §6).
+class ShardedPbftOrdering : public OrderingService {
+ public:
+  ShardedPbftOrdering(size_t num_shards, size_t replicas_per_shard,
+                      net::SimNetConfig net_config);
+
+  /// Routes by FNV hash of `routing_key`.
+  Status AppendRouted(const std::string& routing_key, const Bytes& payload,
+                      SimTime timestamp);
+  /// OrderingService::Append routes by hashing the payload itself.
+  Status Append(const Bytes& payload, SimTime timestamp) override;
+
+  /// Shard 0's replica-0 ledger (use Shard(i) for the rest).
+  const ledger::LedgerDb& Ledger() const override {
+    return shards_[0]->Ledger();
+  }
+  uint64_t CommittedCount() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+  PbftOrdering& Shard(size_t i) { return *shards_[i]; }
+
+  /// The simulated time the slowest shard has reached — the wall-clock
+  /// analogue for aggregate-throughput accounting.
+  SimTime MaxShardTime() const;
+
+ private:
+  std::vector<std::unique_ptr<PbftOrdering>> shards_;
+};
+
+/// Raft-replicated ordering (crash-fault baseline).
+class RaftOrdering : public OrderingService {
+ public:
+  RaftOrdering(size_t num_replicas, net::SimNetConfig net_config);
+
+  Status Append(const Bytes& payload, SimTime timestamp) override;
+  const ledger::LedgerDb& Ledger() const override { return ledgers_[0]; }
+  uint64_t CommittedCount() const override { return committed_; }
+
+  net::SimNetwork& network() { return *net_; }
+  const ledger::LedgerDb& ReplicaLedger(size_t i) const { return ledgers_[i]; }
+
+ private:
+  std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<consensus::RaftCluster> cluster_;
+  std::vector<ledger::LedgerDb> ledgers_;
+  uint64_t committed_ = 0;
+};
+
+}  // namespace prever::core
+
+#endif  // PREVER_CORE_ORDERING_H_

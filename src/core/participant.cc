@@ -1,0 +1,60 @@
+#include "core/participant.h"
+
+namespace prever::core {
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kDataProducer:
+      return "data-producer";
+    case Role::kDataOwner:
+      return "data-owner";
+    case Role::kDataManager:
+      return "data-manager";
+    case Role::kAuthority:
+      return "authority";
+  }
+  return "unknown";
+}
+
+const char* TrustLevelName(TrustLevel level) {
+  switch (level) {
+    case TrustLevel::kHonest:
+      return "honest";
+    case TrustLevel::kHonestButCurious:
+      return "honest-but-curious";
+    case TrustLevel::kCovert:
+      return "covert";
+    case TrustLevel::kMalicious:
+      return "malicious";
+  }
+  return "unknown";
+}
+
+Status ParticipantRegistry::Add(Participant participant) {
+  if (participant.id.empty()) {
+    return Status::InvalidArgument("participant id must not be empty");
+  }
+  auto [it, inserted] =
+      participants_.emplace(participant.id, std::move(participant));
+  if (!inserted) {
+    return Status::AlreadyExists("participant '" + it->first +
+                                 "' already registered");
+  }
+  return Status::Ok();
+}
+
+Result<const Participant*> ParticipantRegistry::Find(
+    const std::string& id) const {
+  auto it = participants_.find(id);
+  if (it == participants_.end()) {
+    return Status::NotFound("no participant '" + id + "'");
+  }
+  return &it->second;
+}
+
+bool ParticipantRegistry::HasRole(const std::string& id, Role role) const {
+  auto it = participants_.find(id);
+  return it != participants_.end() && it->second.HasRole(role);
+}
+
+}  // namespace prever::core

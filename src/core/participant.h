@@ -1,0 +1,57 @@
+#ifndef PREVER_CORE_PARTICIPANT_H_
+#define PREVER_CORE_PARTICIPANT_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+
+namespace prever::core {
+
+/// Participant roles of the PReVer model (§3.1). A single entity may hold
+/// several roles — e.g. a worker is both data producer and data owner in
+/// the crowdworking instantiation.
+enum class Role : uint8_t {
+  kDataProducer = 0,  ///< Produces updates.
+  kDataOwner = 1,     ///< Owns data; may outsource management.
+  kDataManager = 2,   ///< Stores/manages data; verifies & applies updates.
+  kAuthority = 3,     ///< Defines constraints (internal) / regulations
+                      ///< (external).
+};
+
+/// Adversarial stance (§3.3 threat model). The stance is per participant
+/// and per instantiation; engines document what they tolerate.
+enum class TrustLevel : uint8_t {
+  kHonest = 0,
+  kHonestButCurious = 1,  ///< Follows the protocol, infers what it can.
+  kCovert = 2,            ///< Cheats only if unlikely to be detected.
+  kMalicious = 3,         ///< Deviates arbitrarily.
+};
+
+const char* RoleName(Role role);
+const char* TrustLevelName(TrustLevel level);
+
+struct Participant {
+  std::string id;
+  std::set<Role> roles;
+  TrustLevel trust = TrustLevel::kHonestButCurious;
+
+  bool HasRole(Role role) const { return roles.count(role) > 0; }
+};
+
+/// Registry of the participants in a PReVer deployment.
+class ParticipantRegistry {
+ public:
+  Status Add(Participant participant);
+  Result<const Participant*> Find(const std::string& id) const;
+  bool HasRole(const std::string& id, Role role) const;
+  size_t size() const { return participants_.size(); }
+
+ private:
+  std::map<std::string, Participant> participants_;
+};
+
+}  // namespace prever::core
+
+#endif  // PREVER_CORE_PARTICIPANT_H_

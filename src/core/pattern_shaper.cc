@@ -1,0 +1,35 @@
+#include "core/pattern_shaper.h"
+
+namespace prever::core {
+
+size_t UpdatePatternShaper::AdvanceTo(SimTime now) {
+  size_t fired = 0;
+  while (next_tick_ <= now) {
+    SimTime tick = next_tick_;
+    next_tick_ += interval_;
+    ++fired;
+    if (!queue_.empty() && queue_.front().timestamp <= tick) {
+      Update real = std::move(queue_.front());
+      queue_.pop_front();
+      total_added_latency_ += tick - real.timestamp;
+      // The observable timestamp is the tick, not the true arrival.
+      real.timestamp = tick;
+      if (real.mutation.op != storage::Mutation::Op::kDelete &&
+          !real.mutation.row.empty()) {
+        // Refresh any timestamp column to the shaped time so WINDOW
+        // regulations observe the disclosed (not the secret) time.
+        for (auto& cell : real.mutation.row) {
+          if (cell.is_timestamp()) cell = storage::Value::Timestamp(tick);
+        }
+      }
+      (void)inner_->SubmitUpdate(real);
+      ++real_submitted_;
+    } else {
+      (void)inner_->SubmitUpdate(dummy_factory_(tick));
+      ++dummies_submitted_;
+    }
+  }
+  return fired;
+}
+
+}  // namespace prever::core

@@ -1,0 +1,66 @@
+#ifndef PREVER_CORE_PATTERN_SHAPER_H_
+#define PREVER_CORE_PATTERN_SHAPER_H_
+
+#include <deque>
+#include <functional>
+
+#include "core/engine.h"
+
+namespace prever::core {
+
+/// Update-pattern shaping (§4 cites DP-Sync [62]: private engines still
+/// "disclos[e] update patterns" — WHEN updates happen leaks information
+/// even when their contents are hidden).
+///
+/// The shaper decouples arrival time from observable submission time: real
+/// updates queue; on every tick of a fixed cadence the shaper submits
+/// exactly one record — the oldest queued real update, or a dummy when the
+/// queue is empty. An observer of the inner engine (or its ledger) sees a
+/// perfectly regular stream and learns nothing about the true arrival
+/// process beyond its long-run average.
+///
+/// The costs are the two axes DP-Sync trades: added latency (queueing until
+/// the next tick) and dummy overhead (ticks with no real work). The
+/// counters expose both so E8 can plot the trade-off.
+class UpdatePatternShaper {
+ public:
+  /// `dummy_factory` builds an innocuous update for a tick with no real
+  /// traffic (e.g. a no-op upsert of a reserved row). It must be accepted
+  /// by the inner engine.
+  using DummyFactory = std::function<Update(SimTime tick_time)>;
+
+  UpdatePatternShaper(UpdateEngine* inner, SimTime interval,
+                      DummyFactory dummy_factory)
+      : inner_(inner),
+        interval_(interval),
+        dummy_factory_(std::move(dummy_factory)) {}
+
+  /// Queues a real update (arrival time = update.timestamp).
+  void Enqueue(Update update) { queue_.push_back(std::move(update)); }
+
+  size_t queued() const { return queue_.size(); }
+
+  /// Advances the cadence to `now`, emitting one submission per elapsed
+  /// tick. Returns the number of ticks fired.
+  size_t AdvanceTo(SimTime now);
+
+  SimTime interval() const { return interval_; }
+  uint64_t real_submitted() const { return real_submitted_; }
+  uint64_t dummies_submitted() const { return dummies_submitted_; }
+  /// Total queueing delay added to real updates (latency cost).
+  SimTime total_added_latency() const { return total_added_latency_; }
+
+ private:
+  UpdateEngine* inner_;
+  SimTime interval_;
+  DummyFactory dummy_factory_;
+  std::deque<Update> queue_;
+  SimTime next_tick_ = 0;
+  uint64_t real_submitted_ = 0;
+  uint64_t dummies_submitted_ = 0;
+  SimTime total_added_latency_ = 0;
+};
+
+}  // namespace prever::core
+
+#endif  // PREVER_CORE_PATTERN_SHAPER_H_

@@ -1,0 +1,39 @@
+#include "core/plaintext_engine.h"
+
+namespace prever::core {
+
+PlaintextEngine::PlaintextEngine(storage::Database* db,
+                                 const constraint::ConstraintCatalog* catalog,
+                                 OrderingService* ordering)
+    : db_(db), catalog_(catalog), ordering_(ordering) {}
+
+Status PlaintextEngine::SubmitUpdate(const Update& update) {
+  ++stats_.submitted;
+  // Step 2 (Fig. 2): verify against every constraint and regulation.
+  constraint::EvalContext ctx{db_, &update.fields, update.timestamp};
+  Status verified = catalog_->CheckAll(ctx);
+  if (!verified.ok()) {
+    if (verified.code() == StatusCode::kConstraintViolation) {
+      ++stats_.rejected_constraint;
+    } else {
+      ++stats_.rejected_error;
+    }
+    return verified;
+  }
+  // Step 3: incorporate into the database…
+  Status applied = db_->Apply(update.mutation);
+  if (!applied.ok()) {
+    ++stats_.rejected_error;
+    return applied;
+  }
+  // …and record on the immutable integrity layer (RC4).
+  Status ordered = ordering_->Append(update.Encode(), update.timestamp);
+  if (!ordered.ok()) {
+    ++stats_.rejected_error;
+    return ordered;
+  }
+  ++stats_.accepted;
+  return Status::Ok();
+}
+
+}  // namespace prever::core

@@ -1,0 +1,38 @@
+#ifndef PREVER_CORE_PLAINTEXT_ENGINE_H_
+#define PREVER_CORE_PLAINTEXT_ENGINE_H_
+
+#include "constraint/constraint.h"
+#include "core/engine.h"
+#include "core/ordering.h"
+#include "storage/database.h"
+
+namespace prever::core {
+
+/// The non-private baseline (§6 asks every private solution to be compared
+/// against it): the data manager sees everything — plaintext database,
+/// plaintext updates, plaintext constraints. Full Fig. 2 pipeline: evaluate
+/// every catalog constraint, apply the mutation, append the update to the
+/// ordering/integrity layer.
+class PlaintextEngine : public UpdateEngine {
+ public:
+  /// Non-owning pointers; all must outlive the engine.
+  PlaintextEngine(storage::Database* db,
+                  const constraint::ConstraintCatalog* catalog,
+                  OrderingService* ordering);
+
+  Status SubmitUpdate(const Update& update) override;
+  const EngineStats& stats() const override { return stats_; }
+  const char* name() const override { return "plaintext"; }
+
+  const storage::Database& db() const { return *db_; }
+
+ private:
+  storage::Database* db_;
+  const constraint::ConstraintCatalog* catalog_;
+  OrderingService* ordering_;
+  EngineStats stats_;
+};
+
+}  // namespace prever::core
+
+#endif  // PREVER_CORE_PLAINTEXT_ENGINE_H_

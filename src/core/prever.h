@@ -1,0 +1,40 @@
+#ifndef PREVER_CORE_PREVER_H_
+#define PREVER_CORE_PREVER_H_
+
+/// \file Umbrella header for the PReVer framework public API.
+///
+/// PReVer (EDBT 2022) is a universal framework for managing regulated
+/// dynamic data in a privacy-preserving manner. This library provides one
+/// working engine per research challenge of the paper:
+///
+///   RC1  EncryptedEngine       — untrusted manager over a single private
+///                                database (Paillier + Pedersen + ZK).
+///   RC2  FederatedMpcEngine    — decentralized federated regulation checks
+///                                (secure multi-party comparison).
+///   RC2  FederatedTokenEngine  — centralized token-based regulation
+///                                enforcement (the Separ instantiation).
+///   RC3  PublicDataEngine      — public data, private updates (ZK
+///                                attestations + two-server PIR reads).
+///   RC4  IntegrityAuditor      — verifiable ledgers/blockchains, audited
+///                                by any participant.
+///
+/// plus PlaintextEngine as the non-private baseline §6 asks for, and
+/// ordering services over a centralized ledger, PBFT, or Raft.
+
+#include "core/auditor.h"
+#include "core/demarcation_engine.h"
+#include "core/dp_index.h"
+#include "core/encrypted_engine.h"
+#include "core/engine.h"
+#include "core/federated_mpc_engine.h"
+#include "core/federated_threshold_engine.h"
+#include "core/federated_token_engine.h"
+#include "core/ordering.h"
+#include "core/participant.h"
+#include "core/pattern_shaper.h"
+#include "core/plaintext_engine.h"
+#include "core/public_data_engine.h"
+#include "core/signed_update.h"
+#include "core/update.h"
+
+#endif  // PREVER_CORE_PREVER_H_

@@ -1,0 +1,37 @@
+#include "core/update.h"
+
+namespace prever::core {
+
+Bytes Update::Encode() const {
+  BinaryWriter w;
+  w.WriteString(id);
+  w.WriteString(producer);
+  w.WriteU64(timestamp);
+  w.WriteU32(static_cast<uint32_t>(fields.size()));
+  for (const auto& [name, value] : fields) {
+    w.WriteString(name);
+    value.EncodeTo(w);
+  }
+  mutation.EncodeTo(w);
+  return w.Take();
+}
+
+Result<Update> Update::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  Update u;
+  PREVER_ASSIGN_OR_RETURN(u.id, r.ReadString());
+  PREVER_ASSIGN_OR_RETURN(u.producer, r.ReadString());
+  PREVER_ASSIGN_OR_RETURN(u.timestamp, r.ReadU64());
+  PREVER_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    PREVER_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    PREVER_ASSIGN_OR_RETURN(storage::Value value,
+                            storage::Value::DecodeFrom(r));
+    u.fields.emplace(std::move(name), std::move(value));
+  }
+  PREVER_ASSIGN_OR_RETURN(u.mutation, storage::Mutation::DecodeFrom(r));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in update");
+  return u;
+}
+
+}  // namespace prever::core

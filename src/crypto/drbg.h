@@ -1,0 +1,47 @@
+#ifndef PREVER_CRYPTO_DRBG_H_
+#define PREVER_CRYPTO_DRBG_H_
+
+#include "common/bytes.h"
+#include "crypto/bigint.h"
+
+namespace prever::crypto {
+
+/// Deterministic random bit generator in the style of NIST HMAC-DRBG
+/// (SP 800-90A, simplified: no personalization/reseed counters). All key and
+/// nonce generation in PReVer draws from a Drbg so experiments are seeded
+/// and reproducible.
+class Drbg {
+ public:
+  /// Seeds from arbitrary entropy bytes.
+  explicit Drbg(const Bytes& seed);
+  /// Convenience: seeds from a 64-bit test seed.
+  explicit Drbg(uint64_t seed);
+
+  /// Generates `n` pseudorandom bytes.
+  Bytes Generate(size_t n);
+
+  /// Mixes additional entropy into the state.
+  void Reseed(const Bytes& entropy);
+
+  /// Uniform BigInt with exactly `bits` bits (top bit set) — used for prime
+  /// candidate generation.
+  BigInt RandomBits(size_t bits);
+
+  /// Uniform BigInt in [0, bound) via rejection sampling; bound must be > 0.
+  BigInt RandomBelow(const BigInt& bound);
+
+  /// Uniform BigInt in [1, bound); bound must be > 1.
+  BigInt RandomNonZeroBelow(const BigInt& bound);
+
+  uint64_t RandomU64();
+
+ private:
+  void Update(const Bytes& provided);
+
+  Bytes key_;  // 32 bytes.
+  Bytes v_;    // 32 bytes.
+};
+
+}  // namespace prever::crypto
+
+#endif  // PREVER_CRYPTO_DRBG_H_

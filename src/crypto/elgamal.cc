@@ -1,0 +1,155 @@
+#include "crypto/elgamal.h"
+
+#include <map>
+
+#include "crypto/montgomery.h"
+
+namespace prever::crypto {
+
+namespace {
+
+Result<ElGamalCiphertext> EncryptWithKey(const PedersenParams& params,
+                                         const BigInt& y, int64_t m,
+                                         Drbg& drbg) {
+  if (m < 0) return Status::InvalidArgument("plaintext must be >= 0");
+  BigInt r = drbg.RandomBelow(params.q);
+  ElGamalCiphertext ct;
+  ct.a = params.g.PowMod(r, params.p);
+  ct.b = params.g.PowMod(BigInt(m), params.p)
+             .MulMod(y.PowMod(r, params.p), params.p);
+  return ct;
+}
+
+ElGamalCiphertext AddImpl(const PedersenParams& params,
+                          const ElGamalCiphertext& x,
+                          const ElGamalCiphertext& y) {
+  return ElGamalCiphertext{x.a.MulMod(y.a, params.p),
+                           x.b.MulMod(y.b, params.p)};
+}
+
+}  // namespace
+
+Result<int64_t> RecoverDiscreteLog(const PedersenParams& params,
+                                   const BigInt& target, int64_t max) {
+  if (max < 0) return Status::InvalidArgument("max must be >= 0");
+  auto ctx = MontgomeryContext::Create(params.p);
+  if (!ctx.ok()) return ctx.status();
+  BigInt g_mont = ctx->ToMontgomery(params.g.Mod(params.p));
+  BigInt target_mont = ctx->ToMontgomery(target.Mod(params.p));
+
+  // Small ranges: incremental scan beats table construction.
+  constexpr int64_t kScanCutoff = 1024;
+  if (max <= kScanCutoff) {
+    BigInt acc = ctx->ToMontgomery(BigInt(1));
+    for (int64_t m = 0; m <= max; ++m) {
+      if (acc == target_mont) return m;
+      acc = ctx->MulMont(acc, g_mont);
+    }
+    return Status::NotFound("discrete log not in [0, max]");
+  }
+
+  // Baby-step giant-step: O(sqrt(max)) group operations.
+  int64_t step = 1;
+  while (step * step <= max) ++step;  // step = ceil(sqrt(max+1)).
+  std::map<Bytes, int64_t> baby;      // g^j (canonical bytes) -> j.
+  BigInt acc = ctx->ToMontgomery(BigInt(1));
+  for (int64_t j = 0; j < step; ++j) {
+    baby.emplace(acc.ToBytes(), j);
+    acc = ctx->MulMont(acc, g_mont);
+  }
+  // giant = g^{-step} in the Montgomery domain.
+  auto g_inv = params.g.InvMod(params.p);
+  if (!g_inv.ok()) return g_inv.status();
+  BigInt giant =
+      ctx->ToMontgomery(g_inv->PowMod(BigInt(step), params.p));
+  BigInt gamma = target_mont;
+  for (int64_t i = 0; i * step <= max; ++i) {
+    auto it = baby.find(gamma.ToBytes());
+    if (it != baby.end()) {
+      int64_t m = i * step + it->second;
+      if (m <= max) return m;
+      return Status::NotFound("discrete log not in [0, max]");
+    }
+    gamma = ctx->MulMont(gamma, giant);
+  }
+  return Status::NotFound("discrete log not in [0, max]");
+}
+
+ElGamal::ElGamal(const PedersenParams& params, Drbg& drbg)
+    : params_(&params) {
+  x_ = drbg.RandomNonZeroBelow(params.q);
+  y_ = params.g.PowMod(x_, params.p);
+}
+
+Result<ElGamalCiphertext> ElGamal::Encrypt(int64_t m, Drbg& drbg) const {
+  return EncryptWithKey(*params_, y_, m, drbg);
+}
+
+Result<int64_t> ElGamal::Decrypt(const ElGamalCiphertext& ct,
+                                 int64_t max_plaintext) const {
+  // g^m = b / a^x.
+  PREVER_ASSIGN_OR_RETURN(BigInt ax_inv,
+                          ct.a.PowMod(x_, params_->p).InvMod(params_->p));
+  BigInt gm = ct.b.MulMod(ax_inv, params_->p);
+  return RecoverDiscreteLog(*params_, gm, max_plaintext);
+}
+
+ElGamalCiphertext ElGamal::Add(const PedersenParams& params,
+                               const ElGamalCiphertext& x,
+                               const ElGamalCiphertext& y) {
+  return AddImpl(params, x, y);
+}
+
+ThresholdElGamal::ThresholdElGamal(const PedersenParams& params,
+                                   size_t num_parties, Drbg& drbg)
+    : params_(&params) {
+  // Simulated DKG: each party samples x_i and publishes g^{x_i}; the joint
+  // key is the product. (A real deployment adds knowledge proofs per party;
+  // semi-honest model here, consistent with the MPC engine.)
+  BigInt y(1);
+  shares_.reserve(num_parties);
+  for (size_t i = 0; i < num_parties; ++i) {
+    BigInt x_i = drbg.RandomNonZeroBelow(params.q);
+    y = y.MulMod(params.g.PowMod(x_i, params.p), params.p);
+    shares_.push_back(std::move(x_i));
+  }
+  y_ = std::move(y);
+}
+
+Result<ElGamalCiphertext> ThresholdElGamal::Encrypt(int64_t m,
+                                                    Drbg& drbg) const {
+  return EncryptWithKey(*params_, y_, m, drbg);
+}
+
+Result<BigInt> ThresholdElGamal::PartialDecrypt(
+    size_t party, const ElGamalCiphertext& ct) const {
+  if (party >= shares_.size()) {
+    return Status::InvalidArgument("no such party");
+  }
+  return ct.a.PowMod(shares_[party], params_->p);
+}
+
+Result<int64_t> ThresholdElGamal::Combine(const ElGamalCiphertext& ct,
+                                          const std::vector<BigInt>& partials,
+                                          int64_t max_plaintext) const {
+  if (partials.size() != shares_.size()) {
+    return Status::InvalidArgument(
+        "n-of-n threshold: need a partial decryption from every party");
+  }
+  // prod a^{x_i} = a^{sum x_i} = a^x.
+  BigInt ax(1);
+  for (const BigInt& partial : partials) {
+    ax = ax.MulMod(partial, params_->p);
+  }
+  PREVER_ASSIGN_OR_RETURN(BigInt ax_inv, ax.InvMod(params_->p));
+  BigInt gm = ct.b.MulMod(ax_inv, params_->p);
+  return RecoverDiscreteLog(*params_, gm, max_plaintext);
+}
+
+ElGamalCiphertext ThresholdElGamal::Add(const PedersenParams& params,
+                                        const ElGamalCiphertext& x,
+                                        const ElGamalCiphertext& y) {
+  return AddImpl(params, x, y);
+}
+
+}  // namespace prever::crypto

@@ -1,0 +1,99 @@
+#ifndef PREVER_CRYPTO_ELGAMAL_H_
+#define PREVER_CRYPTO_ELGAMAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/bigint.h"
+#include "crypto/drbg.h"
+#include "crypto/pedersen.h"
+
+namespace prever::crypto {
+
+/// Exponential ElGamal over a Schnorr group (reuses PedersenParams):
+/// Enc(m) = (g^r, g^m * y^r). Additively homomorphic — ciphertext products
+/// encrypt plaintext sums — and, unlike Paillier, supports THRESHOLD
+/// decryption with a distributed key, which removes PReVer's dependence on
+/// any single trusted key holder in the federated setting (§5 names Separ's
+/// "centralized trusted third party" as a serious shortcoming).
+///
+/// Decryption recovers g^m and then takes a discrete log, so plaintexts
+/// must be small (bounded aggregates: hours, counts, cents) — exactly
+/// PReVer's regulation domain. `max_plaintext` bounds the recovery scan.
+struct ElGamalCiphertext {
+  BigInt a;  ///< g^r.
+  BigInt b;  ///< g^m * y^r.
+
+  bool operator==(const ElGamalCiphertext& o) const {
+    return a == o.a && b == o.b;
+  }
+};
+
+/// Single-key ElGamal (baseline; the threshold variant is below).
+class ElGamal {
+ public:
+  ElGamal(const PedersenParams& params, Drbg& drbg);
+
+  const BigInt& public_key() const { return y_; }
+  const PedersenParams& params() const { return *params_; }
+
+  Result<ElGamalCiphertext> Encrypt(int64_t m, Drbg& drbg) const;
+  /// Requires 0 <= m <= max_plaintext; linear-scan dlog recovery.
+  Result<int64_t> Decrypt(const ElGamalCiphertext& ct,
+                          int64_t max_plaintext) const;
+
+  static ElGamalCiphertext Add(const PedersenParams& params,
+                               const ElGamalCiphertext& x,
+                               const ElGamalCiphertext& y);
+
+ private:
+  const PedersenParams* params_;
+  BigInt x_;  ///< Secret key.
+  BigInt y_;  ///< Public key g^x.
+};
+
+/// n-of-n threshold ElGamal: the secret key is additively shared across
+/// parties at setup (a one-time distributed key generation — each party
+/// contributes g^{x_i}; y = prod g^{x_i}); decryption requires a partial
+/// decryption share a^{x_i} from EVERY party, so no single party (and no
+/// authority) can decrypt alone.
+class ThresholdElGamal {
+ public:
+  /// Simulates DKG among `num_parties` parties.
+  ThresholdElGamal(const PedersenParams& params, size_t num_parties,
+                   Drbg& drbg);
+
+  size_t num_parties() const { return shares_.size(); }
+  const BigInt& public_key() const { return y_; }
+  const PedersenParams& params() const { return *params_; }
+
+  /// Anyone can encrypt under the joint key.
+  Result<ElGamalCiphertext> Encrypt(int64_t m, Drbg& drbg) const;
+
+  /// Party i's partial decryption a^{x_i} (runs on party i's machine with
+  /// its own share; nothing else leaves the party).
+  Result<BigInt> PartialDecrypt(size_t party, const ElGamalCiphertext& ct) const;
+
+  /// Combines ALL partial decryptions into the plaintext. Fails if any
+  /// share is missing or forged (the recovered value won't be in range).
+  Result<int64_t> Combine(const ElGamalCiphertext& ct,
+                          const std::vector<BigInt>& partials,
+                          int64_t max_plaintext) const;
+
+  static ElGamalCiphertext Add(const PedersenParams& params,
+                               const ElGamalCiphertext& x,
+                               const ElGamalCiphertext& y);
+
+ private:
+  const PedersenParams* params_;
+  std::vector<BigInt> shares_;  ///< x_i per party (held by party i).
+  BigInt y_;                    ///< Joint public key.
+};
+
+/// Shared dlog recovery: finds m in [0, max] with g^m == target, or error.
+Result<int64_t> RecoverDiscreteLog(const PedersenParams& params,
+                                   const BigInt& target, int64_t max);
+
+}  // namespace prever::crypto
+
+#endif  // PREVER_CRYPTO_ELGAMAL_H_

@@ -1,0 +1,50 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace prever::crypto {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  constexpr size_t kBlock = 64;
+  Bytes k = key;
+  if (k.size() > kBlock) k = Sha256::Hash(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Bytes inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+Bytes HkdfExpand(const Bytes& prk, const Bytes& info, size_t length) {
+  Bytes out;
+  Bytes t;
+  uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    Append(block, info);
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    Append(out, t);
+  }
+  out.resize(length);
+  return out;
+}
+
+Bytes Hkdf(const Bytes& salt, const Bytes& ikm, const Bytes& info,
+           size_t length) {
+  Bytes prk = HmacSha256(salt, ikm);
+  return HkdfExpand(prk, info, length);
+}
+
+}  // namespace prever::crypto

@@ -1,0 +1,21 @@
+#ifndef PREVER_CRYPTO_HMAC_H_
+#define PREVER_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+
+namespace prever::crypto {
+
+/// HMAC-SHA256 (RFC 2104).
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+/// HKDF-SHA256 expand-only step (RFC 5869) producing `length` bytes from a
+/// pseudorandom key and context string.
+Bytes HkdfExpand(const Bytes& prk, const Bytes& info, size_t length);
+
+/// Full HKDF: extract-then-expand.
+Bytes Hkdf(const Bytes& salt, const Bytes& ikm, const Bytes& info,
+           size_t length);
+
+}  // namespace prever::crypto
+
+#endif  // PREVER_CRYPTO_HMAC_H_

@@ -1,0 +1,135 @@
+#include "crypto/montgomery.h"
+
+namespace prever::crypto {
+
+namespace {
+/// -n0^{-1} mod 2^32 by Newton iteration (n0 odd).
+uint32_t NegInverse32(uint32_t n0) {
+  uint32_t x = 1;
+  // Each iteration doubles the number of correct low bits: 5 iterations
+  // reach 32 bits.
+  for (int i = 0; i < 5; ++i) x *= 2 - n0 * x;
+  return ~x + 1;  // -x mod 2^32.
+}
+}  // namespace
+
+Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
+  if (modulus.IsNegative() || modulus.IsEven() || modulus <= BigInt(1)) {
+    return Status::InvalidArgument("Montgomery modulus must be odd and > 1");
+  }
+  MontgomeryContext ctx;
+  ctx.n_ = modulus;
+  ctx.n_limbs_ = modulus.Limbs();
+  ctx.k_ = ctx.n_limbs_.size();
+  ctx.n_prime_ = NegInverse32(ctx.n_limbs_[0]);
+  // R = 2^(32k); R^2 mod n and R mod n via one-time divisions.
+  ctx.r2_ = (BigInt(1) << (64 * ctx.k_)).Mod(modulus);
+  ctx.one_mont_ = (BigInt(1) << (32 * ctx.k_)).Mod(modulus);
+  return ctx;
+}
+
+std::vector<uint32_t> MontgomeryContext::PadLimbs(const BigInt& v) const {
+  std::vector<uint32_t> out = v.Limbs();
+  out.resize(k_, 0);
+  return out;
+}
+
+BigInt MontgomeryContext::FromPadded(std::vector<uint32_t> limbs) const {
+  return BigInt::FromLimbs(std::move(limbs));
+}
+
+void MontgomeryContext::MontMulLimbs(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b,
+                                     std::vector<uint32_t>* out) const {
+  // CIOS (coarsely integrated operand scanning), Koç et al.
+  const size_t k = k_;
+  std::vector<uint32_t> t(k + 2, 0);
+  for (size_t i = 0; i < k; ++i) {
+    // t += a[i] * b.
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < k; ++j) {
+      uint64_t cur = t[j] + ai * b[j] + carry;
+      t[j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    uint64_t cur = t[k] + carry;
+    t[k] = static_cast<uint32_t>(cur);
+    t[k + 1] = static_cast<uint32_t>(cur >> 32);
+
+    // Eliminate the lowest limb: m = t[0] * n' mod 2^32; t = (t + m*n) / 2^32.
+    uint32_t m = t[0] * n_prime_;
+    cur = t[0] + static_cast<uint64_t>(m) * n_limbs_[0];
+    carry = cur >> 32;
+    for (size_t j = 1; j < k; ++j) {
+      cur = t[j] + static_cast<uint64_t>(m) * n_limbs_[j] + carry;
+      t[j - 1] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = static_cast<uint64_t>(t[k]) + carry;
+    t[k - 1] = static_cast<uint32_t>(cur);
+    t[k] = t[k + 1] + static_cast<uint32_t>(cur >> 32);
+    t[k + 1] = 0;
+  }
+  // Conditional subtraction: result may be in [0, 2n).
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t j = k; j-- > 0;) {
+      if (t[j] != n_limbs_[j]) {
+        ge = t[j] > n_limbs_[j];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    int64_t borrow = 0;
+    for (size_t j = 0; j < k; ++j) {
+      int64_t diff = static_cast<int64_t>(t[j]) - n_limbs_[j] - borrow;
+      if (diff < 0) {
+        diff += 1LL << 32;
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      t[j] = static_cast<uint32_t>(diff);
+    }
+  }
+  t.resize(k);
+  *out = std::move(t);
+}
+
+BigInt MontgomeryContext::MulMont(const BigInt& a_mont,
+                                  const BigInt& b_mont) const {
+  std::vector<uint32_t> out;
+  MontMulLimbs(PadLimbs(a_mont), PadLimbs(b_mont), &out);
+  return FromPadded(std::move(out));
+}
+
+BigInt MontgomeryContext::ToMontgomery(const BigInt& a) const {
+  return MulMont(a, r2_);
+}
+
+BigInt MontgomeryContext::FromMontgomery(const BigInt& a_mont) const {
+  return MulMont(a_mont, BigInt(1));
+}
+
+BigInt MontgomeryContext::PowMod(const BigInt& base, const BigInt& exp) const {
+  BigInt b = base.Mod(n_);
+  if (n_ == BigInt(1)) return BigInt();
+  std::vector<uint32_t> acc = PadLimbs(one_mont_);
+  std::vector<uint32_t> b_mont = PadLimbs(ToMontgomery(b));
+  std::vector<uint32_t> tmp;
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    MontMulLimbs(acc, acc, &tmp);
+    acc.swap(tmp);
+    if (exp.Bit(i)) {
+      MontMulLimbs(acc, b_mont, &tmp);
+      acc.swap(tmp);
+    }
+  }
+  return FromMontgomery(FromPadded(std::move(acc)));
+}
+
+}  // namespace prever::crypto

@@ -1,0 +1,56 @@
+#ifndef PREVER_CRYPTO_MONTGOMERY_H_
+#define PREVER_CRYPTO_MONTGOMERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/bigint.h"
+
+namespace prever::crypto {
+
+/// Montgomery-form modular arithmetic for a fixed odd modulus (CIOS on
+/// 32-bit limbs). One context construction costs a division (R^2 mod n);
+/// every subsequent modular multiplication avoids division entirely, which
+/// makes modular exponentiation several times faster than the plain
+/// divide-and-reduce path. BigInt::PowMod routes through this automatically
+/// for odd moduli; the class is public for callers with long-lived moduli
+/// (Paillier n^2, RSA n, Pedersen p) who want to reuse the context.
+class MontgomeryContext {
+ public:
+  /// Fails unless modulus is odd and > 1.
+  static Result<MontgomeryContext> Create(const BigInt& modulus);
+
+  const BigInt& modulus() const { return n_; }
+
+  /// a * R mod n (entering the Montgomery domain); requires 0 <= a < n.
+  BigInt ToMontgomery(const BigInt& a) const;
+  /// a * R^-1 mod n (leaving the domain).
+  BigInt FromMontgomery(const BigInt& a_mont) const;
+
+  /// Montgomery product of two domain values (a*b*R^-1 mod n).
+  BigInt MulMont(const BigInt& a_mont, const BigInt& b_mont) const;
+
+  /// base^exp mod n with ordinary-domain inputs and output.
+  /// Requires exp >= 0.
+  BigInt PowMod(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  MontgomeryContext() = default;
+
+  void MontMulLimbs(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b,
+                    std::vector<uint32_t>* out) const;
+  std::vector<uint32_t> PadLimbs(const BigInt& v) const;
+  BigInt FromPadded(std::vector<uint32_t> limbs) const;
+
+  BigInt n_;
+  std::vector<uint32_t> n_limbs_;
+  size_t k_ = 0;           ///< Limb count of the modulus.
+  uint32_t n_prime_ = 0;   ///< -n^{-1} mod 2^32.
+  BigInt r2_;              ///< R^2 mod n with R = 2^(32k).
+  BigInt one_mont_;        ///< R mod n (Montgomery form of 1).
+};
+
+}  // namespace prever::crypto
+
+#endif  // PREVER_CRYPTO_MONTGOMERY_H_

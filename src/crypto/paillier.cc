@@ -1,0 +1,104 @@
+#include "crypto/paillier.h"
+
+#include "crypto/prime.h"
+
+namespace prever::crypto {
+
+namespace {
+/// L(x) = (x - 1) / n, defined for x ≡ 1 (mod n).
+BigInt LFunction(const BigInt& x, const BigInt& n) {
+  return (x - BigInt(1)) / n;
+}
+}  // namespace
+
+Result<PaillierKeyPair> PaillierGenerateKey(size_t modulus_bits, Drbg& drbg) {
+  if (modulus_bits < 128 || modulus_bits % 2 != 0) {
+    return Status::InvalidArgument("modulus_bits must be even and >= 128");
+  }
+  for (;;) {
+    BigInt p = GeneratePrime(modulus_bits / 2, drbg);
+    BigInt q = GenerateDistinctPrime(modulus_bits / 2, p, drbg);
+    BigInt n = p * q;
+    if (n.BitLength() != modulus_bits) continue;
+    // With g = n + 1: L(g^lambda mod n^2) = lambda mod n... more precisely
+    // g^lambda = 1 + lambda*n (mod n^2), so mu = lambda^{-1} mod n.
+    BigInt lambda = BigInt::Lcm(p - BigInt(1), q - BigInt(1));
+    auto mu = lambda.InvMod(n);
+    if (!mu.ok()) continue;
+    PaillierKeyPair kp;
+    kp.pub.n = n;
+    kp.pub.n2 = n * n;
+    kp.pub.g = n + BigInt(1);
+    kp.priv.lambda = std::move(lambda);
+    kp.priv.mu = std::move(mu).value();
+    return kp;
+  }
+}
+
+Result<PaillierCiphertext> PaillierEncrypt(const PaillierPublicKey& pub,
+                                           const BigInt& m, Drbg& drbg) {
+  if (m.IsNegative() || m >= pub.n) {
+    return Status::InvalidArgument("plaintext out of range [0, n)");
+  }
+  BigInt r = drbg.RandomNonZeroBelow(pub.n);
+  // g^m = (1+n)^m = 1 + m*n (mod n^2): avoids one full PowMod.
+  BigInt gm = (BigInt(1) + m * pub.n).Mod(pub.n2);
+  BigInt rn = r.PowMod(pub.n, pub.n2);
+  return PaillierCiphertext{gm.MulMod(rn, pub.n2)};
+}
+
+Result<PaillierCiphertext> PaillierEncryptSigned(const PaillierPublicKey& pub,
+                                                 int64_t m, Drbg& drbg) {
+  BigInt pt(m);
+  if (pt.IsNegative()) pt = pub.n + pt;
+  return PaillierEncrypt(pub, pt, drbg);
+}
+
+Result<BigInt> PaillierDecrypt(const PaillierKeyPair& key,
+                               const PaillierCiphertext& ct) {
+  const auto& pub = key.pub;
+  if (ct.c.IsNegative() || ct.c >= pub.n2 || ct.c.IsZero()) {
+    return Status::InvalidArgument("ciphertext out of range");
+  }
+  BigInt u = ct.c.PowMod(key.priv.lambda, pub.n2);
+  BigInt m = LFunction(u, pub.n).MulMod(key.priv.mu, pub.n);
+  return m;
+}
+
+Result<int64_t> PaillierDecryptSigned(const PaillierKeyPair& key,
+                                      const PaillierCiphertext& ct) {
+  PREVER_ASSIGN_OR_RETURN(BigInt m, PaillierDecrypt(key, ct));
+  BigInt half = key.pub.n >> 1;
+  if (m > half) m = m - key.pub.n;
+  return m.ToInt64();
+}
+
+PaillierCiphertext PaillierAdd(const PaillierPublicKey& pub,
+                               const PaillierCiphertext& a,
+                               const PaillierCiphertext& b) {
+  return PaillierCiphertext{a.c.MulMod(b.c, pub.n2)};
+}
+
+PaillierCiphertext PaillierAddPlain(const PaillierPublicKey& pub,
+                                    const PaillierCiphertext& a,
+                                    const BigInt& k) {
+  BigInt kk = k.Mod(pub.n);
+  BigInt gk = (BigInt(1) + kk * pub.n).Mod(pub.n2);
+  return PaillierCiphertext{a.c.MulMod(gk, pub.n2)};
+}
+
+PaillierCiphertext PaillierMulPlain(const PaillierPublicKey& pub,
+                                    const PaillierCiphertext& a,
+                                    const BigInt& k) {
+  return PaillierCiphertext{a.c.PowMod(k.Mod(pub.n), pub.n2)};
+}
+
+Result<PaillierCiphertext> PaillierRerandomize(const PaillierPublicKey& pub,
+                                               const PaillierCiphertext& a,
+                                               Drbg& drbg) {
+  PREVER_ASSIGN_OR_RETURN(PaillierCiphertext zero,
+                          PaillierEncrypt(pub, BigInt(0), drbg));
+  return PaillierAdd(pub, a, zero);
+}
+
+}  // namespace prever::crypto

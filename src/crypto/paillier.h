@@ -1,0 +1,88 @@
+#ifndef PREVER_CRYPTO_PAILLIER_H_
+#define PREVER_CRYPTO_PAILLIER_H_
+
+#include "common/status.h"
+#include "crypto/bigint.h"
+#include "crypto/drbg.h"
+
+namespace prever::crypto {
+
+/// Paillier additively homomorphic encryption (the paper's RC1 suggests FHE
+/// [36]; the constraint classes PReVer motivates are linear, for which
+/// Paillier suffices — see DESIGN.md §2).
+///
+/// Public operations on ciphertexts:
+///   Enc(a) * Enc(b) = Enc(a + b)         (Add)
+///   Enc(a)^k        = Enc(a * k)         (MulPlain)
+/// Plaintext space is Z_n. Negative integers are represented as n - |v|
+/// (two's-complement style); DecryptSigned folds values > n/2 back.
+struct PaillierPublicKey {
+  BigInt n;        ///< Modulus.
+  BigInt n2;       ///< n^2, cached.
+  BigInt g;        ///< Generator, fixed to n + 1.
+
+  size_t ModulusBits() const { return n.BitLength(); }
+};
+
+struct PaillierPrivateKey {
+  BigInt lambda;  ///< lcm(p-1, q-1).
+  BigInt mu;      ///< (L(g^lambda mod n^2))^{-1} mod n.
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+/// Opaque ciphertext wrapper; prevents accidentally mixing ciphertexts with
+/// plaintext BigInts in engine code.
+struct PaillierCiphertext {
+  BigInt c;
+
+  bool operator==(const PaillierCiphertext& o) const { return c == o.c; }
+};
+
+/// Generates a key pair with modulus of `modulus_bits` bits.
+Result<PaillierKeyPair> PaillierGenerateKey(size_t modulus_bits, Drbg& drbg);
+
+/// Encrypts m in [0, n). Fresh randomness from `drbg`.
+Result<PaillierCiphertext> PaillierEncrypt(const PaillierPublicKey& pub,
+                                           const BigInt& m, Drbg& drbg);
+
+/// Encrypts a possibly negative int64 using the n - |v| embedding.
+Result<PaillierCiphertext> PaillierEncryptSigned(const PaillierPublicKey& pub,
+                                                 int64_t m, Drbg& drbg);
+
+/// Decrypts to the canonical representative in [0, n).
+Result<BigInt> PaillierDecrypt(const PaillierKeyPair& key,
+                               const PaillierCiphertext& ct);
+
+/// Decrypts and folds residues > n/2 to negative numbers; errors if the
+/// magnitude exceeds int64.
+Result<int64_t> PaillierDecryptSigned(const PaillierKeyPair& key,
+                                      const PaillierCiphertext& ct);
+
+/// Homomorphic addition of plaintexts.
+PaillierCiphertext PaillierAdd(const PaillierPublicKey& pub,
+                               const PaillierCiphertext& a,
+                               const PaillierCiphertext& b);
+
+/// Adds plaintext k to the encrypted value without decrypting.
+PaillierCiphertext PaillierAddPlain(const PaillierPublicKey& pub,
+                                    const PaillierCiphertext& a,
+                                    const BigInt& k);
+
+/// Multiplies the encrypted value by plaintext k.
+PaillierCiphertext PaillierMulPlain(const PaillierPublicKey& pub,
+                                    const PaillierCiphertext& a,
+                                    const BigInt& k);
+
+/// Re-randomizes the ciphertext: same plaintext, fresh randomness — used by
+/// the private-update path so written ciphertexts are unlinkable to reads.
+Result<PaillierCiphertext> PaillierRerandomize(const PaillierPublicKey& pub,
+                                               const PaillierCiphertext& a,
+                                               Drbg& drbg);
+
+}  // namespace prever::crypto
+
+#endif  // PREVER_CRYPTO_PAILLIER_H_

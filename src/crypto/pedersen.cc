@@ -1,0 +1,105 @@
+#include "crypto/pedersen.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace prever::crypto {
+
+namespace {
+
+/// Derives the second generator by hash-expanding a domain string into Z_p
+/// and squaring (squares generate the order-q subgroup of a safe-prime
+/// group). Nobody knows log_g of the result.
+BigInt DeriveH(const BigInt& p, std::string_view domain) {
+  Bytes seed = Sha256::Hash(domain);
+  size_t bytes = (p.BitLength() + 7) / 8 + 8;
+  Bytes expanded = HkdfExpand(seed, ToBytes("prever-pedersen-h"), bytes);
+  BigInt x = BigInt::FromBytes(expanded).Mod(p);
+  BigInt h = x.MulMod(x, p);
+  // Degenerate cases (h == 0 or 1) are astronomically unlikely but cheap to
+  // guard: re-derive from the squared value.
+  while (h.IsZero() || h == BigInt(1)) {
+    x = x + BigInt(1);
+    h = x.MulMod(x, p);
+  }
+  return h;
+}
+
+PedersenParams MakeParams(const char* p_hex) {
+  PedersenParams params;
+  params.p = BigInt::FromHex(p_hex).value();
+  params.q = (params.p - BigInt(1)) >> 1;
+  // 4 = 2^2 is a quadratic residue, hence generates the order-q subgroup.
+  params.g = BigInt(4);
+  params.h = DeriveH(params.p, "prever-pedersen-generator-h-v1");
+  return params;
+}
+
+// RFC 3526, MODP group 5 (1536 bits): a well-known safe prime.
+constexpr const char* kModp1536Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF";
+
+// Deterministically pre-generated safe primes (see DESIGN.md §6: research
+// parameter sizes). 512-bit for benches, 256-bit for unit tests.
+constexpr const char* kBench512Hex =
+    "b0848d23a3f32e0978bd94cff6607305b9cc8a795f7f380001f0e8893e80e915"
+    "9114af7eb62656cc1fdb943e7aaac5a8e1cfae7d0f7e7edf0ae0b652d3a1d637";
+constexpr const char* kTest256Hex =
+    "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f";
+
+}  // namespace
+
+const PedersenParams& PedersenParams::Standard1536() {
+  static const PedersenParams& params = *new PedersenParams(MakeParams(kModp1536Hex));
+  return params;
+}
+
+const PedersenParams& PedersenParams::Bench512() {
+  static const PedersenParams& params = *new PedersenParams(MakeParams(kBench512Hex));
+  return params;
+}
+
+const PedersenParams& PedersenParams::Test256() {
+  static const PedersenParams& params = *new PedersenParams(MakeParams(kTest256Hex));
+  return params;
+}
+
+PedersenCommitment PedersenCommit(const PedersenParams& params,
+                                  const BigInt& m, const BigInt& r) {
+  BigInt gm = params.g.PowMod(m.Mod(params.q), params.p);
+  BigInt hr = params.h.PowMod(r.Mod(params.q), params.p);
+  return PedersenCommitment{gm.MulMod(hr, params.p)};
+}
+
+PedersenOpening PedersenCommitFresh(const PedersenParams& params,
+                                    const BigInt& m, Drbg& drbg) {
+  PedersenOpening out;
+  out.randomness = drbg.RandomBelow(params.q);
+  out.commitment = PedersenCommit(params, m, out.randomness);
+  return out;
+}
+
+bool PedersenVerify(const PedersenParams& params,
+                    const PedersenCommitment& commitment, const BigInt& m,
+                    const BigInt& r) {
+  return PedersenCommit(params, m, r) == commitment;
+}
+
+PedersenCommitment PedersenAdd(const PedersenParams& params,
+                               const PedersenCommitment& a,
+                               const PedersenCommitment& b) {
+  return PedersenCommitment{a.c.MulMod(b.c, params.p)};
+}
+
+PedersenCommitment PedersenScale(const PedersenParams& params,
+                                 const PedersenCommitment& a,
+                                 const BigInt& k) {
+  return PedersenCommitment{a.c.PowMod(k.Mod(params.q), params.p)};
+}
+
+}  // namespace prever::crypto

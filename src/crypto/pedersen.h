@@ -1,0 +1,64 @@
+#ifndef PREVER_CRYPTO_PEDERSEN_H_
+#define PREVER_CRYPTO_PEDERSEN_H_
+
+#include "common/status.h"
+#include "crypto/bigint.h"
+#include "crypto/drbg.h"
+
+namespace prever::crypto {
+
+/// Schnorr group for Pedersen commitments: a safe prime p = 2q + 1 with
+/// generators g, h of the order-q subgroup such that log_g(h) is unknown
+/// (h is derived by hashing into the group — "nothing up my sleeve").
+struct PedersenParams {
+  BigInt p;  ///< Safe prime modulus.
+  BigInt q;  ///< Subgroup order, (p - 1) / 2.
+  BigInt g;  ///< Subgroup generator.
+  BigInt h;  ///< Second generator with unknown discrete log w.r.t. g.
+
+  /// Standard 1536-bit group (RFC 3526 MODP group 5 prime).
+  static const PedersenParams& Standard1536();
+  /// 512-bit group for benchmarks (research-scale).
+  static const PedersenParams& Bench512();
+  /// 256-bit group for fast unit tests. NOT secure.
+  static const PedersenParams& Test256();
+};
+
+/// A Pedersen commitment C = g^m h^r mod p. Perfectly hiding,
+/// computationally binding; additively homomorphic:
+///   Commit(m1, r1) * Commit(m2, r2) = Commit(m1 + m2, r1 + r2).
+struct PedersenCommitment {
+  BigInt c;
+
+  bool operator==(const PedersenCommitment& o) const { return c == o.c; }
+};
+
+/// Commits to m (reduced mod q) with explicit randomness r.
+PedersenCommitment PedersenCommit(const PedersenParams& params,
+                                  const BigInt& m, const BigInt& r);
+
+/// Commits with fresh randomness; returns the commitment and the opening r.
+struct PedersenOpening {
+  PedersenCommitment commitment;
+  BigInt randomness;
+};
+PedersenOpening PedersenCommitFresh(const PedersenParams& params,
+                                    const BigInt& m, Drbg& drbg);
+
+/// Checks C == g^m h^r.
+bool PedersenVerify(const PedersenParams& params,
+                    const PedersenCommitment& commitment, const BigInt& m,
+                    const BigInt& r);
+
+/// Homomorphic product: commits to the sum of the two committed values.
+PedersenCommitment PedersenAdd(const PedersenParams& params,
+                               const PedersenCommitment& a,
+                               const PedersenCommitment& b);
+
+/// C^k: commits to k * m (randomness scales to k * r).
+PedersenCommitment PedersenScale(const PedersenParams& params,
+                                 const PedersenCommitment& a, const BigInt& k);
+
+}  // namespace prever::crypto
+
+#endif  // PREVER_CRYPTO_PEDERSEN_H_

@@ -1,0 +1,66 @@
+#include "crypto/prime.h"
+
+namespace prever::crypto {
+
+namespace {
+constexpr uint32_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,
+    53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109,
+    113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, Drbg& drbg, int rounds) {
+  if (n < BigInt(2)) return false;
+  if (n == BigInt(2)) return true;
+  if (n.IsEven()) return false;
+  for (uint32_t p : kSmallPrimes) {
+    BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+  // Write n-1 = d * 2^s with d odd.
+  BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (d.IsEven()) {
+    d = d >> 1;
+    ++s;
+  }
+  BigInt n_minus_3 = n - BigInt(3);
+  for (int round = 0; round < rounds; ++round) {
+    // Witness a in [2, n-2].
+    BigInt a = drbg.RandomBelow(n_minus_3) + BigInt(2);
+    BigInt x = a.PowMod(d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = x.MulMod(x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt GeneratePrime(size_t bits, Drbg& drbg) {
+  for (;;) {
+    BigInt candidate = drbg.RandomBits(bits);
+    // Force odd.
+    if (candidate.IsEven()) candidate = candidate + BigInt(1);
+    if (candidate.BitLength() != bits) continue;
+    if (IsProbablePrime(candidate, drbg)) return candidate;
+  }
+}
+
+BigInt GenerateDistinctPrime(size_t bits, const BigInt& avoid, Drbg& drbg) {
+  for (;;) {
+    BigInt p = GeneratePrime(bits, drbg);
+    if (p != avoid) return p;
+  }
+}
+
+}  // namespace prever::crypto

@@ -1,0 +1,22 @@
+#ifndef PREVER_CRYPTO_PRIME_H_
+#define PREVER_CRYPTO_PRIME_H_
+
+#include "crypto/bigint.h"
+#include "crypto/drbg.h"
+
+namespace prever::crypto {
+
+/// Miller–Rabin probabilistic primality test with `rounds` random witnesses
+/// (error probability <= 4^-rounds), after trial division by small primes.
+bool IsProbablePrime(const BigInt& n, Drbg& drbg, int rounds = 20);
+
+/// Generates a random odd prime with exactly `bits` bits.
+BigInt GeneratePrime(size_t bits, Drbg& drbg);
+
+/// Generates a prime p with exactly `bits` bits such that p != avoid.
+/// Used by RSA/Paillier keygen to guarantee distinct factors.
+BigInt GenerateDistinctPrime(size_t bits, const BigInt& avoid, Drbg& drbg);
+
+}  // namespace prever::crypto
+
+#endif  // PREVER_CRYPTO_PRIME_H_

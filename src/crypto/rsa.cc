@@ -1,0 +1,80 @@
+#include "crypto/rsa.h"
+
+#include "crypto/hmac.h"
+#include "crypto/prime.h"
+#include "crypto/sha256.h"
+
+namespace prever::crypto {
+
+Result<RsaKeyPair> RsaGenerateKey(size_t modulus_bits, Drbg& drbg) {
+  if (modulus_bits < 128 || modulus_bits % 2 != 0) {
+    return Status::InvalidArgument("modulus_bits must be even and >= 128");
+  }
+  const BigInt e(65537);
+  for (;;) {
+    BigInt p = GeneratePrime(modulus_bits / 2, drbg);
+    BigInt q = GenerateDistinctPrime(modulus_bits / 2, p, drbg);
+    BigInt n = p * q;
+    if (n.BitLength() != modulus_bits) continue;
+    BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    auto d = e.InvMod(phi);
+    if (!d.ok()) continue;  // e not coprime with phi; rare, retry.
+    RsaKeyPair kp;
+    kp.pub.n = n;
+    kp.pub.e = e;
+    kp.d = std::move(d).value();
+    return kp;
+  }
+}
+
+BigInt RsaFdh(const RsaPublicKey& pub, const Bytes& message) {
+  // MGF1-style expansion of SHA-256(message) across the modulus width, then
+  // reduce mod n. Deterministic, so signer and verifier agree.
+  Bytes seed = Sha256::Hash(message);
+  Bytes expanded = HkdfExpand(seed, ToBytes("prever-rsa-fdh"),
+                              pub.ModulusBytes() + 8);
+  return BigInt::FromBytes(expanded).Mod(pub.n);
+}
+
+Bytes RsaSign(const RsaKeyPair& key, const Bytes& message) {
+  BigInt m = RsaFdh(key.pub, message);
+  BigInt sig = m.PowMod(key.d, key.pub.n);
+  auto padded = sig.ToBytesPadded(key.pub.ModulusBytes());
+  return padded.value();
+}
+
+bool RsaVerify(const RsaPublicKey& pub, const Bytes& message,
+               const Bytes& sig) {
+  if (sig.size() != pub.ModulusBytes()) return false;
+  BigInt s = BigInt::FromBytes(sig);
+  if (s >= pub.n) return false;
+  BigInt recovered = s.PowMod(pub.e, pub.n);
+  return recovered == RsaFdh(pub, message);
+}
+
+Result<BlindingResult> RsaBlind(const RsaPublicKey& pub, const Bytes& message,
+                                Drbg& drbg) {
+  BigInt m = RsaFdh(pub, message);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    BigInt r = drbg.RandomNonZeroBelow(pub.n);
+    auto r_inv = r.InvMod(pub.n);
+    if (!r_inv.ok()) continue;  // gcd(r, n) != 1 — astronomically rare.
+    BlindingResult out;
+    out.blinded_message = m.MulMod(r.PowMod(pub.e, pub.n), pub.n);
+    out.unblinder = std::move(r_inv).value();
+    return out;
+  }
+  return Status::Internal("could not find invertible blinding factor");
+}
+
+BigInt RsaBlindSign(const RsaKeyPair& key, const BigInt& blinded_message) {
+  return blinded_message.PowMod(key.d, key.pub.n);
+}
+
+Bytes RsaUnblind(const RsaPublicKey& pub, const BigInt& blind_signature,
+                 const BigInt& unblinder) {
+  BigInt sig = blind_signature.MulMod(unblinder, pub.n);
+  return sig.ToBytesPadded(pub.ModulusBytes()).value();
+}
+
+}  // namespace prever::crypto

@@ -1,0 +1,134 @@
+#include "crypto/shamir.h"
+
+namespace prever::crypto {
+
+uint64_t Field61::Reduce(uint64_t x) {
+  // Mersenne reduction: x = hi * 2^61 + lo ≡ hi + lo (mod 2^61 - 1).
+  x = (x >> 61) + (x & kPrime);
+  if (x >= kPrime) x -= kPrime;
+  return x;
+}
+
+uint64_t Field61::Add(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;  // a, b < 2^61 so no overflow in 64 bits.
+  if (s >= kPrime) s -= kPrime;
+  return s;
+}
+
+uint64_t Field61::Sub(uint64_t a, uint64_t b) {
+  return a >= b ? a - b : a + kPrime - b;
+}
+
+uint64_t Field61::Mul(uint64_t a, uint64_t b) {
+  unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod) & kPrime;
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  return Reduce(lo + Reduce(hi));
+}
+
+uint64_t Field61::Pow(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  base = Reduce(base);
+  while (exp > 0) {
+    if (exp & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+uint64_t Field61::Inv(uint64_t a) { return Pow(a, kPrime - 2); }
+
+uint64_t Field61::Random(Rng& rng) { return rng.NextBelow(kPrime); }
+
+Result<std::vector<ShamirShare>> ShamirShareSecret(uint64_t secret, size_t n,
+                                                   size_t t, Rng& rng) {
+  if (t == 0 || t > n) {
+    return Status::InvalidArgument("threshold must satisfy 1 <= t <= n");
+  }
+  if (secret >= Field61::kPrime) {
+    return Status::InvalidArgument("secret must be < 2^61 - 1");
+  }
+  // Random polynomial f of degree t-1 with f(0) = secret.
+  std::vector<uint64_t> coeffs(t);
+  coeffs[0] = secret;
+  for (size_t i = 1; i < t; ++i) coeffs[i] = Field61::Random(rng);
+
+  std::vector<ShamirShare> shares(n);
+  for (size_t party = 0; party < n; ++party) {
+    uint64_t x = party + 1;  // Nonzero evaluation points.
+    // Horner evaluation.
+    uint64_t y = 0;
+    for (size_t i = t; i-- > 0;) y = Field61::Add(Field61::Mul(y, x), coeffs[i]);
+    shares[party] = {x, y};
+  }
+  return shares;
+}
+
+Result<uint64_t> ShamirReconstruct(const std::vector<ShamirShare>& shares) {
+  if (shares.empty()) return Status::InvalidArgument("no shares");
+  for (size_t i = 0; i < shares.size(); ++i) {
+    if (shares[i].x == 0) return Status::InvalidArgument("share with x == 0");
+    for (size_t j = i + 1; j < shares.size(); ++j) {
+      if (shares[i].x == shares[j].x) {
+        return Status::InvalidArgument("duplicate share points");
+      }
+    }
+  }
+  // Lagrange interpolation at 0: secret = sum_i y_i * prod_{j!=i} x_j/(x_j - x_i).
+  uint64_t secret = 0;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    uint64_t num = 1, den = 1;
+    for (size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      num = Field61::Mul(num, shares[j].x);
+      den = Field61::Mul(den, Field61::Sub(shares[j].x, shares[i].x));
+    }
+    uint64_t term = Field61::Mul(shares[i].y, Field61::Mul(num, Field61::Inv(den)));
+    secret = Field61::Add(secret, term);
+  }
+  return secret;
+}
+
+Result<std::vector<ShamirShare>> ShamirAddShares(
+    const std::vector<ShamirShare>& a, const std::vector<ShamirShare>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("share vectors differ in size");
+  }
+  std::vector<ShamirShare> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].x != b[i].x) {
+      return Status::InvalidArgument("share points do not match");
+    }
+    out[i] = {a[i].x, Field61::Add(a[i].y, b[i].y)};
+  }
+  return out;
+}
+
+std::vector<ShamirShare> ShamirScaleShares(const std::vector<ShamirShare>& a,
+                                           uint64_t c) {
+  std::vector<ShamirShare> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = {a[i].x, Field61::Mul(a[i].y, Field61::Reduce(c))};
+  }
+  return out;
+}
+
+std::vector<uint64_t> AdditiveShare(uint64_t secret, size_t n, Rng& rng) {
+  std::vector<uint64_t> shares(n);
+  uint64_t sum = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    shares[i] = rng.NextU64();
+    sum += shares[i];
+  }
+  shares[n - 1] = secret - sum;  // mod 2^64 wraparound is the point.
+  return shares;
+}
+
+uint64_t AdditiveReconstruct(const std::vector<uint64_t>& shares) {
+  uint64_t sum = 0;
+  for (uint64_t s : shares) sum += s;
+  return sum;
+}
+
+}  // namespace prever::crypto

@@ -1,0 +1,65 @@
+#ifndef PREVER_CRYPTO_SHAMIR_H_
+#define PREVER_CRYPTO_SHAMIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace prever::crypto {
+
+/// Prime field F_p with p = 2^61 - 1 (a Mersenne prime). Large enough for
+/// all PReVer aggregates (counts, hours, currency in cents) while keeping
+/// every field op a couple of machine instructions.
+class Field61 {
+ public:
+  static constexpr uint64_t kPrime = (1ULL << 61) - 1;
+
+  static uint64_t Reduce(uint64_t x);
+  static uint64_t Add(uint64_t a, uint64_t b);
+  static uint64_t Sub(uint64_t a, uint64_t b);
+  static uint64_t Mul(uint64_t a, uint64_t b);
+  static uint64_t Pow(uint64_t base, uint64_t exp);
+  /// Multiplicative inverse via Fermat; requires a != 0.
+  static uint64_t Inv(uint64_t a);
+  /// Uniform field element.
+  static uint64_t Random(Rng& rng);
+};
+
+/// One party's Shamir share: the evaluation point x (party id, nonzero) and
+/// polynomial value y.
+struct ShamirShare {
+  uint64_t x = 0;
+  uint64_t y = 0;
+};
+
+/// Splits `secret` (in F_p) into n shares with reconstruction threshold t
+/// (any t shares reconstruct; t-1 reveal nothing).
+Result<std::vector<ShamirShare>> ShamirShareSecret(uint64_t secret, size_t n,
+                                                   size_t t, Rng& rng);
+
+/// Lagrange interpolation at x = 0 from >= t distinct shares.
+Result<uint64_t> ShamirReconstruct(const std::vector<ShamirShare>& shares);
+
+/// Pointwise share addition — yields shares of the sum (degrees equal,
+/// points must match pairwise).
+Result<std::vector<ShamirShare>> ShamirAddShares(
+    const std::vector<ShamirShare>& a, const std::vector<ShamirShare>& b);
+
+/// Multiplies every share by a public constant — shares of c * secret.
+std::vector<ShamirShare> ShamirScaleShares(const std::vector<ShamirShare>& a,
+                                           uint64_t c);
+
+// --- Additive sharing over Z_{2^64} (used by the lightweight aggregation
+// paths where all parties participate, i.e. t == n) ---
+
+/// Splits `secret` into n additive shares (sum mod 2^64 == secret).
+std::vector<uint64_t> AdditiveShare(uint64_t secret, size_t n, Rng& rng);
+
+/// Sums shares mod 2^64.
+uint64_t AdditiveReconstruct(const std::vector<uint64_t>& shares);
+
+}  // namespace prever::crypto
+
+#endif  // PREVER_CRYPTO_SHAMIR_H_

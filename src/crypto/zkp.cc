@@ -1,0 +1,236 @@
+#include "crypto/zkp.h"
+
+#include "crypto/sha256.h"
+
+namespace prever::crypto {
+
+namespace {
+
+/// Fiat–Shamir challenge: hash a domain tag and the transcript values into
+/// Z_q. Every proof type uses a distinct tag to prevent cross-protocol reuse.
+BigInt Challenge(const PedersenParams& params, std::string_view tag,
+                 const std::vector<const BigInt*>& transcript) {
+  Sha256 hash;
+  hash.Update(ToBytes(tag));
+  hash.Update(params.p.ToBytes());
+  hash.Update(params.g.ToBytes());
+  hash.Update(params.h.ToBytes());
+  for (const BigInt* v : transcript) {
+    Bytes b = v->ToBytes();
+    // Length-prefix to keep the transcript encoding injective.
+    Bytes len(4);
+    for (int i = 0; i < 4; ++i) len[i] = static_cast<uint8_t>(b.size() >> (8 * i));
+    hash.Update(len);
+    hash.Update(b);
+  }
+  return BigInt::FromBytes(hash.Finish()).Mod(params.q);
+}
+
+}  // namespace
+
+OpeningProof ProveOpening(const PedersenParams& params,
+                          const PedersenCommitment& commitment,
+                          const BigInt& m, const BigInt& r, Drbg& drbg) {
+  BigInt a = drbg.RandomBelow(params.q);
+  BigInt b = drbg.RandomBelow(params.q);
+  OpeningProof proof;
+  proof.t = params.g.PowMod(a, params.p)
+                .MulMod(params.h.PowMod(b, params.p), params.p);
+  BigInt e = Challenge(params, "prever-zkp-opening", {&commitment.c, &proof.t});
+  proof.z1 = (a + e * m.Mod(params.q)).Mod(params.q);
+  proof.z2 = (b + e * r.Mod(params.q)).Mod(params.q);
+  return proof;
+}
+
+bool VerifyOpening(const PedersenParams& params,
+                   const PedersenCommitment& commitment,
+                   const OpeningProof& proof) {
+  BigInt e = Challenge(params, "prever-zkp-opening", {&commitment.c, &proof.t});
+  BigInt lhs = params.g.PowMod(proof.z1, params.p)
+                   .MulMod(params.h.PowMod(proof.z2, params.p), params.p);
+  BigInt rhs = proof.t.MulMod(commitment.c.PowMod(e, params.p), params.p);
+  return lhs == rhs;
+}
+
+Result<BitProof> ProveBit(const PedersenParams& params,
+                          const PedersenCommitment& commitment, int bit,
+                          const BigInt& r, Drbg& drbg) {
+  if (bit != 0 && bit != 1) {
+    return Status::InvalidArgument("bit must be 0 or 1");
+  }
+  // Statements (Schnorr w.r.t. base h):
+  //   branch 0: y0 = C       = h^r   (i.e., committed value is 0)
+  //   branch 1: y1 = C * g^-1 = h^r  (i.e., committed value is 1)
+  PREVER_ASSIGN_OR_RETURN(BigInt g_inv, params.g.InvMod(params.p));
+  BigInt y0 = commitment.c;
+  BigInt y1 = commitment.c.MulMod(g_inv, params.p);
+
+  BitProof proof;
+  BigInt w = drbg.RandomBelow(params.q);
+  if (bit == 0) {
+    // Real proof on branch 0; simulate branch 1.
+    proof.t0 = params.h.PowMod(w, params.p);
+    proof.e1 = drbg.RandomBelow(params.q);
+    proof.z1 = drbg.RandomBelow(params.q);
+    PREVER_ASSIGN_OR_RETURN(BigInt y1_inv, y1.InvMod(params.p));
+    proof.t1 = params.h.PowMod(proof.z1, params.p)
+                   .MulMod(y1_inv.PowMod(proof.e1, params.p), params.p);
+    BigInt e = Challenge(params, "prever-zkp-bit",
+                         {&commitment.c, &proof.t0, &proof.t1});
+    proof.e0 = e.SubMod(proof.e1, params.q);
+    proof.z0 = (w + proof.e0 * r.Mod(params.q)).Mod(params.q);
+  } else {
+    // Real proof on branch 1; simulate branch 0.
+    proof.t1 = params.h.PowMod(w, params.p);
+    proof.e0 = drbg.RandomBelow(params.q);
+    proof.z0 = drbg.RandomBelow(params.q);
+    PREVER_ASSIGN_OR_RETURN(BigInt y0_inv, y0.InvMod(params.p));
+    proof.t0 = params.h.PowMod(proof.z0, params.p)
+                   .MulMod(y0_inv.PowMod(proof.e0, params.p), params.p);
+    BigInt e = Challenge(params, "prever-zkp-bit",
+                         {&commitment.c, &proof.t0, &proof.t1});
+    proof.e1 = e.SubMod(proof.e0, params.q);
+    proof.z1 = (w + proof.e1 * r.Mod(params.q)).Mod(params.q);
+  }
+  return proof;
+}
+
+bool VerifyBit(const PedersenParams& params,
+               const PedersenCommitment& commitment, const BitProof& proof) {
+  BigInt e = Challenge(params, "prever-zkp-bit",
+                       {&commitment.c, &proof.t0, &proof.t1});
+  if (proof.e0.AddMod(proof.e1, params.q) != e) return false;
+  auto g_inv = params.g.InvMod(params.p);
+  if (!g_inv.ok()) return false;
+  BigInt y0 = commitment.c;
+  BigInt y1 = commitment.c.MulMod(g_inv.value(), params.p);
+  // h^z0 == t0 * y0^e0
+  BigInt lhs0 = params.h.PowMod(proof.z0, params.p);
+  BigInt rhs0 = proof.t0.MulMod(y0.PowMod(proof.e0, params.p), params.p);
+  if (lhs0 != rhs0) return false;
+  // h^z1 == t1 * y1^e1
+  BigInt lhs1 = params.h.PowMod(proof.z1, params.p);
+  BigInt rhs1 = proof.t1.MulMod(y1.PowMod(proof.e1, params.p), params.p);
+  return lhs1 == rhs1;
+}
+
+Result<RangeProof> ProveRange(const PedersenParams& params,
+                              const PedersenCommitment& commitment,
+                              const BigInt& m, const BigInt& r,
+                              size_t num_bits, Drbg& drbg) {
+  if (m.IsNegative() || m.BitLength() > num_bits) {
+    return Status::InvalidArgument("value out of range for range proof");
+  }
+  if (!PedersenVerify(params, commitment, m, r)) {
+    return Status::InvalidArgument("commitment does not open to (m, r)");
+  }
+  RangeProof proof;
+  proof.bit_commitments.reserve(num_bits);
+  proof.bit_proofs.reserve(num_bits);
+
+  // Choose bit randomness r_i for i > 0 freely; pin r_0 so that
+  // sum(2^i * r_i) == r (mod q), making the weighted product of the bit
+  // commitments equal the original commitment.
+  std::vector<BigInt> bit_rand(num_bits);
+  BigInt weighted_tail(0);
+  for (size_t i = 1; i < num_bits; ++i) {
+    bit_rand[i] = drbg.RandomBelow(params.q);
+    weighted_tail =
+        weighted_tail.AddMod((BigInt(1) << i).MulMod(bit_rand[i], params.q),
+                             params.q);
+  }
+  bit_rand[0] = r.Mod(params.q).SubMod(weighted_tail, params.q);
+
+  for (size_t i = 0; i < num_bits; ++i) {
+    int bit = m.Bit(i) ? 1 : 0;
+    PedersenCommitment ci = PedersenCommit(params, BigInt(bit), bit_rand[i]);
+    PREVER_ASSIGN_OR_RETURN(BitProof bp,
+                            ProveBit(params, ci, bit, bit_rand[i], drbg));
+    proof.bit_commitments.push_back(ci);
+    proof.bit_proofs.push_back(std::move(bp));
+  }
+  return proof;
+}
+
+bool VerifyRange(const PedersenParams& params,
+                 const PedersenCommitment& commitment, const RangeProof& proof,
+                 size_t num_bits) {
+  if (proof.bit_commitments.size() != num_bits ||
+      proof.bit_proofs.size() != num_bits) {
+    return false;
+  }
+  // Each bit commitment must open to 0/1.
+  for (size_t i = 0; i < num_bits; ++i) {
+    if (!VerifyBit(params, proof.bit_commitments[i], proof.bit_proofs[i])) {
+      return false;
+    }
+  }
+  // Weighted product must reconstruct the original commitment.
+  BigInt product(1);
+  for (size_t i = 0; i < num_bits; ++i) {
+    BigInt weighted =
+        proof.bit_commitments[i].c.PowMod(BigInt(1) << i, params.p);
+    product = product.MulMod(weighted, params.p);
+  }
+  return product == commitment.c;
+}
+
+Result<RangeProof> ProveUpperBound(const PedersenParams& params,
+                                   const PedersenCommitment& /*commitment*/,
+                                   const BigInt& m, const BigInt& r,
+                                   const BigInt& bound, size_t num_bits,
+                                   Drbg& drbg) {
+  if (m > bound) {
+    return Status::InvalidArgument("value exceeds bound; cannot prove");
+  }
+  // slack = bound - m >= 0. Its commitment is Commit(bound, 0) / C, which the
+  // verifier can derive; the slack randomness is -r mod q.
+  BigInt slack = bound - m;
+  BigInt slack_r = params.q - r.Mod(params.q);
+  if (slack_r == params.q) slack_r = BigInt(0);
+  PedersenCommitment slack_commitment =
+      PedersenCommit(params, slack, slack_r);
+  return ProveRange(params, slack_commitment, slack, slack_r, num_bits, drbg);
+}
+
+bool VerifyUpperBound(const PedersenParams& params,
+                      const PedersenCommitment& commitment,
+                      const RangeProof& proof, const BigInt& bound,
+                      size_t num_bits) {
+  // Derive Commit(bound - m, -r) = g^bound * C^{-1}.
+  auto c_inv = commitment.c.InvMod(params.p);
+  if (!c_inv.ok()) return false;
+  PedersenCommitment slack_commitment{
+      params.g.PowMod(bound.Mod(params.q), params.p)
+          .MulMod(c_inv.value(), params.p)};
+  return VerifyRange(params, slack_commitment, proof, num_bits);
+}
+
+Result<RangeProof> ProveLowerBound(const PedersenParams& params,
+                                   const PedersenCommitment& /*commitment*/,
+                                   const BigInt& m, const BigInt& r,
+                                   const BigInt& bound, size_t num_bits,
+                                   Drbg& drbg) {
+  if (m < bound) {
+    return Status::InvalidArgument("value below bound; cannot prove");
+  }
+  // slack = m - bound >= 0; commitment is C / Commit(bound, 0), randomness r.
+  BigInt slack = m - bound;
+  PedersenCommitment slack_commitment = PedersenCommit(params, slack, r);
+  return ProveRange(params, slack_commitment, slack, r, num_bits, drbg);
+}
+
+bool VerifyLowerBound(const PedersenParams& params,
+                      const PedersenCommitment& commitment,
+                      const RangeProof& proof, const BigInt& bound,
+                      size_t num_bits) {
+  // Derive Commit(m - bound, r) = C * g^{-bound}.
+  auto g_pow_bound_inv =
+      params.g.PowMod(bound.Mod(params.q), params.p).InvMod(params.p);
+  if (!g_pow_bound_inv.ok()) return false;
+  PedersenCommitment slack_commitment{
+      commitment.c.MulMod(g_pow_bound_inv.value(), params.p)};
+  return VerifyRange(params, slack_commitment, proof, num_bits);
+}
+
+}  // namespace prever::crypto

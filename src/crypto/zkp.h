@@ -1,0 +1,96 @@
+#ifndef PREVER_CRYPTO_ZKP_H_
+#define PREVER_CRYPTO_ZKP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/bigint.h"
+#include "crypto/drbg.h"
+#include "crypto/pedersen.h"
+
+namespace prever::crypto {
+
+/// Non-interactive Σ-protocols (Fiat–Shamir over SHA-256) on Pedersen
+/// commitments. These stand in for the zk-SNARKs the paper cites [35]: the
+/// data manager proves it enforced a bound without revealing the value
+/// (DESIGN.md §2).
+
+/// Proof of knowledge of an opening (m, r) of C = g^m h^r.
+struct OpeningProof {
+  BigInt t;   ///< Commitment to the prover nonces, g^a h^b.
+  BigInt z1;  ///< a + e*m mod q.
+  BigInt z2;  ///< b + e*r mod q.
+};
+
+OpeningProof ProveOpening(const PedersenParams& params,
+                          const PedersenCommitment& commitment,
+                          const BigInt& m, const BigInt& r, Drbg& drbg);
+
+bool VerifyOpening(const PedersenParams& params,
+                   const PedersenCommitment& commitment,
+                   const OpeningProof& proof);
+
+/// CDS OR-proof that a commitment opens to 0 or to 1 (without revealing
+/// which). Building block of the range proof.
+struct BitProof {
+  BigInt t0, t1;  ///< Per-branch nonce commitments.
+  BigInt e0, e1;  ///< Challenge split, e0 + e1 = H(...).
+  BigInt z0, z1;  ///< Per-branch responses.
+};
+
+/// Requires bit in {0, 1} and commitment == Commit(bit, r).
+Result<BitProof> ProveBit(const PedersenParams& params,
+                          const PedersenCommitment& commitment, int bit,
+                          const BigInt& r, Drbg& drbg);
+
+bool VerifyBit(const PedersenParams& params,
+               const PedersenCommitment& commitment, const BitProof& proof);
+
+/// Proof that the committed value lies in [0, 2^num_bits): bitwise
+/// decomposition commitments whose weighted product reconstructs the
+/// original commitment, plus a BitProof per bit.
+struct RangeProof {
+  std::vector<PedersenCommitment> bit_commitments;  ///< LSB first.
+  std::vector<BitProof> bit_proofs;
+};
+
+/// Requires m in [0, 2^num_bits) and commitment == Commit(m, r).
+Result<RangeProof> ProveRange(const PedersenParams& params,
+                              const PedersenCommitment& commitment,
+                              const BigInt& m, const BigInt& r,
+                              size_t num_bits, Drbg& drbg);
+
+bool VerifyRange(const PedersenParams& params,
+                 const PedersenCommitment& commitment, const RangeProof& proof,
+                 size_t num_bits);
+
+/// Proof that committed value m satisfies m <= bound, built as a range proof
+/// on (bound - m): the canonical PReVer regulation shape (e.g. weekly hours
+/// <= 40). The verifier derives the commitment to bound - m homomorphically.
+Result<RangeProof> ProveUpperBound(const PedersenParams& params,
+                                   const PedersenCommitment& commitment,
+                                   const BigInt& m, const BigInt& r,
+                                   const BigInt& bound, size_t num_bits,
+                                   Drbg& drbg);
+
+bool VerifyUpperBound(const PedersenParams& params,
+                      const PedersenCommitment& commitment,
+                      const RangeProof& proof, const BigInt& bound,
+                      size_t num_bits);
+
+/// Proof that committed value m satisfies m >= bound (e.g. "at least two
+/// vaccine doses"), built as a range proof on (m - bound).
+Result<RangeProof> ProveLowerBound(const PedersenParams& params,
+                                   const PedersenCommitment& commitment,
+                                   const BigInt& m, const BigInt& r,
+                                   const BigInt& bound, size_t num_bits,
+                                   Drbg& drbg);
+
+bool VerifyLowerBound(const PedersenParams& params,
+                      const PedersenCommitment& commitment,
+                      const RangeProof& proof, const BigInt& bound,
+                      size_t num_bits);
+
+}  // namespace prever::crypto
+
+#endif  // PREVER_CRYPTO_ZKP_H_

@@ -1,0 +1,95 @@
+#include "ledger/block.h"
+
+#include "common/serial.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace prever::ledger {
+
+Bytes Block::EncodeHeader() const {
+  BinaryWriter w;
+  w.WriteU64(height);
+  w.WriteU64(timestamp);
+  w.WriteBytes(prev_hash);
+  w.WriteBytes(tx_root);
+  w.WriteU32(static_cast<uint32_t>(transactions.size()));
+  return w.Take();
+}
+
+Bytes Block::Hash() const { return crypto::Sha256::Hash(EncodeHeader()); }
+
+Bytes Block::ComputeTxRoot() const {
+  crypto::MerkleTree tree;
+  for (const Bytes& tx : transactions) tree.Append(tx);
+  return tree.Root();
+}
+
+Blockchain::Blockchain() {
+  Block genesis;
+  genesis.height = 0;
+  genesis.timestamp = 0;
+  genesis.prev_hash = Bytes(32, 0);
+  genesis.tx_root = genesis.ComputeTxRoot();
+  blocks_.push_back(std::move(genesis));
+}
+
+Result<const Block*> Blockchain::GetBlock(uint64_t height) const {
+  if (height >= blocks_.size()) {
+    return Status::NotFound("no block at height " + std::to_string(height));
+  }
+  return &blocks_[height];
+}
+
+Block Blockchain::BuildNext(std::vector<Bytes> transactions,
+                            SimTime timestamp) const {
+  Block block;
+  block.height = blocks_.size();
+  block.timestamp = timestamp;
+  block.prev_hash = Tip().Hash();
+  block.transactions = std::move(transactions);
+  block.tx_root = block.ComputeTxRoot();
+  return block;
+}
+
+Status Blockchain::Append(const Block& block) {
+  if (block.height != blocks_.size()) {
+    return Status::InvalidArgument(
+        "block height " + std::to_string(block.height) + ", expected " +
+        std::to_string(blocks_.size()));
+  }
+  if (block.prev_hash != Tip().Hash()) {
+    return Status::IntegrityViolation("block does not link to current tip");
+  }
+  if (block.tx_root != block.ComputeTxRoot()) {
+    return Status::IntegrityViolation("block tx_root does not match payload");
+  }
+  blocks_.push_back(block);
+  return Status::Ok();
+}
+
+Status Blockchain::Validate() const {
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (b.height != i) {
+      return Status::IntegrityViolation("height mismatch at block " +
+                                        std::to_string(i));
+    }
+    if (b.tx_root != b.ComputeTxRoot()) {
+      return Status::IntegrityViolation("tx_root mismatch at block " +
+                                        std::to_string(i));
+    }
+    if (i > 0 && b.prev_hash != blocks_[i - 1].Hash()) {
+      return Status::IntegrityViolation("broken hash link at block " +
+                                        std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+size_t Blockchain::TotalTransactions() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.transactions.size();
+  return total;
+}
+
+}  // namespace prever::ledger

@@ -1,0 +1,60 @@
+#ifndef PREVER_LEDGER_BLOCK_H_
+#define PREVER_LEDGER_BLOCK_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace prever::ledger {
+
+/// A block in the permissioned blockchain used for the federated setting
+/// (§4 RC4: "permissioned blockchain systems … can be used as the
+/// infrastructure of PReVer"). Transactions are opaque payloads (encoded
+/// PReVer updates); the Merkle root commits to them; prev_hash chains blocks.
+struct Block {
+  uint64_t height = 0;
+  SimTime timestamp = 0;
+  Bytes prev_hash;
+  Bytes tx_root;
+  std::vector<Bytes> transactions;
+
+  /// Canonical header encoding (hashed to identify the block).
+  Bytes EncodeHeader() const;
+  Bytes Hash() const;
+
+  /// Recomputes the Merkle root over `transactions` — must equal tx_root.
+  Bytes ComputeTxRoot() const;
+};
+
+/// An in-memory chain of validated blocks, maintained by every replica.
+class Blockchain {
+ public:
+  Blockchain();
+
+  /// Genesis has height 0 and empty payload; user blocks start at height 1.
+  uint64_t height() const { return blocks_.size() - 1; }
+  size_t num_blocks() const { return blocks_.size(); }
+  const Block& Tip() const { return blocks_.back(); }
+  Result<const Block*> GetBlock(uint64_t height) const;
+
+  /// Builds a valid successor block from transactions.
+  Block BuildNext(std::vector<Bytes> transactions, SimTime timestamp) const;
+
+  /// Validates linkage, height, and tx_root, then appends.
+  Status Append(const Block& block);
+
+  /// Full-chain validation (any participant can run this — RC4).
+  Status Validate() const;
+
+  /// Total transactions across all blocks.
+  size_t TotalTransactions() const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace prever::ledger
+
+#endif  // PREVER_LEDGER_BLOCK_H_

@@ -1,0 +1,156 @@
+#include "mpc/compare.h"
+
+namespace prever::mpc {
+
+namespace {
+
+/// A bit XOR-shared among n parties: bit == XOR of all entries.
+using BitShares = std::vector<uint8_t>;
+
+BitShares XorShareBit(int bit, size_t n, Rng& rng) {
+  BitShares shares(n);
+  uint8_t acc = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    shares[i] = static_cast<uint8_t>(rng.NextBelow(2));
+    acc ^= shares[i];
+  }
+  shares[n - 1] = static_cast<uint8_t>(bit) ^ acc;
+  return shares;
+}
+
+/// Public constant as shares: party 0 holds the bit.
+BitShares PublicBit(int bit, size_t n) {
+  BitShares shares(n, 0);
+  shares[0] = static_cast<uint8_t>(bit);
+  return shares;
+}
+
+BitShares Xor(const BitShares& a, const BitShares& b) {
+  BitShares out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+int OpenBit(const BitShares& a, MpcTranscript* transcript) {
+  if (transcript != nullptr) transcript->Exchange(a.size(), 1);
+  uint8_t v = 0;
+  for (uint8_t s : a) v ^= s;
+  return v;
+}
+
+/// Beaver bit triple: XOR-shares of random a, b and of c = a AND b.
+struct BitTriple {
+  BitShares a, b, c;
+};
+
+BitTriple DealTriple(size_t n, Rng& rng) {
+  int a = static_cast<int>(rng.NextBelow(2));
+  int b = static_cast<int>(rng.NextBelow(2));
+  return BitTriple{XorShareBit(a, n, rng), XorShareBit(b, n, rng),
+                   XorShareBit(a & b, n, rng)};
+}
+
+/// GMW AND gate via a Beaver triple: opens d = x^a and e = y^b, then
+/// z = c ^ (d&b) ^ (e&a) ^ (d&e as public constant).
+BitShares AndGate(const BitShares& x, const BitShares& y,
+                  const BitTriple& triple, MpcTranscript* transcript) {
+  int d = OpenBit(Xor(x, triple.a), transcript);
+  int e = OpenBit(Xor(y, triple.b), transcript);
+  size_t n = x.size();
+  BitShares z = triple.c;
+  if (d) z = Xor(z, triple.b);
+  if (e) z = Xor(z, triple.a);
+  if (d && e) z = Xor(z, PublicBit(1, n));
+  return z;
+}
+
+}  // namespace
+
+Result<bool> SecureComparison::SumLessEqual(
+    const std::vector<uint64_t>& private_inputs, uint64_t bound, size_t k_bits,
+    Rng& dealer_rng, MpcTranscript* transcript) {
+  size_t n = private_inputs.size();
+  if (n == 0) return Status::InvalidArgument("no parties");
+  if (k_bits == 0 || k_bits > 62) {
+    return Status::InvalidArgument("k_bits must be in [1, 62]");
+  }
+  const uint64_t modulus = 1ULL << k_bits;
+  uint64_t sum_check = 0;
+  for (uint64_t x : private_inputs) sum_check += x;
+  if (sum_check >= modulus) {
+    return Status::InvalidArgument("aggregate exceeds 2^k_bits domain");
+  }
+  if (bound >= modulus) return true;  // Trivially satisfied.
+
+  // ---- Offline phase: dealer randomness ----
+  uint64_t r = dealer_rng.NextBelow(modulus);
+  // Additive shares of r mod 2^k.
+  std::vector<uint64_t> r_add(n);
+  {
+    uint64_t acc = 0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      r_add[i] = dealer_rng.NextBelow(modulus);
+      acc = (acc + r_add[i]) & (modulus - 1);
+    }
+    r_add[n - 1] = (r - acc) & (modulus - 1);
+  }
+  // XOR-shares of r's bits.
+  std::vector<BitShares> r_bits(k_bits);
+  for (size_t j = 0; j < k_bits; ++j) {
+    r_bits[j] = XorShareBit(static_cast<int>((r >> j) & 1), n, dealer_rng);
+  }
+
+  // ---- Online phase 1: open c = S + r mod 2^k ----
+  // Party i's share of S is its own private input; of c, input + r-share.
+  uint64_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    c = (c + private_inputs[i] + r_add[i]) & (modulus - 1);
+  }
+  if (transcript != nullptr) transcript->Exchange(n, sizeof(uint64_t));
+
+  // ---- Online phase 2: bit-shares of S = c - r via borrow chain ----
+  // diff_j = c_j ^ r_j ^ borrow_j;
+  // borrow_{j+1} = r_j AND borrow_j            when c_j == 1
+  //              = r_j ^ (NOT r_j AND borrow)  when c_j == 0
+  //              = r_j ^ borrow ^ (r_j AND borrow).
+  std::vector<BitShares> s_bits(k_bits);
+  BitShares borrow = PublicBit(0, n);
+  for (size_t j = 0; j < k_bits; ++j) {
+    int c_j = static_cast<int>((c >> j) & 1);
+    // diff = c_j ^ r_j ^ borrow.
+    s_bits[j] = Xor(Xor(PublicBit(c_j, n), r_bits[j]), borrow);
+    // One AND between shared r_j and shared borrow.
+    BitTriple triple = DealTriple(n, dealer_rng);
+    BitShares r_and_b = AndGate(r_bits[j], borrow, triple, transcript);
+    if (c_j == 1) {
+      borrow = r_and_b;
+    } else {
+      borrow = Xor(Xor(r_bits[j], borrow), r_and_b);
+    }
+  }
+
+  // ---- Online phase 3: compare S against the public bound (MSB first) ----
+  // gt accumulates "S > bound"; eq tracks prefix equality.
+  BitShares gt = PublicBit(0, n);
+  BitShares eq = PublicBit(1, n);
+  for (size_t j = k_bits; j-- > 0;) {
+    int b_j = static_cast<int>((bound >> j) & 1);
+    BitTriple triple = DealTriple(n, dealer_rng);
+    BitShares eq_and_s = AndGate(eq, s_bits[j], triple, transcript);
+    if (b_j == 0) {
+      // S_j = 1 with equal prefix ⇒ S > bound (disjoint events: XOR is OR).
+      gt = Xor(gt, eq_and_s);
+      // eq stays only if s_j == 0: eq ^ (eq AND s_j).
+      eq = Xor(eq, eq_and_s);
+    } else {
+      // eq stays only if s_j == 1: eq AND s_j.
+      eq = eq_and_s;
+    }
+  }
+
+  // ---- Online phase 4: open only the result bit ----
+  int greater = OpenBit(gt, transcript);
+  return greater == 0;
+}
+
+}  // namespace prever::mpc

@@ -1,0 +1,44 @@
+#ifndef PREVER_MPC_COMPARE_H_
+#define PREVER_MPC_COMPARE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "mpc/secure_agg.h"
+
+namespace prever::mpc {
+
+/// Secure bounded-aggregate check (the core of RC2's decentralized path):
+/// n federated data managers each hold a private contribution x_i; they
+/// jointly learn ONLY the bit (Σ x_i <= bound) — never the sum itself, never
+/// each other's contributions. This is exactly what a privacy-preserving
+/// FLSA check needs: "would this worker's total hours stay within 40?"
+///
+/// Protocol (semi-honest, SPDZ-style offline dealer):
+///   offline: a dealer distributes (a) additive shares of a uniform mask r
+///            mod 2^k, (b) XOR-shares of r's bits, (c) Beaver bit triples.
+///   online:  1. parties open c = S + r mod 2^k (uniform, leaks nothing);
+///            2. a GMW boolean circuit computes bit-shares of S = c - r
+///               (one AND gate per bit for the borrow chain);
+///            3. a comparison circuit against the public bound produces a
+///               shared "greater-than" bit (one AND gate per bit);
+///            4. only that single bit is opened.
+///
+/// The dealer never sees inputs; parties never see the sum. The paper's
+/// external authority (which already issues regulations) is a natural
+/// dealer. Malicious security would add MACs (SPDZ); out of scope here.
+class SecureComparison {
+ public:
+  /// Returns (sum of private_inputs) <= bound, revealing nothing else.
+  /// Requires sum < 2^k_bits and bound < 2^k_bits; k_bits <= 62.
+  static Result<bool> SumLessEqual(const std::vector<uint64_t>& private_inputs,
+                                   uint64_t bound, size_t k_bits,
+                                   Rng& dealer_rng,
+                                   MpcTranscript* transcript = nullptr);
+};
+
+}  // namespace prever::mpc
+
+#endif  // PREVER_MPC_COMPARE_H_

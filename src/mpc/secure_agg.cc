@@ -1,0 +1,34 @@
+#include "mpc/secure_agg.h"
+
+#include "crypto/shamir.h"
+
+namespace prever::mpc {
+
+Result<uint64_t> SecureAggregation::Sum(
+    const std::vector<uint64_t>& private_inputs, Rng& rng,
+    MpcTranscript* transcript) {
+  size_t n = private_inputs.size();
+  if (n == 0) return Status::InvalidArgument("no parties");
+  // Phase 1: every party shares its input — party i sends share j to party j.
+  // received[j][i] is party i's share destined for party j.
+  std::vector<std::vector<uint64_t>> received(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint64_t> shares = crypto::AdditiveShare(private_inputs[i], n, rng);
+    for (size_t j = 0; j < n; ++j) received[j].push_back(shares[j]);
+  }
+  if (transcript != nullptr) transcript->Exchange(n, sizeof(uint64_t));
+
+  // Phase 2: each party sums what it received and publishes the partial sum.
+  std::vector<uint64_t> partials(n, 0);
+  for (size_t j = 0; j < n; ++j) {
+    for (uint64_t s : received[j]) partials[j] += s;
+  }
+  if (transcript != nullptr) transcript->Exchange(n, sizeof(uint64_t));
+
+  // Opening: the sum of partials is the sum of inputs.
+  uint64_t total = 0;
+  for (uint64_t p : partials) total += p;
+  return total;
+}
+
+}  // namespace prever::mpc

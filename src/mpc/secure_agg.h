@@ -1,0 +1,43 @@
+#ifndef PREVER_MPC_SECURE_AGG_H_
+#define PREVER_MPC_SECURE_AGG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace prever::mpc {
+
+/// Counters for protocol-cost accounting (benchmarked in E3/E4): every
+/// simulated network exchange increments these.
+struct MpcTranscript {
+  uint64_t rounds = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+
+  void Exchange(size_t parties, size_t bytes_per_msg) {
+    ++rounds;
+    messages += parties * (parties - 1);
+    bytes += parties * (parties - 1) * bytes_per_msg;
+  }
+};
+
+/// Secure aggregation over additive shares (RC2, decentralized path):
+/// each data manager splits its private contribution into additive shares,
+/// one per manager; every manager sums the shares it received; the opened
+/// share-sums reveal only the total, never any individual contribution.
+///
+/// This is the classic "mask-and-sum" federation protocol; the simulation
+/// runs all parties in-process but the data flow is exactly the protocol's.
+class SecureAggregation {
+ public:
+  /// Aggregates `private_inputs` (one per party) without any party seeing
+  /// another's input. Returns the sum mod 2^64 and updates the transcript.
+  static Result<uint64_t> Sum(const std::vector<uint64_t>& private_inputs,
+                              Rng& rng, MpcTranscript* transcript = nullptr);
+};
+
+}  // namespace prever::mpc
+
+#endif  // PREVER_MPC_SECURE_AGG_H_

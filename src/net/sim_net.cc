@@ -1,0 +1,90 @@
+#include "net/sim_net.h"
+
+namespace prever::net {
+
+SimNetwork::SimNetwork(SimNetConfig config)
+    : config_(config), rng_(config.seed) {}
+
+NodeId SimNetwork::AddNode(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+bool SimNetwork::Blocked(NodeId a, NodeId b) const {
+  if (isolated_.count(a) || isolated_.count(b)) return true;
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return partitions_.count(key) > 0;
+}
+
+SimTime SimNetwork::SampleLatency() {
+  if (config_.max_latency <= config_.min_latency) return config_.min_latency;
+  SimTime span = config_.max_latency - config_.min_latency;
+  return config_.min_latency + rng_.NextBelow(span + 1);
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, uint32_t type,
+                      const Bytes& payload) {
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+  if (to >= handlers_.size()) return;
+  if (Blocked(from, to) || rng_.NextBool(config_.drop_rate)) {
+    ++messages_dropped_;
+    return;
+  }
+  Message msg{from, to, type, payload};
+  SimTime deliver_at = clock_.Now() + SampleLatency();
+  queue_.push(Event{deliver_at, next_seq_++, [this, msg = std::move(msg)]() {
+                      handlers_[msg.to](msg);
+                    }});
+}
+
+void SimNetwork::Broadcast(NodeId from, uint32_t type, const Bytes& payload) {
+  for (NodeId to = 0; to < handlers_.size(); ++to) {
+    if (to != from) Send(from, to, type, payload);
+  }
+}
+
+void SimNetwork::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  queue_.push(Event{clock_.Now() + delay, next_seq_++, std::move(fn)});
+}
+
+void SimNetwork::Partition(NodeId a, NodeId b) {
+  partitions_.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+}
+
+void SimNetwork::Heal(NodeId a, NodeId b) {
+  partitions_.erase(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+}
+
+void SimNetwork::HealAll() { partitions_.clear(); }
+
+void SimNetwork::Isolate(NodeId node) { isolated_.insert(node); }
+
+void SimNetwork::Reconnect(NodeId node) { isolated_.erase(node); }
+
+bool SimNetwork::Step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  clock_.AdvanceTo(ev.time);
+  ev.fn();
+  return true;
+}
+
+size_t SimNetwork::RunUntil(SimTime until) {
+  size_t processed = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+    ++processed;
+  }
+  clock_.AdvanceTo(until);
+  return processed;
+}
+
+size_t SimNetwork::RunUntilIdle() {
+  size_t processed = 0;
+  while (Step()) ++processed;
+  return processed;
+}
+
+}  // namespace prever::net

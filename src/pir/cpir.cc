@@ -1,0 +1,80 @@
+#include "pir/cpir.h"
+
+namespace prever::pir {
+
+PaillierPirServer::PaillierPirServer(std::vector<Bytes> records,
+                                     size_t record_size,
+                                     const crypto::PaillierPublicKey& pub)
+    : record_size_(record_size), pub_(pub) {
+  records_.reserve(records.size());
+  for (Bytes& r : records) {
+    r.resize(record_size_, 0);
+    records_.push_back(crypto::BigInt::FromBytes(r));
+  }
+}
+
+Result<crypto::PaillierCiphertext> PaillierPirServer::Answer(
+    const std::vector<crypto::PaillierCiphertext>& selection) const {
+  if (selection.size() != records_.size()) {
+    return Status::InvalidArgument("selection vector size mismatch");
+  }
+  // Accumulate Π sel_j ^ record_j = Enc(Σ sel_j * record_j).
+  crypto::PaillierCiphertext acc{crypto::BigInt(1)};  // Enc(0) w/ r=1 works
+                                                      // as multiplicative id.
+  for (size_t j = 0; j < records_.size(); ++j) {
+    if (records_[j].IsZero()) continue;  // x^0 contributes nothing.
+    crypto::PaillierCiphertext term =
+        crypto::PaillierMulPlain(pub_, selection[j], records_[j]);
+    acc = crypto::PaillierAdd(pub_, acc, term);
+  }
+  return acc;
+}
+
+Status PaillierPirServer::Append(const Bytes& record) {
+  if (record.size() > record_size_) {
+    return Status::InvalidArgument("record exceeds fixed record size");
+  }
+  Bytes padded = record;
+  padded.resize(record_size_, 0);
+  records_.push_back(crypto::BigInt::FromBytes(padded));
+  return Status::Ok();
+}
+
+Result<std::vector<crypto::PaillierCiphertext>> PaillierPirClient::BuildQuery(
+    size_t index, size_t num_records) {
+  if (index >= num_records) {
+    return Status::InvalidArgument("index out of range");
+  }
+  std::vector<crypto::PaillierCiphertext> query;
+  query.reserve(num_records);
+  for (size_t j = 0; j < num_records; ++j) {
+    PREVER_ASSIGN_OR_RETURN(
+        crypto::PaillierCiphertext ct,
+        crypto::PaillierEncrypt(key_.pub,
+                                crypto::BigInt(j == index ? 1 : 0), drbg_));
+    query.push_back(std::move(ct));
+  }
+  return query;
+}
+
+Result<Bytes> PaillierPirClient::DecodeAnswer(
+    const crypto::PaillierCiphertext& answer, size_t record_size) {
+  PREVER_ASSIGN_OR_RETURN(crypto::BigInt plain,
+                          crypto::PaillierDecrypt(key_, answer));
+  return plain.ToBytesPadded(record_size);
+}
+
+Result<Bytes> PaillierPirClient::Fetch(size_t index,
+                                       const PaillierPirServer& server) {
+  size_t max_record = key_.pub.n.BitLength() / 8;
+  if (server.record_size() + 2 > max_record) {
+    return Status::InvalidArgument("record too large for plaintext space");
+  }
+  PREVER_ASSIGN_OR_RETURN(auto query,
+                          BuildQuery(index, server.num_records()));
+  PREVER_ASSIGN_OR_RETURN(crypto::PaillierCiphertext answer,
+                          server.Answer(query));
+  return DecodeAnswer(answer, server.record_size());
+}
+
+}  // namespace prever::pir

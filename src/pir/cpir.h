@@ -1,0 +1,60 @@
+#ifndef PREVER_PIR_CPIR_H_
+#define PREVER_PIR_CPIR_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/paillier.h"
+
+namespace prever::pir {
+
+/// Single-server computational PIR over Paillier (the XPIR [48] lineage the
+/// paper cites). The client sends an encrypted selection vector
+/// (Enc(0), …, Enc(1), …, Enc(0)); the server homomorphically computes
+/// Σ sel_j · record_j = Enc(record_i) without learning i. Cost is linear in
+/// the database size — the E5 benchmark shows exactly that shape.
+class PaillierPirServer {
+ public:
+  /// Each record must fit into the Paillier plaintext space:
+  /// record_size <= (modulus_bits / 8) - 2 bytes.
+  PaillierPirServer(std::vector<Bytes> records, size_t record_size,
+                    const crypto::PaillierPublicKey& pub);
+
+  size_t num_records() const { return records_.size(); }
+  size_t record_size() const { return record_size_; }
+
+  /// Homomorphic dot product of the encrypted selection with the records.
+  Result<crypto::PaillierCiphertext> Answer(
+      const std::vector<crypto::PaillierCiphertext>& selection) const;
+
+  Status Append(const Bytes& record);
+
+ private:
+  std::vector<crypto::BigInt> records_;  // Records as integers.
+  size_t record_size_;
+  crypto::PaillierPublicKey pub_;
+};
+
+/// Client side of the Paillier PIR.
+class PaillierPirClient {
+ public:
+  PaillierPirClient(const crypto::PaillierKeyPair& key, uint64_t seed)
+      : key_(key), drbg_(seed) {}
+
+  Result<std::vector<crypto::PaillierCiphertext>> BuildQuery(
+      size_t index, size_t num_records);
+
+  Result<Bytes> DecodeAnswer(const crypto::PaillierCiphertext& answer,
+                             size_t record_size);
+
+  Result<Bytes> Fetch(size_t index, const PaillierPirServer& server);
+
+ private:
+  crypto::PaillierKeyPair key_;
+  crypto::Drbg drbg_;
+};
+
+}  // namespace prever::pir
+
+#endif  // PREVER_PIR_CPIR_H_

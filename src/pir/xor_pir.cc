@@ -1,0 +1,64 @@
+#include "pir/xor_pir.h"
+
+namespace prever::pir {
+
+XorPirServer::XorPirServer(std::vector<Bytes> records, size_t record_size)
+    : records_(std::move(records)), record_size_(record_size) {
+  for (Bytes& r : records_) r.resize(record_size_, 0);
+}
+
+Result<Bytes> XorPirServer::Answer(const std::vector<uint8_t>& selection) const {
+  if (selection.size() != records_.size()) {
+    return Status::InvalidArgument("selection vector size mismatch");
+  }
+  Bytes out(record_size_, 0);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    ++records_scanned_;
+    if (!selection[i]) continue;
+    for (size_t b = 0; b < record_size_; ++b) out[b] ^= records_[i][b];
+  }
+  return out;
+}
+
+Status XorPirServer::Append(const Bytes& record) {
+  if (record.size() > record_size_) {
+    return Status::InvalidArgument("record exceeds fixed record size");
+  }
+  Bytes padded = record;
+  padded.resize(record_size_, 0);
+  records_.push_back(std::move(padded));
+  return Status::Ok();
+}
+
+XorPirClient::Query XorPirClient::BuildQuery(size_t index,
+                                             size_t num_records) {
+  Query q;
+  q.for_server0.resize(num_records);
+  q.for_server1.resize(num_records);
+  for (size_t i = 0; i < num_records; ++i) {
+    q.for_server0[i] = static_cast<uint8_t>(rng_.NextBelow(2));
+    q.for_server1[i] = q.for_server0[i];
+  }
+  // Flip the target index on exactly one server.
+  q.for_server1[index] ^= 1;
+  return q;
+}
+
+Bytes XorPirClient::Combine(const Bytes& answer0, const Bytes& answer1) {
+  Bytes out(answer0.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = answer0[i] ^ answer1[i];
+  return out;
+}
+
+Result<Bytes> XorPirClient::Fetch(size_t index, const XorPirServer& s0,
+                                  const XorPirServer& s1) {
+  if (index >= s0.num_records() || s0.num_records() != s1.num_records()) {
+    return Status::InvalidArgument("index out of range or replica mismatch");
+  }
+  Query q = BuildQuery(index, s0.num_records());
+  PREVER_ASSIGN_OR_RETURN(Bytes a0, s0.Answer(q.for_server0));
+  PREVER_ASSIGN_OR_RETURN(Bytes a1, s1.Answer(q.for_server1));
+  return Combine(a0, a1);
+}
+
+}  // namespace prever::pir

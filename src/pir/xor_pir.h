@@ -1,0 +1,67 @@
+#ifndef PREVER_PIR_XOR_PIR_H_
+#define PREVER_PIR_XOR_PIR_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace prever::pir {
+
+/// Two-server information-theoretic PIR (Chor et al. [31], the paper's RC3
+/// starting point). The database is replicated on two non-colluding servers;
+/// the client sends complementary random subset vectors, each server XORs
+/// the selected records, and the client XORs the two answers to recover the
+/// record. Neither server learns which index was retrieved.
+class XorPirServer {
+ public:
+  /// All records must have the same size (`record_size`).
+  XorPirServer(std::vector<Bytes> records, size_t record_size);
+
+  size_t num_records() const { return records_.size(); }
+  size_t record_size() const { return record_size_; }
+
+  /// XOR of all records whose bit is set in the selection vector.
+  Result<Bytes> Answer(const std::vector<uint8_t>& selection) const;
+
+  /// RC3 update path: appends a record on both replicas (public data, so
+  /// appends are public; what stays private is *which* records clients read
+  /// when verifying constraints).
+  Status Append(const Bytes& record);
+
+  /// Server-side work counter (records XORed), for the E5 benchmark.
+  uint64_t records_scanned() const { return records_scanned_; }
+
+ private:
+  std::vector<Bytes> records_;
+  size_t record_size_;
+  mutable uint64_t records_scanned_ = 0;
+};
+
+/// Client for a pair of XOR-PIR replicas.
+class XorPirClient {
+ public:
+  explicit XorPirClient(uint64_t seed) : rng_(seed) {}
+
+  /// Builds the two complementary queries for `index`.
+  struct Query {
+    std::vector<uint8_t> for_server0;
+    std::vector<uint8_t> for_server1;
+  };
+  Query BuildQuery(size_t index, size_t num_records);
+
+  /// Combines the two answers into the requested record.
+  static Bytes Combine(const Bytes& answer0, const Bytes& answer1);
+
+  /// End-to-end convenience against two in-process servers.
+  Result<Bytes> Fetch(size_t index, const XorPirServer& s0,
+                      const XorPirServer& s1);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace prever::pir
+
+#endif  // PREVER_PIR_XOR_PIR_H_

@@ -1,0 +1,115 @@
+#include "storage/database.h"
+
+namespace prever::storage {
+
+void Mutation::EncodeTo(BinaryWriter& w) const {
+  w.WriteU8(static_cast<uint8_t>(op));
+  w.WriteString(table);
+  if (op == Op::kDelete) {
+    key.EncodeTo(w);
+  } else {
+    w.WriteU32(static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) v.EncodeTo(w);
+  }
+}
+
+Result<Mutation> Mutation::DecodeFrom(BinaryReader& r) {
+  Mutation m;
+  PREVER_ASSIGN_OR_RETURN(uint8_t op, r.ReadU8());
+  if (op > static_cast<uint8_t>(Op::kDelete)) {
+    return Status::Corruption("bad mutation op");
+  }
+  m.op = static_cast<Op>(op);
+  PREVER_ASSIGN_OR_RETURN(m.table, r.ReadString());
+  if (m.op == Op::kDelete) {
+    PREVER_ASSIGN_OR_RETURN(m.key, Value::DecodeFrom(r));
+  } else {
+    PREVER_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+    m.row.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      PREVER_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(r));
+      m.row.push_back(std::move(v));
+    }
+  }
+  return m;
+}
+
+Bytes Mutation::Encode() const {
+  BinaryWriter w;
+  EncodeTo(w);
+  return w.Take();
+}
+
+Result<Mutation> Mutation::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  PREVER_ASSIGN_OR_RETURN(Mutation m, DecodeFrom(r));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after mutation");
+  return m;
+}
+
+Status Database::EnableWal(const std::string& path) {
+  return wal_.Open(path);
+}
+
+Status Database::CreateTable(const std::string& name, const Schema& schema) {
+  auto [it, inserted] = tables_.emplace(name, Table(name, schema));
+  if (!inserted) return Status::AlreadyExists("table '" + name + "' exists");
+  return Status::Ok();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return &it->second;
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return &it->second;
+}
+
+Status Database::ApplyToTable(const Mutation& mutation) {
+  PREVER_ASSIGN_OR_RETURN(Table * table, GetMutableTable(mutation.table));
+  switch (mutation.op) {
+    case Mutation::Op::kInsert:
+      return table->Insert(mutation.row);
+    case Mutation::Op::kUpdate:
+      return table->Update(mutation.row);
+    case Mutation::Op::kUpsert:
+      return table->Upsert(mutation.row);
+    case Mutation::Op::kDelete:
+      return table->Delete(mutation.key);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Database::Apply(const Mutation& mutation) {
+  // Validate the target exists up front so we never log a doomed mutation.
+  if (!HasTable(mutation.table)) {
+    return Status::NotFound("no table '" + mutation.table + "'");
+  }
+  if (wal_.is_open()) {
+    PREVER_RETURN_IF_ERROR(wal_.Append(mutation.Encode()));
+  }
+  PREVER_RETURN_IF_ERROR(ApplyToTable(mutation));
+  ++version_;
+  return Status::Ok();
+}
+
+Status Database::ReplayLog(const std::string& path, bool* truncated) {
+  PREVER_ASSIGN_OR_RETURN(std::vector<Bytes> records,
+                          WriteAheadLog::Recover(path, truncated));
+  for (const Bytes& record : records) {
+    PREVER_ASSIGN_OR_RETURN(Mutation m, Mutation::Decode(record));
+    PREVER_RETURN_IF_ERROR(ApplyToTable(m));
+    ++version_;
+  }
+  return Status::Ok();
+}
+
+}  // namespace prever::storage

@@ -1,0 +1,65 @@
+#ifndef PREVER_STORAGE_DATABASE_H_
+#define PREVER_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace prever::storage {
+
+/// A single mutation against one table. Mutations are the unit of WAL
+/// logging and — one level up — the payload of a PReVer `Update`.
+struct Mutation {
+  enum class Op : uint8_t { kInsert = 0, kUpdate = 1, kUpsert = 2, kDelete = 3 };
+
+  Op op = Op::kInsert;
+  std::string table;
+  Row row;     ///< For insert/update/upsert.
+  Value key;   ///< For delete.
+
+  void EncodeTo(BinaryWriter& w) const;
+  static Result<Mutation> DecodeFrom(BinaryReader& r);
+  Bytes Encode() const;
+  static Result<Mutation> Decode(const Bytes& data);
+};
+
+/// Multi-table database owned by a data manager. Optionally durable via a
+/// write-ahead log: every applied mutation is logged before it mutates the
+/// table, and `RecoverFrom` replays a log into a fresh database.
+class Database {
+ public:
+  Database() = default;
+
+  /// Enables durability. Call before applying mutations.
+  Status EnableWal(const std::string& path);
+
+  Status CreateTable(const std::string& name, const Schema& schema);
+  bool HasTable(const std::string& name) const;
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Validates and applies one mutation (WAL-first when durable).
+  Status Apply(const Mutation& mutation);
+
+  /// Number of successfully applied mutations (the database version).
+  uint64_t version() const { return version_; }
+
+  /// Replays a WAL into this (empty) database. Tables must be created first
+  /// (schemas are not logged — they are static configuration in PReVer).
+  Status ReplayLog(const std::string& path, bool* truncated = nullptr);
+
+ private:
+  Status ApplyToTable(const Mutation& mutation);
+
+  std::map<std::string, Table> tables_;
+  WriteAheadLog wal_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace prever::storage
+
+#endif  // PREVER_STORAGE_DATABASE_H_

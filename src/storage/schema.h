@@ -1,0 +1,52 @@
+#ifndef PREVER_STORAGE_SCHEMA_H_
+#define PREVER_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace prever::storage {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// A row is a positional tuple of values, interpreted against a Schema.
+using Row = std::vector<Value>;
+
+/// Table schema: ordered columns, with column 0 conventionally addressable
+/// as the primary key via `key_column`.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<Column> columns, size_t key_column = 0)
+      : columns_(std::move(columns)), key_column_(key_column) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t key_column() const { return key_column_; }
+
+  /// Index of the named column, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Checks arity and per-column type agreement.
+  Status ValidateRow(const Row& row) const;
+
+  /// Extracts the primary-key value from a (validated) row.
+  Result<Value> KeyOf(const Row& row) const;
+
+  void EncodeTo(BinaryWriter& w) const;
+  static Result<Schema> DecodeFrom(BinaryReader& r);
+
+ private:
+  std::vector<Column> columns_;
+  size_t key_column_ = 0;
+};
+
+}  // namespace prever::storage
+
+#endif  // PREVER_STORAGE_SCHEMA_H_

@@ -1,0 +1,60 @@
+#include "storage/table.h"
+
+namespace prever::storage {
+
+Status Table::Insert(const Row& row) {
+  PREVER_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  PREVER_ASSIGN_OR_RETURN(Value key, schema_.KeyOf(row));
+  auto [it, inserted] = rows_.emplace(std::move(key), row);
+  if (!inserted) {
+    return Status::AlreadyExists("key " + it->first.ToString() +
+                                 " already present in table '" + name_ + "'");
+  }
+  return Status::Ok();
+}
+
+Status Table::Update(const Row& row) {
+  PREVER_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  PREVER_ASSIGN_OR_RETURN(Value key, schema_.KeyOf(row));
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound("key " + key.ToString() + " not in table '" +
+                            name_ + "'");
+  }
+  it->second = row;
+  return Status::Ok();
+}
+
+Status Table::Upsert(const Row& row) {
+  PREVER_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  PREVER_ASSIGN_OR_RETURN(Value key, schema_.KeyOf(row));
+  rows_[std::move(key)] = row;
+  return Status::Ok();
+}
+
+Status Table::Delete(const Value& key) {
+  if (rows_.erase(key) == 0) {
+    return Status::NotFound("key " + key.ToString() + " not in table '" +
+                            name_ + "'");
+  }
+  return Status::Ok();
+}
+
+Result<Row> Table::Get(const Value& key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound("key " + key.ToString() + " not in table '" +
+                            name_ + "'");
+  }
+  return it->second;
+}
+
+bool Table::Contains(const Value& key) const { return rows_.count(key) > 0; }
+
+void Table::Scan(const std::function<bool(const Row&)>& visitor) const {
+  for (const auto& [key, row] : rows_) {
+    if (!visitor(row)) return;
+  }
+}
+
+}  // namespace prever::storage

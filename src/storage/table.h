@@ -1,0 +1,53 @@
+#ifndef PREVER_STORAGE_TABLE_H_
+#define PREVER_STORAGE_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace prever::storage {
+
+/// In-memory table keyed by the schema's primary-key column. Iteration order
+/// is key order (std::map) so scans are deterministic — important because
+/// scan results feed hashed ledger entries.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Inserts a new row; AlreadyExists if the key is taken.
+  Status Insert(const Row& row);
+
+  /// Replaces an existing row (same key); NotFound if absent.
+  Status Update(const Row& row);
+
+  /// Inserts or replaces.
+  Status Upsert(const Row& row);
+
+  /// Removes by key; NotFound if absent.
+  Status Delete(const Value& key);
+
+  /// Point lookup.
+  Result<Row> Get(const Value& key) const;
+  bool Contains(const Value& key) const;
+
+  /// Full scan in key order. Return false from the visitor to stop early.
+  void Scan(const std::function<bool(const Row&)>& visitor) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::map<Value, Row> rows_;
+};
+
+}  // namespace prever::storage
+
+#endif  // PREVER_STORAGE_TABLE_H_

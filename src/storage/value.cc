@@ -1,0 +1,148 @@
+#include "storage/value.h"
+
+namespace prever::storage {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+Result<int64_t> Value::AsInt64() const {
+  if (const auto* v = std::get_if<int64_t>(&data_)) return *v;
+  return Status::InvalidArgument(std::string("value is not int64, is ") +
+                                 ValueTypeName(type()));
+}
+
+Result<std::string> Value::AsString() const {
+  if (const auto* v = std::get_if<std::string>(&data_)) return *v;
+  return Status::InvalidArgument(std::string("value is not string, is ") +
+                                 ValueTypeName(type()));
+}
+
+Result<bool> Value::AsBool() const {
+  if (const auto* v = std::get_if<bool>(&data_)) return *v;
+  return Status::InvalidArgument(std::string("value is not bool, is ") +
+                                 ValueTypeName(type()));
+}
+
+Result<SimTime> Value::AsTimestamp() const {
+  if (const auto* v = std::get_if<TimestampTag>(&data_)) return v->t;
+  return Status::InvalidArgument(std::string("value is not timestamp, is ") +
+                                 ValueTypeName(type()));
+}
+
+Result<int64_t> Value::AsNumeric() const {
+  if (const auto* v = std::get_if<int64_t>(&data_)) return *v;
+  if (const auto* t = std::get_if<TimestampTag>(&data_)) {
+    return static_cast<int64_t>(t->t);
+  }
+  return Status::InvalidArgument(std::string("value is not numeric, is ") +
+                                 ValueTypeName(type()));
+}
+
+bool Value::operator<(const Value& o) const {
+  if (data_.index() != o.data_.index()) return data_.index() < o.data_.index();
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::get<int64_t>(data_) < std::get<int64_t>(o.data_);
+    case ValueType::kString:
+      return std::get<std::string>(data_) < std::get<std::string>(o.data_);
+    case ValueType::kBool:
+      return std::get<bool>(data_) < std::get<bool>(o.data_);
+    case ValueType::kTimestamp:
+      return std::get<TimestampTag>(data_).t < std::get<TimestampTag>(o.data_).t;
+  }
+  return false;
+}
+
+void Value::EncodeTo(BinaryWriter& w) const {
+  w.WriteU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kInt64:
+      w.WriteI64(std::get<int64_t>(data_));
+      break;
+    case ValueType::kString:
+      w.WriteString(std::get<std::string>(data_));
+      break;
+    case ValueType::kBool:
+      w.WriteBool(std::get<bool>(data_));
+      break;
+    case ValueType::kTimestamp:
+      w.WriteU64(std::get<TimestampTag>(data_).t);
+      break;
+  }
+}
+
+Result<Value> Value::DecodeFrom(BinaryReader& r) {
+  PREVER_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt64: {
+      PREVER_ASSIGN_OR_RETURN(int64_t v, r.ReadI64());
+      return Value::Int64(v);
+    }
+    case ValueType::kString: {
+      PREVER_ASSIGN_OR_RETURN(std::string v, r.ReadString());
+      return Value::String(std::move(v));
+    }
+    case ValueType::kBool: {
+      PREVER_ASSIGN_OR_RETURN(bool v, r.ReadBool());
+      return Value::Bool(v);
+    }
+    case ValueType::kTimestamp: {
+      PREVER_ASSIGN_OR_RETURN(uint64_t v, r.ReadU64());
+      return Value::Timestamp(v);
+    }
+  }
+  return Status::Corruption("unknown value type tag");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kString: {
+      // Escaped so the rendering is parseable by the constraint lexer.
+      std::string out = "\"";
+      for (char c : std::get<std::string>(data_)) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out.push_back(c);
+        }
+      }
+      out.push_back('"');
+      return out;
+    }
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case ValueType::kTimestamp:
+      return "@" + std::to_string(std::get<TimestampTag>(data_).t);
+  }
+  return "?";
+}
+
+}  // namespace prever::storage

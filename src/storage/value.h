@@ -1,0 +1,82 @@
+#ifndef PREVER_STORAGE_VALUE_H_
+#define PREVER_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/serial.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace prever::storage {
+
+/// Column/value types supported by PReVer tables. Timestamps are SimTime
+/// microseconds; they get their own type so sliding-window regulations can
+/// identify the time column.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kString = 1,
+  kBool = 2,
+  kTimestamp = 3,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed cell value.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  static Value Bool(bool v) { return Value(v); }
+  static Value Timestamp(SimTime t) { return Value(TimestampTag{t}); }
+
+  ValueType type() const;
+
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_timestamp() const { return type() == ValueType::kTimestamp; }
+
+  /// Typed accessors; error on type mismatch.
+  Result<int64_t> AsInt64() const;
+  Result<std::string> AsString() const;
+  Result<bool> AsBool() const;
+  Result<SimTime> AsTimestamp() const;
+
+  /// Numeric view: int64 and timestamp both coerce to int64 (used by the
+  /// constraint evaluator's arithmetic).
+  Result<int64_t> AsNumeric() const;
+
+  bool operator==(const Value& o) const { return data_ == o.data_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Total order within a type; comparing across types is an error at the
+  /// evaluator level, but this ordering (type tag first) keeps map keys sane.
+  bool operator<(const Value& o) const;
+
+  /// Canonical binary encoding (type tag + payload).
+  void EncodeTo(BinaryWriter& w) const;
+  static Result<Value> DecodeFrom(BinaryReader& r);
+
+  /// Debug / display form, e.g. `42`, `"abc"`, `true`, `@170000`.
+  std::string ToString() const;
+
+ private:
+  struct TimestampTag {
+    SimTime t;
+    bool operator==(const TimestampTag& o) const { return t == o.t; }
+  };
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(TimestampTag v) : data_(v) {}
+
+  std::variant<int64_t, std::string, bool, TimestampTag> data_;
+};
+
+}  // namespace prever::storage
+
+#endif  // PREVER_STORAGE_VALUE_H_

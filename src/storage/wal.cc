@@ -1,0 +1,81 @@
+#include "storage/wal.h"
+
+#include "common/crc32.h"
+
+namespace prever::storage {
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+Status WriteAheadLog::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open WAL file: " + path);
+  }
+  path_ = path;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Append(const Bytes& payload) {
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32(payload);
+  uint8_t header[8];
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+  for (int i = 0; i < 4; ++i) header[4 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  if (std::fwrite(header, 1, 8, file_) != 8 ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    return Status::Internal("WAL write failed");
+  }
+  if (std::fflush(file_) != 0) return Status::Internal("WAL flush failed");
+  return Status::Ok();
+}
+
+void WriteAheadLog::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<std::vector<Bytes>> WriteAheadLog::Recover(const std::string& path,
+                                                  bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    // A missing log means an empty history, not an error: first boot.
+    return std::vector<Bytes>{};
+  }
+  std::vector<Bytes> records;
+  for (;;) {
+    uint8_t header[8];
+    size_t got = std::fread(header, 1, 8, f);
+    if (got == 0) break;  // Clean EOF.
+    if (got < 8) {
+      if (truncated != nullptr) *truncated = true;
+      break;  // Torn header.
+    }
+    uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) crc |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+    constexpr uint32_t kMaxRecord = 64u << 20;  // Sanity bound: 64 MiB.
+    if (len > kMaxRecord) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    Bytes payload(len);
+    if (std::fread(payload.data(), 1, len, f) != len) {
+      if (truncated != nullptr) *truncated = true;
+      break;  // Torn payload.
+    }
+    if (Crc32(payload) != crc) {
+      if (truncated != nullptr) *truncated = true;
+      break;  // Corrupt record: stop at the last good prefix.
+    }
+    records.push_back(std::move(payload));
+  }
+  std::fclose(f);
+  return records;
+}
+
+}  // namespace prever::storage

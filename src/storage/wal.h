@@ -1,0 +1,49 @@
+#ifndef PREVER_STORAGE_WAL_H_
+#define PREVER_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace prever::storage {
+
+/// Append-only write-ahead log. Record format on disk:
+///   [u32 payload_len][u32 crc32(payload)][payload bytes]
+/// Recovery stops cleanly at the first torn or corrupt record (the tail may
+/// be partial after a crash); anything before it is returned.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens (creating if needed) the log file for appending.
+  Status Open(const std::string& path);
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(const Bytes& payload);
+
+  /// Closes the file (also done by the destructor).
+  void Close();
+
+  /// Reads all intact records from a log file. A corrupt/torn tail is not an
+  /// error — recovery returns the clean prefix; `truncated` (optional)
+  /// reports whether a damaged tail was skipped.
+  static Result<std::vector<Bytes>> Recover(const std::string& path,
+                                            bool* truncated = nullptr);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace prever::storage
+
+#endif  // PREVER_STORAGE_WAL_H_

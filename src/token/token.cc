@@ -1,0 +1,91 @@
+#include "token/token.h"
+
+namespace prever::token {
+
+TokenAuthority::TokenAuthority(size_t rsa_bits, uint64_t budget_per_period,
+                               SimTime period, uint64_t seed)
+    : budget_(budget_per_period), period_(period) {
+  crypto::Drbg drbg(seed);
+  key_ = crypto::RsaGenerateKey(rsa_bits, drbg).value();
+}
+
+Result<crypto::BigInt> TokenAuthority::IssueBlindToken(
+    const std::string& participant, const crypto::BigInt& blinded_serial,
+    SimTime now) {
+  auto key = std::make_pair(participant, PeriodIndex(now));
+  uint64_t& used = issued_[key];
+  if (used >= budget_) {
+    return Status::PermissionDenied(
+        "budget exhausted for '" + participant + "' in period " +
+        std::to_string(PeriodIndex(now)));
+  }
+  ++used;
+  return crypto::RsaBlindSign(key_, blinded_serial);
+}
+
+uint64_t TokenAuthority::RemainingBudget(const std::string& participant,
+                                         SimTime now) const {
+  auto it = issued_.find(std::make_pair(participant, PeriodIndex(now)));
+  uint64_t used = it == issued_.end() ? 0 : it->second;
+  return budget_ - used;
+}
+
+Result<size_t> TokenWallet::Withdraw(TokenAuthority& authority,
+                                     const std::string& participant,
+                                     size_t count, SimTime now) {
+  size_t obtained = 0;
+  for (size_t i = 0; i < count; ++i) {
+    Token token;
+    token.serial = drbg_.Generate(32);
+    PREVER_ASSIGN_OR_RETURN(
+        crypto::BlindingResult blinding,
+        crypto::RsaBlind(authority_key_, token.serial, drbg_));
+    auto blind_sig =
+        authority.IssueBlindToken(participant, blinding.blinded_message, now);
+    if (!blind_sig.ok()) {
+      if (blind_sig.status().code() == StatusCode::kPermissionDenied) {
+        return obtained;  // Budget ran out: partial withdrawal.
+      }
+      return blind_sig.status();
+    }
+    token.signature =
+        crypto::RsaUnblind(authority_key_, *blind_sig, blinding.unblinder);
+    tokens_.push_back(std::move(token));
+    ++obtained;
+  }
+  return obtained;
+}
+
+Result<Token> TokenWallet::Take() {
+  if (tokens_.empty()) return Status::Unavailable("wallet is empty");
+  Token t = std::move(tokens_.back());
+  tokens_.pop_back();
+  return t;
+}
+
+Status TokenVerifier::Spend(const Token& token, SimTime now) {
+  if (!crypto::RsaVerify(authority_key_, token.serial, token.signature)) {
+    return Status::IntegrityViolation("token signature invalid");
+  }
+  if (spent_.count(token.serial)) {
+    return Status::AlreadyExists("token already spent (double spend)");
+  }
+  spent_.insert(token.serial);
+  if (ledger_ != nullptr) {
+    ledger_->Append(token.serial, now);
+  }
+  return Status::Ok();
+}
+
+Status TokenVerifier::SyncFromLedger() {
+  if (ledger_ == nullptr) return Status::InvalidArgument("no ledger bound");
+  PREVER_RETURN_IF_ERROR(ledger_->Audit());
+  spent_.clear();
+  for (uint64_t seq = 0; seq < ledger_->size(); ++seq) {
+    PREVER_ASSIGN_OR_RETURN(ledger::LedgerEntry entry, ledger_->GetEntry(seq));
+    spent_.insert(entry.payload);
+  }
+  return Status::Ok();
+}
+
+}  // namespace prever::token

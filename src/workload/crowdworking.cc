@@ -1,0 +1,57 @@
+#include "workload/crowdworking.h"
+
+#include <algorithm>
+
+namespace prever::workload {
+
+using storage::Value;
+
+CrowdworkingWorkload::CrowdworkingWorkload(const CrowdworkingConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+storage::Schema CrowdworkingWorkload::WorklogSchema() {
+  return storage::Schema({{"id", storage::ValueType::kString},
+                          {"worker", storage::ValueType::kString},
+                          {"hours", storage::ValueType::kInt64},
+                          {"at", storage::ValueType::kTimestamp}});
+}
+
+core::Update TaskEvent::ToUpdate(uint64_t event_index) const {
+  core::Update u;
+  u.id = "task" + std::to_string(event_index);
+  u.producer = worker;
+  u.timestamp = at;
+  u.fields = {{"worker", Value::String(worker)},
+              {"hours", Value::Int64(hours)}};
+  u.mutation.op = storage::Mutation::Op::kInsert;
+  u.mutation.table = CrowdworkingWorkload::kTableName;
+  u.mutation.row = {Value::String(u.id), Value::String(worker),
+                    Value::Int64(hours), Value::Timestamp(at)};
+  return u;
+}
+
+std::vector<TaskEvent> CrowdworkingWorkload::Generate() {
+  std::vector<TaskEvent> events;
+  for (size_t week = 0; week < config_.num_weeks; ++week) {
+    for (size_t w = 0; w < config_.num_workers; ++w) {
+      // Arrival count around the configured mean.
+      auto tasks = static_cast<size_t>(
+          rng_.NextInRange(0, static_cast<int64_t>(
+                                  config_.tasks_per_worker_week * 2)));
+      for (size_t t = 0; t < tasks; ++t) {
+        TaskEvent e;
+        e.worker = "worker" + std::to_string(w);
+        e.platform = rng_.NextBelow(config_.num_platforms);
+        e.hours = rng_.NextInRange(config_.min_task_hours,
+                                   config_.max_task_hours);
+        e.at = week * kWeek + rng_.NextBelow(kWeek);
+        events.push_back(std::move(e));
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TaskEvent& a, const TaskEvent& b) { return a.at < b.at; });
+  return events;
+}
+
+}  // namespace prever::workload

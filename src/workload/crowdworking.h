@@ -1,0 +1,56 @@
+#ifndef PREVER_WORKLOAD_CROWDWORKING_H_
+#define PREVER_WORKLOAD_CROWDWORKING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/update.h"
+#include "storage/schema.h"
+
+namespace prever::workload {
+
+/// Multi-platform crowdworking trace (§2.3): workers complete tasks across
+/// competing platforms; the FLSA regulation caps each worker's weekly total
+/// across ALL platforms. Synthetic stand-in for production Uber/Lyft traces
+/// (DESIGN.md §2) — same schema, same regulation, same code path.
+struct CrowdworkingConfig {
+  size_t num_workers = 20;
+  size_t num_platforms = 3;
+  size_t num_weeks = 2;
+  /// Mean tasks per worker per week (Poisson-ish via geometric arrivals).
+  double tasks_per_worker_week = 8.0;
+  int64_t min_task_hours = 1;
+  int64_t max_task_hours = 8;
+  uint64_t seed = 1;
+};
+
+/// One generated task completion event.
+struct TaskEvent {
+  std::string worker;
+  size_t platform = 0;
+  int64_t hours = 0;
+  SimTime at = 0;
+
+  /// As a PReVer update against the platform's `worklog` table.
+  core::Update ToUpdate(uint64_t event_index) const;
+};
+
+class CrowdworkingWorkload {
+ public:
+  explicit CrowdworkingWorkload(const CrowdworkingConfig& config);
+
+  static storage::Schema WorklogSchema();
+  static constexpr const char* kTableName = "worklog";
+
+  /// The full trace, time-ordered.
+  std::vector<TaskEvent> Generate();
+
+ private:
+  CrowdworkingConfig config_;
+  Rng rng_;
+};
+
+}  // namespace prever::workload
+
+#endif  // PREVER_WORKLOAD_CROWDWORKING_H_

@@ -1,0 +1,80 @@
+#include "workload/supplychain.h"
+
+namespace prever::workload {
+
+using storage::Value;
+
+SupplyChainWorkload::SupplyChainWorkload(const SupplyChainConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+storage::Schema SupplyChainWorkload::EventSchema() {
+  return storage::Schema({{"id", storage::ValueType::kString},
+                          {"kind", storage::ValueType::kString},
+                          {"product", storage::ValueType::kString},
+                          {"qty", storage::ValueType::kInt64},
+                          {"at", storage::ValueType::kTimestamp}});
+}
+
+const char* SupplyChainWorkload::ShipmentConstraint() {
+  // On a ship event for product P of q units:
+  //   total shipped so far + q  <=  total produced so far.
+  // Expressed with both aggregates on one side is outside the linear class,
+  // so this constraint runs on the plaintext/federated-plaintext path —
+  // exactly the expressiveness gap §4/§5 highlight for token mechanisms.
+  return
+      "SUM(events.qty WHERE kind = 'ship' AND product = update.product) + "
+      "update.qty <= "
+      "SUM(events.qty WHERE kind = 'produce' AND product = update.product)";
+}
+
+core::Update SupplyEvent::ToUpdate(uint64_t event_index) const {
+  core::Update u;
+  u.id = "ev" + std::to_string(event_index);
+  u.producer = "enterprise" + std::to_string(enterprise);
+  u.timestamp = at;
+  const char* kind_name = kind == SupplyEventKind::kProduce ? "produce" : "ship";
+  u.fields = {{"kind", Value::String(kind_name)},
+              {"product", Value::String(product)},
+              {"qty", Value::Int64(quantity)}};
+  u.mutation.op = storage::Mutation::Op::kInsert;
+  u.mutation.table = SupplyChainWorkload::kTableName;
+  u.mutation.row = {Value::String(u.id), Value::String(kind_name),
+                    Value::String(product), Value::Int64(quantity),
+                    Value::Timestamp(at)};
+  return u;
+}
+
+std::vector<SupplyEvent> SupplyChainWorkload::Generate() {
+  std::vector<SupplyEvent> events;
+  events.reserve(config_.num_events);
+  // Track per-product balance so "honest" ship events stay within stock.
+  std::vector<int64_t> produced(config_.num_products, 0);
+  std::vector<int64_t> shipped(config_.num_products, 0);
+  for (size_t i = 0; i < config_.num_events; ++i) {
+    SupplyEvent e;
+    size_t product = rng_.NextBelow(config_.num_products);
+    e.product = "product" + std::to_string(product);
+    e.enterprise = rng_.NextBelow(config_.num_enterprises);
+    e.at = (i + 1) * kMinute;
+    bool produce = rng_.NextBool(0.55);
+    if (produce) {
+      e.kind = SupplyEventKind::kProduce;
+      e.quantity = rng_.NextInRange(1, config_.max_quantity);
+      produced[product] += e.quantity;
+    } else {
+      e.kind = SupplyEventKind::kShip;
+      int64_t available = produced[product] - shipped[product];
+      if (rng_.NextBool(config_.violation_rate) || available <= 0) {
+        // Deliberate violation: ship more than available.
+        e.quantity = available + rng_.NextInRange(1, config_.max_quantity);
+      } else {
+        e.quantity = rng_.NextInRange(1, available);
+        shipped[product] += e.quantity;
+      }
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace prever::workload

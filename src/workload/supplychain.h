@@ -1,0 +1,62 @@
+#ifndef PREVER_WORKLOAD_SUPPLYCHAIN_H_
+#define PREVER_WORKLOAD_SUPPLYCHAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/update.h"
+#include "storage/schema.h"
+
+namespace prever::workload {
+
+/// Supply-chain event trace (§2.4): a chain of mutually distrustful
+/// enterprises (supplier → manufacturer → carrier → retailer) processes
+/// production and shipment events under SLA constraints such as "a
+/// manufacturer cannot ship more units of a product than it produced".
+struct SupplyChainConfig {
+  size_t num_enterprises = 4;
+  size_t num_products = 5;
+  size_t num_events = 200;
+  int64_t max_quantity = 50;
+  /// Fraction of generated ship events deliberately oversized, to exercise
+  /// constraint rejection.
+  double violation_rate = 0.1;
+  uint64_t seed = 1;
+};
+
+/// Event kinds: produce adds stock, ship moves stock downstream.
+enum class SupplyEventKind : uint8_t { kProduce = 0, kShip = 1 };
+
+struct SupplyEvent {
+  SupplyEventKind kind = SupplyEventKind::kProduce;
+  size_t enterprise = 0;
+  std::string product;
+  int64_t quantity = 0;
+  SimTime at = 0;
+
+  core::Update ToUpdate(uint64_t event_index) const;
+};
+
+class SupplyChainWorkload {
+ public:
+  explicit SupplyChainWorkload(const SupplyChainConfig& config);
+
+  /// `events` table: id, kind ("produce"/"ship"), product, qty, at.
+  static storage::Schema EventSchema();
+  static constexpr const char* kTableName = "events";
+
+  /// SLA constraint text enforced per enterprise: shipments of a product
+  /// never exceed production.
+  static const char* ShipmentConstraint();
+
+  std::vector<SupplyEvent> Generate();
+
+ private:
+  SupplyChainConfig config_;
+  Rng rng_;
+};
+
+}  // namespace prever::workload
+
+#endif  // PREVER_WORKLOAD_SUPPLYCHAIN_H_

@@ -1,0 +1,41 @@
+#include "workload/tpc_lite.h"
+
+namespace prever::workload {
+
+using storage::Value;
+
+TpcLiteWorkload::TpcLiteWorkload(const TpcLiteConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+storage::Schema TpcLiteWorkload::OrdersSchema() {
+  return storage::Schema({{"id", storage::ValueType::kString},
+                          {"customer", storage::ValueType::kString},
+                          {"amount", storage::ValueType::kInt64},
+                          {"at", storage::ValueType::kTimestamp}});
+}
+
+std::string TpcLiteWorkload::CreditConstraint() const {
+  return "SUM(orders.amount WHERE customer = update.customer WINDOW 4w) + "
+         "update.amount <= " +
+         std::to_string(config_.credit_limit);
+}
+
+core::Update TpcLiteWorkload::NextOrder() {
+  SimTime now = (generated_ + 1) * kMinute;
+  uint64_t customer = rng_.NextBelow(config_.num_customers);
+  int64_t amount = rng_.NextInRange(1, config_.max_order_amount);
+  core::Update u;
+  u.id = "order" + std::to_string(generated_);
+  u.producer = "customer" + std::to_string(customer);
+  u.timestamp = now;
+  u.fields = {{"customer", Value::String(u.producer)},
+              {"amount", Value::Int64(amount)}};
+  u.mutation.op = storage::Mutation::Op::kInsert;
+  u.mutation.table = kTableName;
+  u.mutation.row = {Value::String(u.id), Value::String(u.producer),
+                    Value::Int64(amount), Value::Timestamp(now)};
+  ++generated_;
+  return u;
+}
+
+}  // namespace prever::workload

@@ -1,0 +1,49 @@
+#ifndef PREVER_WORKLOAD_TPC_LITE_H_
+#define PREVER_WORKLOAD_TPC_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/update.h"
+#include "storage/schema.h"
+
+namespace prever::workload {
+
+/// TPC-C-flavoured NewOrder-lite generator (§6 mentions TPC alongside
+/// YCSB). Each operation is a new order for a customer; the regulated
+/// constraint is a per-customer monthly credit limit:
+///   SUM(orders.amount WHERE customer = update.customer WINDOW 30d)
+///     + update.amount <= credit_limit
+/// — a linear bound form, so it runs on every PReVer engine.
+struct TpcLiteConfig {
+  size_t num_customers = 50;
+  size_t num_orders = 500;
+  int64_t max_order_amount = 100;
+  int64_t credit_limit = 1000;
+  uint64_t seed = 1;
+};
+
+class TpcLiteWorkload {
+ public:
+  explicit TpcLiteWorkload(const TpcLiteConfig& config);
+
+  static storage::Schema OrdersSchema();
+  static constexpr const char* kTableName = "orders";
+
+  /// The credit-limit regulation text for this config.
+  std::string CreditConstraint() const;
+
+  core::Update NextOrder();
+
+  uint64_t generated() const { return generated_; }
+
+ private:
+  TpcLiteConfig config_;
+  Rng rng_;
+  uint64_t generated_ = 0;
+};
+
+}  // namespace prever::workload
+
+#endif  // PREVER_WORKLOAD_TPC_LITE_H_

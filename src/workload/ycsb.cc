@@ -1,0 +1,66 @@
+#include "workload/ycsb.h"
+
+namespace prever::workload {
+
+using storage::Row;
+using storage::Value;
+
+YcsbWorkload::YcsbWorkload(const YcsbConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.record_count == 0 ? 1 : config.record_count),
+      next_insert_key_(config.record_count) {}
+
+storage::Schema YcsbWorkload::TableSchema() {
+  return storage::Schema({{"key", storage::ValueType::kString},
+                          {"owner", storage::ValueType::kString},
+                          {"amount", storage::ValueType::kInt64},
+                          {"at", storage::ValueType::kTimestamp}});
+}
+
+namespace {
+std::string KeyName(uint64_t k) { return "user" + std::to_string(k); }
+std::string OwnerName(uint64_t k) { return "owner" + std::to_string(k % 97); }
+}  // namespace
+
+std::vector<Row> YcsbWorkload::InitialLoad() {
+  std::vector<Row> rows;
+  rows.reserve(config_.record_count);
+  for (uint64_t k = 0; k < config_.record_count; ++k) {
+    rows.push_back(Row{Value::String(KeyName(k)), Value::String(OwnerName(k)),
+                       Value::Int64(rng_.NextInRange(0, config_.max_amount)),
+                       Value::Timestamp(0)});
+  }
+  return rows;
+}
+
+core::Update YcsbWorkload::Next() {
+  SimTime now = (generated_ + 1) * kSecond;
+  bool insert = rng_.NextBool(config_.insert_proportion);
+  uint64_t key;
+  if (insert) {
+    key = next_insert_key_++;
+  } else {
+    key = config_.zipfian ? zipf_.Next(rng_)
+                          : rng_.NextBelow(config_.record_count);
+  }
+  int64_t amount = rng_.NextInRange(0, config_.max_amount);
+
+  core::Update u;
+  u.id = "op" + std::to_string(generated_);
+  u.producer = OwnerName(key);
+  u.timestamp = now;
+  u.fields = {{"key", Value::String(KeyName(key))},
+              {"owner", Value::String(OwnerName(key))},
+              {"amount", Value::Int64(amount)}};
+  u.mutation.op = insert ? storage::Mutation::Op::kInsert
+                         : storage::Mutation::Op::kUpsert;
+  u.mutation.table = kTableName;
+  u.mutation.row = Row{Value::String(KeyName(key)),
+                       Value::String(OwnerName(key)), Value::Int64(amount),
+                       Value::Timestamp(now)};
+  ++generated_;
+  return u;
+}
+
+}  // namespace prever::workload

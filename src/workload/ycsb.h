@@ -1,0 +1,55 @@
+#ifndef PREVER_WORKLOAD_YCSB_H_
+#define PREVER_WORKLOAD_YCSB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/update.h"
+#include "storage/schema.h"
+
+namespace prever::workload {
+
+/// YCSB-style update workload (§6: "standardized database benchmarks like
+/// TPC and YCSB"). PReVer regulates *updates*, so the generator emits the
+/// write side of the YCSB mixes: inserts and updates over `usertable`,
+/// zipfian- or uniform-distributed keys, plus a numeric `amount` field so
+/// bound regulations have something to constrain.
+struct YcsbConfig {
+  uint64_t record_count = 1000;  ///< Preloaded rows.
+  uint64_t operation_count = 1000;
+  double insert_proportion = 0.5;  ///< Remainder are updates (upserts).
+  bool zipfian = true;             ///< Key skew (theta 0.99) vs uniform.
+  int64_t max_amount = 100;        ///< Per-op amount in [0, max_amount].
+  uint64_t seed = 1;
+};
+
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(const YcsbConfig& config);
+
+  /// Schema of `usertable`: key (string), owner (string), amount (int64),
+  /// at (timestamp).
+  static storage::Schema TableSchema();
+  static constexpr const char* kTableName = "usertable";
+
+  /// Rows to preload before the timed run.
+  std::vector<storage::Row> InitialLoad();
+
+  /// The next update operation; timestamps advance one simulated second
+  /// per operation.
+  core::Update Next();
+
+  uint64_t generated() const { return generated_; }
+
+ private:
+  YcsbConfig config_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  uint64_t next_insert_key_;
+  uint64_t generated_ = 0;
+};
+
+}  // namespace prever::workload
+
+#endif  // PREVER_WORKLOAD_YCSB_H_

@@ -1,0 +1,276 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace prever::crypto {
+namespace {
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsNegative());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToDecimalString(), "0");
+  EXPECT_EQ(*z.ToInt64(), 0);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-37}, INT64_MAX, INT64_MIN, int64_t{1} << 40}) {
+    BigInt b(v);
+    auto back = b.ToInt64();
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  const char* cases[] = {"0", "1", "-1", "123456789012345678901234567890",
+                         "-999999999999999999999999999999999"};
+  for (const char* s : cases) {
+    auto v = BigInt::FromDecimal(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v->ToDecimalString(), s);
+  }
+}
+
+TEST(BigIntTest, DecimalParseErrors) {
+  EXPECT_FALSE(BigInt::FromDecimal("").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("-").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("12a").ok());
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  auto v = BigInt::FromHex("0xdeadbeefcafebabe0123456789");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHexString(), "deadbeefcafebabe0123456789");
+}
+
+TEST(BigIntTest, HexIgnoresWhitespace) {
+  auto v = BigInt::FromHex("de ad\nbe\tef");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHexString(), "deadbeef");
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Bytes be = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  BigInt v = BigInt::FromBytes(be);
+  EXPECT_EQ(v.ToBytes(), be);
+}
+
+TEST(BigIntTest, BytesLeadingZerosDropped) {
+  Bytes be = {0x00, 0x00, 0x7f};
+  BigInt v = BigInt::FromBytes(be);
+  EXPECT_EQ(v.ToBytes(), Bytes{0x7f});
+  EXPECT_EQ(*v.ToInt64(), 0x7f);
+}
+
+TEST(BigIntTest, ToBytesPadded) {
+  BigInt v(0x1234);
+  auto padded = v.ToBytesPadded(4);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(*padded, (Bytes{0x00, 0x00, 0x12, 0x34}));
+  EXPECT_FALSE(v.ToBytesPadded(1).ok());
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt v(0b101101);
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_FALSE(v.Bit(1));
+  EXPECT_TRUE(v.Bit(2));
+  EXPECT_TRUE(v.Bit(3));
+  EXPECT_FALSE(v.Bit(4));
+  EXPECT_TRUE(v.Bit(5));
+  EXPECT_FALSE(v.Bit(100));
+  EXPECT_EQ(v.BitLength(), 6u);
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  auto v = *BigInt::FromDecimal("987654321987654321");
+  for (size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ((v << s) >> s, v) << s;
+  }
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a(-5), b(-2), c(0), d(3), e(100);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_LT(d, e);
+  EXPECT_GT(e, a);
+  EXPECT_EQ(BigInt(7), BigInt(7));
+}
+
+// Property sweep: BigInt arithmetic must agree with __int128 reference
+// semantics on random 64-bit operands (including negatives).
+class BigIntArithmeticProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntArithmeticProperty, MatchesInt128Reference) {
+  prever::Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    int64_t x = static_cast<int64_t>(rng.NextU64() >> (rng.NextBelow(40)));
+    int64_t y = static_cast<int64_t>(rng.NextU64() >> (rng.NextBelow(40)));
+    if (rng.NextBool(0.5)) x = -x;
+    if (rng.NextBool(0.5)) y = -y;
+    BigInt bx(x), by(y);
+
+    __int128 sum = static_cast<__int128>(x) + y;
+    __int128 diff = static_cast<__int128>(x) - y;
+    __int128 prod = static_cast<__int128>(x) * y;
+    // Compare through int64 when the result fits:
+    if (sum >= INT64_MIN && sum <= INT64_MAX) {
+      EXPECT_EQ(*(bx + by).ToInt64(), static_cast<int64_t>(sum));
+    }
+    if (diff >= INT64_MIN && diff <= INT64_MAX) {
+      EXPECT_EQ(*(bx - by).ToInt64(), static_cast<int64_t>(diff));
+    }
+    if (prod >= INT64_MIN && prod <= INT64_MAX) {
+      EXPECT_EQ(*(bx * by).ToInt64(), static_cast<int64_t>(prod));
+    }
+    if (y != 0) {
+      EXPECT_EQ(*(bx / by).ToInt64(), x / y);
+      EXPECT_EQ(*(bx % by).ToInt64(), x % y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntArithmeticProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: for random big operands, (a/b)*b + a%b == a and |a%b| < |b|.
+class BigIntDivModProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntDivModProperty, EuclideanIdentity) {
+  prever::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    size_t abits = 1 + rng.NextBelow(512);
+    size_t bbits = 1 + rng.NextBelow(256);
+    BigInt a = BigInt::FromBytes(rng.NextBytes((abits + 7) / 8));
+    BigInt b = BigInt::FromBytes(rng.NextBytes((bbits + 7) / 8));
+    if (b.IsZero()) continue;
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+    EXPECT_FALSE(r.IsNegative());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntDivModProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// Property: Karatsuba (large operands) agrees with schoolbook on random
+// inputs spanning the threshold, and the Euclidean identity still holds.
+class BigIntKaratsubaProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntKaratsubaProperty, LargeProductsConsistent) {
+  prever::Rng rng(GetParam());
+  for (int iter = 0; iter < 10; ++iter) {
+    // 600-4000 bit operands: well above the 24-limb Karatsuba threshold.
+    size_t abytes = 75 + rng.NextBelow(425);
+    size_t bbytes = 75 + rng.NextBelow(425);
+    BigInt a = BigInt::FromBytes(rng.NextBytes(abytes));
+    BigInt b = BigInt::FromBytes(rng.NextBytes(bbytes));
+    BigInt product = a * b;
+    if (b.IsZero()) continue;
+    // product / b == a exactly (division is independent of Karatsuba).
+    BigInt q, r;
+    BigInt::DivMod(product, b, &q, &r);
+    EXPECT_EQ(q, a);
+    EXPECT_TRUE(r.IsZero());
+    // Distributivity spot check: (a+1)*b == a*b + b.
+    EXPECT_EQ((a + BigInt(1)) * b, product + b);
+    // Sign handling.
+    EXPECT_EQ((-a) * b, -product);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntKaratsubaProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+TEST(BigIntTest, KnownLargeMultiplication) {
+  // 2^128 * 2^128 = 2^256.
+  BigInt a = BigInt(1) << 128;
+  BigInt sq = a * a;
+  EXPECT_EQ(sq, BigInt(1) << 256);
+  EXPECT_EQ(sq.BitLength(), 257u);
+}
+
+TEST(BigIntTest, KnownDecimalMultiplication) {
+  auto a = *BigInt::FromDecimal("123456789123456789123456789");
+  auto b = *BigInt::FromDecimal("987654321987654321");
+  EXPECT_EQ((a * b).ToDecimalString(),
+            "121932631356500531469135800347203169112635269");
+}
+
+TEST(BigIntTest, ModAlwaysNonNegative) {
+  BigInt m(7);
+  EXPECT_EQ(*BigInt(-1).Mod(m).ToInt64(), 6);
+  EXPECT_EQ(*BigInt(-7).Mod(m).ToInt64(), 0);
+  EXPECT_EQ(*BigInt(-8).Mod(m).ToInt64(), 6);
+  EXPECT_EQ(*BigInt(15).Mod(m).ToInt64(), 1);
+}
+
+TEST(BigIntTest, PowModSmallReference) {
+  prever::Rng rng(99);
+  for (int iter = 0; iter < 100; ++iter) {
+    uint64_t base = rng.NextBelow(1000);
+    uint64_t exp = rng.NextBelow(50);
+    uint64_t mod = 2 + rng.NextBelow(1000);
+    // Reference by repeated multiplication.
+    uint64_t expected = 1 % mod;
+    for (uint64_t i = 0; i < exp; ++i) expected = expected * base % mod;
+    BigInt got = BigInt(static_cast<int64_t>(base))
+                     .PowMod(BigInt(static_cast<int64_t>(exp)),
+                             BigInt(static_cast<int64_t>(mod)));
+    EXPECT_EQ(*got.ToUint64(), expected) << base << "^" << exp << " % " << mod;
+  }
+}
+
+TEST(BigIntTest, PowModFermat) {
+  // a^(p-1) = 1 mod p for prime p and gcd(a,p)=1.
+  auto p = *BigInt::FromDecimal("1000000007");
+  for (int64_t a : {2, 3, 12345, 999999999}) {
+    EXPECT_EQ(BigInt(a).PowMod(p - BigInt(1), p), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(*BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(*BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(*BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(*BigInt::Lcm(BigInt(4), BigInt(6)).ToInt64(), 12);
+  EXPECT_TRUE(BigInt::Lcm(BigInt(0), BigInt(6)).IsZero());
+}
+
+TEST(BigIntTest, InvModCorrect) {
+  BigInt m(101);  // Prime.
+  for (int64_t a = 1; a < 101; ++a) {
+    auto inv = BigInt(a).InvMod(m);
+    ASSERT_TRUE(inv.ok()) << a;
+    EXPECT_EQ(BigInt(a).MulMod(*inv, m), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, InvModFailsWhenNotCoprime) {
+  EXPECT_FALSE(BigInt(6).InvMod(BigInt(9)).ok());
+  EXPECT_FALSE(BigInt(0).InvMod(BigInt(7)).ok());
+}
+
+TEST(BigIntTest, AddSubMulModConsistency) {
+  prever::Rng rng(7);
+  BigInt m = (BigInt(1) << 130) + BigInt(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt a = BigInt::FromBytes(rng.NextBytes(20)).Mod(m);
+    BigInt b = BigInt::FromBytes(rng.NextBytes(20)).Mod(m);
+    EXPECT_EQ(a.AddMod(b, m), (a + b).Mod(m));
+    EXPECT_EQ(a.SubMod(b, m), (a - b).Mod(m));
+    EXPECT_EQ(a.MulMod(b, m), (a * b).Mod(m));
+  }
+}
+
+}  // namespace
+}  // namespace prever::crypto

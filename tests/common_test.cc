@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace prever {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ConstraintViolation("hours exceed 40");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(s.ToString(), "ConstraintViolation: hours exceed 40");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusNormalizedToInternalError) {
+  Result<int> r = Status::Ok();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Doubled(Result<int> in) {
+  PREVER_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::NotFound("x")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(HexEncode(b), "00deadbeefff");
+  auto decoded = HexDecode("00deadbeefff");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, b);
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(BytesTest, HexDecodeAcceptsUppercase) {
+  auto decoded = HexDecode("DEADBEEF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(HexEncode(*decoded), "deadbeef");
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  EXPECT_EQ(ToString(ToBytes("hello")), "hello");
+  EXPECT_TRUE(ToBytes("").empty());
+}
+
+TEST(SerialTest, RoundTripAllTypes) {
+  BinaryWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteI64(-42);
+  w.WriteBool(true);
+  w.WriteBytes({9, 8, 7});
+  w.WriteString("prever");
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(*r.ReadU8(), 0xab);
+  EXPECT_EQ(*r.ReadU16(), 0x1234);
+  EXPECT_EQ(*r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.ReadI64(), -42);
+  EXPECT_EQ(*r.ReadBool(), true);
+  EXPECT_EQ(*r.ReadBytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(*r.ReadString(), "prever");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, TruncatedBufferIsCorruption) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  Bytes data = w.bytes();
+  data.pop_back();
+  BinaryReader r(data);
+  EXPECT_EQ(r.ReadU32().status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerialTest, BytesLengthPrefixValidated) {
+  BinaryWriter w;
+  w.WriteU32(1000);  // Claims 1000 bytes follow; none do.
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadBytes().status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerialTest, InvalidBoolRejected) {
+  Bytes data = {2};
+  BinaryReader r(data);
+  EXPECT_EQ(r.ReadBool().status().code(), StatusCode::kCorruption);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBytesLength) {
+  Rng rng(13);
+  EXPECT_EQ(rng.NextBytes(0).size(), 0u);
+  EXPECT_EQ(rng.NextBytes(7).size(), 7u);
+  EXPECT_EQ(rng.NextBytes(16).size(), 16u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  Rng rng(21);
+  ZipfianGenerator zipf(100);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.Next(rng), 100u);
+}
+
+TEST(ZipfianTest, SkewsTowardHead) {
+  Rng rng(23);
+  ZipfianGenerator zipf(1000, 0.99);
+  int head = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next(rng) < 10) ++head;
+  }
+  // With theta=0.99 the top-1% of items should receive far more than 1% of
+  // draws (YCSB-style hot set).
+  EXPECT_GT(head, kDraws / 10);
+}
+
+TEST(SimClockTest, AdvanceMonotonic) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.Advance(5);
+  EXPECT_EQ(clock.Now(), 5u);
+  clock.AdvanceTo(3);  // Backwards: ignored.
+  EXPECT_EQ(clock.Now(), 5u);
+  clock.AdvanceTo(10);
+  EXPECT_EQ(clock.Now(), 10u);
+}
+
+TEST(SimClockTest, TimeUnitConstants) {
+  EXPECT_EQ(kSecond, 1000000u);
+  EXPECT_EQ(kWeek, 7ull * 24 * 60 * 60 * 1000000);
+}
+
+}  // namespace
+}  // namespace prever

@@ -1,0 +1,245 @@
+// Tests for the extension features: producer-signed updates, ledger
+// persistence, batched and sharded PBFT ordering, string-escape round
+// trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "constraint/parser.h"
+#include "core/prever.h"
+
+namespace prever::core {
+namespace {
+
+using storage::Mutation;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+// ------------------------------------------------------- Signed updates --
+
+class SignedUpdateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::Drbg drbg(uint64_t{55});
+    alice_key_ = new crypto::RsaKeyPair(
+        crypto::RsaGenerateKey(512, drbg).value());
+    mallory_key_ = new crypto::RsaKeyPair(
+        crypto::RsaGenerateKey(512, drbg).value());
+  }
+  void SetUp() override {
+    Schema schema({{"id", ValueType::kString},
+                   {"worker", ValueType::kString},
+                   {"hours", ValueType::kInt64},
+                   {"at", ValueType::kTimestamp}});
+    ASSERT_TRUE(db_.CreateTable("worklog", schema).ok());
+    ASSERT_TRUE(directory_.Register("alice", alice_key_->pub).ok());
+    engine_ = std::make_unique<PlaintextEngine>(&db_, &catalog_, &ordering_);
+    auth_ = std::make_unique<AuthenticatingEngine>(engine_.get(), &directory_);
+  }
+
+  Update MakeUpdate(const std::string& producer, const std::string& id) {
+    Update u;
+    u.id = id;
+    u.producer = producer;
+    u.timestamp = kDay;
+    u.fields = {{"hours", Value::Int64(5)}};
+    u.mutation.op = Mutation::Op::kInsert;
+    u.mutation.table = "worklog";
+    u.mutation.row = {Value::String(id), Value::String(producer),
+                      Value::Int64(5), Value::Timestamp(kDay)};
+    return u;
+  }
+
+  static crypto::RsaKeyPair* alice_key_;
+  static crypto::RsaKeyPair* mallory_key_;
+  storage::Database db_;
+  constraint::ConstraintCatalog catalog_;
+  CentralizedOrdering ordering_;
+  ProducerKeyDirectory directory_;
+  std::unique_ptr<PlaintextEngine> engine_;
+  std::unique_ptr<AuthenticatingEngine> auth_;
+};
+crypto::RsaKeyPair* SignedUpdateTest::alice_key_ = nullptr;
+crypto::RsaKeyPair* SignedUpdateTest::mallory_key_ = nullptr;
+
+TEST_F(SignedUpdateTest, ValidSignatureAccepted) {
+  SignedUpdate s = SignUpdate(MakeUpdate("alice", "t1"), *alice_key_);
+  EXPECT_TRUE(auth_->SubmitSigned(s).ok());
+  EXPECT_EQ((*db_.GetTable("worklog"))->size(), 1u);
+}
+
+TEST_F(SignedUpdateTest, ImpersonationRejected) {
+  // Mallory signs an update claiming to be alice: alice's registered key
+  // does not verify it.
+  SignedUpdate s = SignUpdate(MakeUpdate("alice", "t1"), *mallory_key_);
+  EXPECT_EQ(auth_->SubmitSigned(s).code(), StatusCode::kIntegrityViolation);
+  EXPECT_EQ(auth_->rejected_signatures(), 1u);
+  EXPECT_EQ((*db_.GetTable("worklog"))->size(), 0u);
+}
+
+TEST_F(SignedUpdateTest, UnknownProducerRejected) {
+  SignedUpdate s = SignUpdate(MakeUpdate("mallory", "t1"), *mallory_key_);
+  EXPECT_EQ(auth_->SubmitSigned(s).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(SignedUpdateTest, TamperedUpdateBodyRejected) {
+  SignedUpdate s = SignUpdate(MakeUpdate("alice", "t1"), *alice_key_);
+  s.update.fields["hours"] = Value::Int64(500);  // Inflate after signing.
+  EXPECT_EQ(auth_->SubmitSigned(s).code(), StatusCode::kIntegrityViolation);
+}
+
+TEST_F(SignedUpdateTest, UnsignedPathRefused) {
+  EXPECT_EQ(auth_->SubmitUpdate(MakeUpdate("alice", "t1")).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(SignedUpdateTest, DirectoryRejectsDuplicateRegistration) {
+  EXPECT_EQ(directory_.Register("alice", alice_key_->pub).code(),
+            StatusCode::kAlreadyExists);
+}
+
+// ---------------------------------------------------- Ledger persistence --
+
+class LedgerPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "prever_ledger_persist.bin";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(LedgerPersistenceTest, SaveLoadRoundTrip) {
+  ledger::LedgerDb original;
+  for (int i = 0; i < 25; ++i) {
+    original.Append(ToBytes("entry" + std::to_string(i)), i * 10);
+  }
+  ASSERT_TRUE(original.SaveToFile(path_).ok());
+  auto loaded = ledger::LedgerDb::LoadFromFile(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 25u);
+  EXPECT_EQ(loaded->Digest(), original.Digest());
+  EXPECT_TRUE(loaded->Audit().ok());
+  EXPECT_EQ(loaded->GetEntry(7)->timestamp, 70u);
+}
+
+TEST_F(LedgerPersistenceTest, LoadDetectsReorderedEntries) {
+  ledger::LedgerDb original;
+  original.Append(ToBytes("a"), 0);
+  original.Append(ToBytes("b"), 1);
+  ASSERT_TRUE(original.SaveToFile(path_).ok());
+  // Rewrite the file with the records swapped (valid CRCs, wrong order).
+  auto records = storage::WriteAheadLog::Recover(path_);
+  ASSERT_TRUE(records.ok());
+  std::swap((*records)[0], (*records)[1]);
+  std::remove(path_.c_str());
+  storage::WriteAheadLog log;
+  ASSERT_TRUE(log.Open(path_).ok());
+  for (const Bytes& r : *records) ASSERT_TRUE(log.Append(r).ok());
+  log.Close();
+  EXPECT_EQ(ledger::LedgerDb::LoadFromFile(path_).status().code(),
+            StatusCode::kIntegrityViolation);
+}
+
+TEST_F(LedgerPersistenceTest, LoadRejectsCorruptTail) {
+  ledger::LedgerDb original;
+  original.Append(ToBytes("a"), 0);
+  ASSERT_TRUE(original.SaveToFile(path_).ok());
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  uint8_t junk[5] = {1, 2, 3, 4, 5};
+  std::fwrite(junk, 1, 5, f);
+  std::fclose(f);
+  EXPECT_EQ(ledger::LedgerDb::LoadFromFile(path_).status().code(),
+            StatusCode::kIntegrityViolation);
+}
+
+TEST_F(LedgerPersistenceTest, MissingFileIsEmptyLedger) {
+  auto loaded = ledger::LedgerDb::LoadFromFile(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+// ------------------------------------------- Batched / sharded ordering --
+
+TEST(BatchedOrderingTest, BatchYieldsOneEntryPerPayload) {
+  PbftOrdering ordering(4, net::SimNetConfig{});
+  std::vector<Bytes> batch = {ToBytes("u1"), ToBytes("u2"), ToBytes("u3")};
+  ASSERT_TRUE(ordering.AppendBatch(batch, 0).ok());
+  EXPECT_EQ(ordering.CommittedCount(), 3u);
+  EXPECT_EQ(ToString(ordering.Ledger().GetEntry(0)->payload), "u1");
+  EXPECT_EQ(ToString(ordering.Ledger().GetEntry(2)->payload), "u3");
+  EXPECT_FALSE(ordering.AppendBatch({}, 0).ok());
+}
+
+TEST(BatchedOrderingTest, IdenticalBatchesBothCommit) {
+  // The batch counter makes equal payload sets distinct consensus commands
+  // (PBFT dedups by digest).
+  PbftOrdering ordering(4, net::SimNetConfig{});
+  ASSERT_TRUE(ordering.AppendBatch({ToBytes("same")}, 0).ok());
+  ASSERT_TRUE(ordering.AppendBatch({ToBytes("same")}, 0).ok());
+  EXPECT_EQ(ordering.CommittedCount(), 2u);
+}
+
+TEST(BatchedOrderingTest, ReplicasAgreeAfterBatches) {
+  PbftOrdering ordering(4, net::SimNetConfig{});
+  ASSERT_TRUE(ordering.AppendBatch({ToBytes("a"), ToBytes("b")}, 0).ok());
+  ASSERT_TRUE(ordering.AppendBatch({ToBytes("c")}, 1).ok());
+  ordering.network().RunUntilIdle();
+  std::vector<const ledger::LedgerDb*> replicas;
+  for (size_t i = 0; i < ordering.num_replicas(); ++i) {
+    replicas.push_back(&ordering.ReplicaLedger(i));
+  }
+  EXPECT_TRUE(IntegrityAuditor::CheckReplicaAgreement(replicas).ok());
+}
+
+TEST(ShardedOrderingTest, RoutesDeterministicallyAndCommits) {
+  ShardedPbftOrdering ordering(3, 4, net::SimNetConfig{});
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(ordering
+                    .AppendRouted("key" + std::to_string(i),
+                                  ToBytes("u" + std::to_string(i)), i)
+                    .ok());
+  }
+  EXPECT_EQ(ordering.CommittedCount(), 12u);
+  // Same key always lands on the same shard: re-appending key0's payload
+  // grows only one shard.
+  std::vector<uint64_t> before;
+  for (size_t s = 0; s < 3; ++s) {
+    before.push_back(ordering.Shard(s).CommittedCount());
+  }
+  ASSERT_TRUE(ordering.AppendRouted("key0", ToBytes("u0-again"), 99).ok());
+  int grown = 0;
+  for (size_t s = 0; s < 3; ++s) {
+    if (ordering.Shard(s).CommittedCount() > before[s]) ++grown;
+  }
+  EXPECT_EQ(grown, 1);
+  EXPECT_GT(ordering.MaxShardTime(), 0u);
+}
+
+// ------------------------------------------------ String escape round trip
+
+TEST(StringEscapeTest, QuotesAndBackslashesRoundTrip) {
+  const std::string nasty_cases[] = {
+      "with \"double\" quotes", "with 'single' quotes",
+      "back\\slash",            "tab\tand\nnewline",
+      "trailing backslash\\",
+  };
+  for (const std::string& s : nasty_cases) {
+    storage::Value v = storage::Value::String(s);
+    // The rendered literal must parse back to an equal literal expression.
+    auto expr = constraint::ParseConstraint(v.ToString() + " = " + v.ToString());
+    ASSERT_TRUE(expr.ok()) << v.ToString();
+    constraint::EvalContext ctx;
+    auto result = constraint::EvaluateBool(**expr, ctx);
+    ASSERT_TRUE(result.ok()) << v.ToString();
+    EXPECT_TRUE(*result);
+    // And the parsed literal equals the original string.
+    EXPECT_EQ(*(*expr)->lhs->literal.AsString(), s);
+  }
+}
+
+}  // namespace
+}  // namespace prever::core

@@ -1,0 +1,127 @@
+#include "core/demarcation_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace prever::core {
+namespace {
+
+using storage::Mutation;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+Schema WorklogSchema() {
+  return Schema({{"id", ValueType::kString},
+                 {"worker", ValueType::kString},
+                 {"hours", ValueType::kInt64},
+                 {"at", ValueType::kTimestamp}});
+}
+
+Update MakeTask(const std::string& id, const std::string& worker,
+                int64_t hours, SimTime at) {
+  Update u;
+  u.id = id;
+  u.producer = worker;
+  u.timestamp = at;
+  u.fields = {{"worker", Value::String(worker)},
+              {"hours", Value::Int64(hours)}};
+  u.mutation.op = Mutation::Op::kInsert;
+  u.mutation.table = "worklog";
+  u.mutation.row = {Value::String(id), Value::String(worker),
+                    Value::Int64(hours), Value::Timestamp(at)};
+  return u;
+}
+
+class DemarcationEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 3; ++i) {
+      auto platform = std::make_unique<FederatedPlatform>();
+      platform->id = "platform-" + std::to_string(i);
+      ASSERT_TRUE(platform->db.CreateTable("worklog", WorklogSchema()).ok());
+      platforms_.push_back(std::move(platform));
+    }
+    // 39-hour weekly cap splits evenly into 13 per platform.
+    ASSERT_TRUE(regulations_
+                    .Add("cap", constraint::ConstraintScope::kRegulation,
+                         constraint::ConstraintVisibility::kPublic,
+                         "SUM(worklog.hours WHERE worker = update.worker "
+                         "WINDOW 7d) + update.hours <= 39")
+                    .ok());
+    std::vector<FederatedPlatform*> raw;
+    for (auto& p : platforms_) raw.push_back(p.get());
+    engine_ = std::make_unique<DemarcationEngine>(raw, &regulations_,
+                                                  &ordering_);
+  }
+
+  std::vector<std::unique_ptr<FederatedPlatform>> platforms_;
+  constraint::ConstraintCatalog regulations_;
+  CentralizedOrdering ordering_;
+  std::unique_ptr<DemarcationEngine> engine_;
+};
+
+TEST_F(DemarcationEngineTest, ValidatesRegulations) {
+  EXPECT_TRUE(engine_->ValidateRegulations().ok());
+  constraint::ConstraintCatalog lower;
+  ASSERT_TRUE(lower
+                  .Add("min", constraint::ConstraintScope::kRegulation,
+                       constraint::ConstraintVisibility::kPublic,
+                       "SUM(worklog.hours) >= 5")
+                  .ok());
+  std::vector<FederatedPlatform*> raw = {platforms_[0].get()};
+  DemarcationEngine bad(raw, &lower, &ordering_);
+  EXPECT_EQ(bad.ValidateRegulations().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(DemarcationEngineTest, LocalAdmissionsNeedNoCommunication) {
+  // 13 hours per platform fit the local limits exactly: zero transfers.
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 13, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(1, MakeTask("t2", "w1", 13, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(2, MakeTask("t3", "w1", 13, kDay)).ok());
+  EXPECT_EQ(engine_->transfers(), 0u);
+  EXPECT_EQ(engine_->local_admissions(), 3u);
+}
+
+TEST_F(DemarcationEngineTest, TransfersSlackWhenLocalLimitExceeded) {
+  // 20 hours on platform 0 exceeds its 13-limit; it pulls slack from peers.
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 20, kDay)).ok());
+  EXPECT_EQ(engine_->transfers(), 1u);
+  // Global budget still enforced: total may reach 39 but not 40.
+  ASSERT_TRUE(engine_->SubmitVia(1, MakeTask("t2", "w1", 19, kDay)).ok());
+  Status s = engine_->SubmitVia(2, MakeTask("t3", "w1", 1, kDay));
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(DemarcationEngineTest, GlobalBoundNeverExceeded) {
+  // Adversarial-ish stream: many small tasks from every platform; accepted
+  // total must never exceed the 39-hour bound within one bucket.
+  int64_t accepted_hours = 0;
+  for (int i = 0; i < 30; ++i) {
+    Update u = MakeTask("t" + std::to_string(i), "w1", 3, kDay);
+    if (engine_->SubmitVia(i % 3, u).ok()) accepted_hours += 3;
+  }
+  EXPECT_LE(accepted_hours, 39);
+  EXPECT_GE(accepted_hours, 37);  // And it does not under-admit badly.
+}
+
+TEST_F(DemarcationEngineTest, GroupsHaveIndependentBudgets) {
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 20, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t2", "w2", 20, kDay)).ok());
+}
+
+TEST_F(DemarcationEngineTest, TumblingBucketsReset) {
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 39, kDay)).ok());
+  EXPECT_FALSE(engine_->SubmitVia(0, MakeTask("t2", "w1", 1, 2 * kDay)).ok());
+  // Next tumbling bucket (the following week): budget is fresh.
+  EXPECT_TRUE(
+      engine_->SubmitVia(0, MakeTask("t3", "w1", 39, kWeek + kDay)).ok());
+}
+
+TEST_F(DemarcationEngineTest, StatsAndLedger) {
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 5, kDay)).ok());
+  EXPECT_EQ(engine_->stats().accepted, 1u);
+  EXPECT_EQ(ordering_.CommittedCount(), 1u);
+}
+
+}  // namespace
+}  // namespace prever::core

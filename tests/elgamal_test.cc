@@ -1,0 +1,145 @@
+#include "crypto/elgamal.h"
+
+#include <gtest/gtest.h>
+
+namespace prever::crypto {
+namespace {
+
+class ElGamalTest : public ::testing::Test {
+ protected:
+  const PedersenParams& params_ = PedersenParams::Test256();
+  Drbg drbg_{uint64_t{77}};
+};
+
+TEST_F(ElGamalTest, EncryptDecryptRoundTrip) {
+  ElGamal eg(params_, drbg_);
+  for (int64_t m : {int64_t{0}, int64_t{1}, int64_t{40}, int64_t{999}}) {
+    auto ct = eg.Encrypt(m, drbg_);
+    ASSERT_TRUE(ct.ok());
+    EXPECT_EQ(*eg.Decrypt(*ct, 1000), m);
+  }
+}
+
+TEST_F(ElGamalTest, EncryptionIsProbabilistic) {
+  ElGamal eg(params_, drbg_);
+  auto c1 = eg.Encrypt(5, drbg_);
+  auto c2 = eg.Encrypt(5, drbg_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_FALSE(*c1 == *c2);
+}
+
+TEST_F(ElGamalTest, HomomorphicAddition) {
+  ElGamal eg(params_, drbg_);
+  auto c1 = eg.Encrypt(18, drbg_);
+  auto c2 = eg.Encrypt(24, drbg_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  auto sum = ElGamal::Add(params_, *c1, *c2);
+  EXPECT_EQ(*eg.Decrypt(sum, 100), 42);
+}
+
+TEST_F(ElGamalTest, DecryptFailsBeyondScanBound) {
+  ElGamal eg(params_, drbg_);
+  auto ct = eg.Encrypt(50, drbg_);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(eg.Decrypt(*ct, 49).ok());
+}
+
+TEST_F(ElGamalTest, NegativePlaintextRejected) {
+  ElGamal eg(params_, drbg_);
+  EXPECT_FALSE(eg.Encrypt(-1, drbg_).ok());
+}
+
+TEST_F(ElGamalTest, DiscreteLogRecovery) {
+  EXPECT_EQ(*RecoverDiscreteLog(params_, BigInt(1), 10), 0);
+  EXPECT_EQ(*RecoverDiscreteLog(params_, params_.g, 10), 1);
+  BigInt g7 = params_.g.PowMod(BigInt(7), params_.p);
+  EXPECT_EQ(*RecoverDiscreteLog(params_, g7, 10), 7);
+  EXPECT_FALSE(RecoverDiscreteLog(params_, g7, 6).ok());
+  EXPECT_FALSE(RecoverDiscreteLog(params_, g7, -1).ok());
+}
+
+TEST_F(ElGamalTest, DiscreteLogBsgsPathMatchesScanPath) {
+  // Exercise the baby-step giant-step branch (max > 1024) at boundaries
+  // and interior points, including the not-found case.
+  for (int64_t m : {int64_t{0}, int64_t{1}, int64_t{1024}, int64_t{1025},
+                    int64_t{31337}, int64_t{99999}, int64_t{100000}}) {
+    BigInt gm = params_.g.PowMod(BigInt(m), params_.p);
+    auto found = RecoverDiscreteLog(params_, gm, 100000);
+    ASSERT_TRUE(found.ok()) << m;
+    EXPECT_EQ(*found, m);
+  }
+  BigInt beyond = params_.g.PowMod(BigInt(100001), params_.p);
+  EXPECT_FALSE(RecoverDiscreteLog(params_, beyond, 100000).ok());
+}
+
+class ThresholdElGamalTest : public ::testing::Test {
+ protected:
+  const PedersenParams& params_ = PedersenParams::Test256();
+  Drbg drbg_{uint64_t{88}};
+};
+
+TEST_F(ThresholdElGamalTest, AllPartiesTogetherDecrypt) {
+  ThresholdElGamal teg(params_, 4, drbg_);
+  auto ct = teg.Encrypt(33, drbg_);
+  ASSERT_TRUE(ct.ok());
+  std::vector<BigInt> partials;
+  for (size_t i = 0; i < 4; ++i) {
+    partials.push_back(*teg.PartialDecrypt(i, *ct));
+  }
+  EXPECT_EQ(*teg.Combine(*ct, partials, 100), 33);
+}
+
+TEST_F(ThresholdElGamalTest, MissingPartyBlocksDecryption) {
+  ThresholdElGamal teg(params_, 3, drbg_);
+  auto ct = teg.Encrypt(5, drbg_);
+  ASSERT_TRUE(ct.ok());
+  std::vector<BigInt> two = {*teg.PartialDecrypt(0, *ct),
+                             *teg.PartialDecrypt(1, *ct)};
+  EXPECT_FALSE(teg.Combine(*ct, two, 100).ok());
+}
+
+TEST_F(ThresholdElGamalTest, ForgedPartialYieldsGarbageNotPlaintext) {
+  ThresholdElGamal teg(params_, 3, drbg_);
+  auto ct = teg.Encrypt(5, drbg_);
+  ASSERT_TRUE(ct.ok());
+  std::vector<BigInt> partials = {*teg.PartialDecrypt(0, *ct),
+                                  *teg.PartialDecrypt(1, *ct),
+                                  drbg_.RandomNonZeroBelow(params_.p)};
+  // Combination either errors (dlog out of range) or yields a wrong value;
+  // it must never silently return the true plaintext.
+  auto result = teg.Combine(*ct, partials, 1000);
+  if (result.ok()) {
+    EXPECT_NE(*result, 5);
+  }
+}
+
+TEST_F(ThresholdElGamalTest, FederatedAggregationWithoutAuthority) {
+  // The RC2 dealer-free pattern: 3 platforms each encrypt their private
+  // local aggregate under the JOINT key; anyone sums homomorphically; only
+  // all three together can open the total — no trusted third party, and no
+  // platform learns another's contribution (only the total is opened).
+  ThresholdElGamal teg(params_, 3, drbg_);
+  int64_t locals[3] = {18, 15, 6};
+  auto total_ct = teg.Encrypt(0, drbg_);
+  ASSERT_TRUE(total_ct.ok());
+  for (int64_t local : locals) {
+    auto ct = teg.Encrypt(local, drbg_);
+    ASSERT_TRUE(ct.ok());
+    *total_ct = ThresholdElGamal::Add(params_, *total_ct, *ct);
+  }
+  std::vector<BigInt> partials;
+  for (size_t i = 0; i < 3; ++i) {
+    partials.push_back(*teg.PartialDecrypt(i, *total_ct));
+  }
+  EXPECT_EQ(*teg.Combine(*total_ct, partials, 200), 39);
+}
+
+TEST_F(ThresholdElGamalTest, PartialDecryptBoundsChecked) {
+  ThresholdElGamal teg(params_, 2, drbg_);
+  auto ct = teg.Encrypt(1, drbg_);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(teg.PartialDecrypt(2, *ct).ok());
+}
+
+}  // namespace
+}  // namespace prever::crypto

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "mpc/compare.h"
+#include "mpc/secure_agg.h"
+
+namespace prever::mpc {
+namespace {
+
+TEST(SecureAggTest, SumMatchesPlainSum) {
+  Rng rng(1);
+  std::vector<uint64_t> inputs = {10, 20, 30, 40};
+  auto sum = SecureAggregation::Sum(inputs, rng);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 100u);
+}
+
+TEST(SecureAggTest, SingleParty) {
+  Rng rng(2);
+  auto sum = SecureAggregation::Sum({42}, rng);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 42u);
+}
+
+TEST(SecureAggTest, EmptyFails) {
+  Rng rng(3);
+  EXPECT_FALSE(SecureAggregation::Sum({}, rng).ok());
+}
+
+TEST(SecureAggTest, WrapsModulo64) {
+  Rng rng(4);
+  auto sum = SecureAggregation::Sum({UINT64_MAX, 2}, rng);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 1u);
+}
+
+TEST(SecureAggTest, TranscriptCountsTraffic) {
+  Rng rng(5);
+  MpcTranscript t;
+  ASSERT_TRUE(SecureAggregation::Sum({1, 2, 3}, rng, &t).ok());
+  EXPECT_EQ(t.rounds, 2u);
+  EXPECT_EQ(t.messages, 2u * 3 * 2);
+}
+
+TEST(SecureCompareTest, BasicDecisions) {
+  Rng rng(7);
+  // 10 + 20 + 5 = 35.
+  auto le40 = SecureComparison::SumLessEqual({10, 20, 5}, 40, 16, rng);
+  ASSERT_TRUE(le40.ok());
+  EXPECT_TRUE(*le40);
+  auto le34 = SecureComparison::SumLessEqual({10, 20, 5}, 34, 16, rng);
+  ASSERT_TRUE(le34.ok());
+  EXPECT_FALSE(*le34);
+  auto le35 = SecureComparison::SumLessEqual({10, 20, 5}, 35, 16, rng);
+  ASSERT_TRUE(le35.ok());
+  EXPECT_TRUE(*le35);  // Inclusive bound.
+}
+
+TEST(SecureCompareTest, FlsaScenario) {
+  // Worker's hours across three platforms this week: 18 + 15 + 6 = 39.
+  Rng rng(11);
+  EXPECT_TRUE(*SecureComparison::SumLessEqual({18, 15, 6}, 40, 16, rng));
+  // One more 2-hour task would exceed the cap: 41 > 40.
+  EXPECT_FALSE(*SecureComparison::SumLessEqual({18, 15, 6 + 2}, 40, 16, rng));
+}
+
+TEST(SecureCompareTest, ZeroAndBoundaryValues) {
+  Rng rng(13);
+  EXPECT_TRUE(*SecureComparison::SumLessEqual({0, 0, 0}, 0, 8, rng));
+  EXPECT_TRUE(*SecureComparison::SumLessEqual({0}, 255, 8, rng));
+  EXPECT_FALSE(*SecureComparison::SumLessEqual({1}, 0, 8, rng));
+  EXPECT_TRUE(*SecureComparison::SumLessEqual({255}, 255, 8, rng));
+}
+
+TEST(SecureCompareTest, InvalidParameters) {
+  Rng rng(17);
+  EXPECT_FALSE(SecureComparison::SumLessEqual({}, 10, 16, rng).ok());
+  EXPECT_FALSE(SecureComparison::SumLessEqual({1}, 10, 0, rng).ok());
+  EXPECT_FALSE(SecureComparison::SumLessEqual({1}, 10, 63, rng).ok());
+  // Sum exceeds the 2^k domain.
+  EXPECT_FALSE(SecureComparison::SumLessEqual({200, 200}, 10, 8, rng).ok());
+}
+
+TEST(SecureCompareTest, BoundAboveDomainIsTriviallyTrue) {
+  Rng rng(19);
+  auto r = SecureComparison::SumLessEqual({5}, 1ULL << 10, 8, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(SecureCompareTest, TranscriptShowsConstantRoundsPerBit) {
+  Rng rng(23);
+  MpcTranscript t8, t16;
+  ASSERT_TRUE(
+      SecureComparison::SumLessEqual({1, 2}, 10, 8, rng, &t8).ok());
+  ASSERT_TRUE(
+      SecureComparison::SumLessEqual({1, 2}, 10, 16, rng, &t16).ok());
+  // 2 AND gates per bit, 2 openings per AND, plus the c-opening and the
+  // final-bit opening: communication scales linearly with bit width.
+  EXPECT_GT(t16.rounds, t8.rounds);
+  EXPECT_LE(t16.rounds, 2 + 2 * 2 * 16 + 2);
+}
+
+// Property: decision equals the plaintext comparison over random instances
+// with varying party counts and bit widths.
+class SecureCompareProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SecureCompareProperty, MatchesPlaintextDecision) {
+  Rng rng(GetParam());
+  Rng dealer(GetParam() + 1000);
+  for (int iter = 0; iter < 25; ++iter) {
+    size_t parties = 1 + rng.NextBelow(6);
+    size_t k = 4 + rng.NextBelow(28);
+    uint64_t domain = 1ULL << k;
+    std::vector<uint64_t> inputs(parties);
+    uint64_t sum = 0;
+    for (auto& x : inputs) {
+      x = rng.NextBelow(domain / parties);
+      sum += x;
+    }
+    uint64_t bound = rng.NextBelow(domain);
+    auto got = SecureComparison::SumLessEqual(inputs, bound, k, dealer);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, sum <= bound)
+        << "parties=" << parties << " k=" << k << " sum=" << sum
+        << " bound=" << bound;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecureCompareProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace prever::mpc

@@ -1,0 +1,143 @@
+#include "net/sim_net.h"
+
+#include <gtest/gtest.h>
+
+namespace prever::net {
+namespace {
+
+struct Recorder {
+  std::vector<Message> received;
+  SimNetwork::Handler Handler() {
+    return [this](const Message& m) { received.push_back(m); };
+  }
+};
+
+TEST(SimNetTest, DeliversInLatencyWindow) {
+  SimNetConfig cfg;
+  cfg.min_latency = 2 * kMillisecond;
+  cfg.max_latency = 4 * kMillisecond;
+  SimNetwork net(cfg);
+  Recorder a, b;
+  NodeId na = net.AddNode(a.Handler());
+  net.AddNode(b.Handler());
+
+  net.Send(na, 1, 7, ToBytes("hi"));
+  EXPECT_EQ(net.RunUntil(1 * kMillisecond), 0u);  // Too early.
+  EXPECT_TRUE(b.received.empty());
+  net.RunUntil(5 * kMillisecond);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].type, 7u);
+  EXPECT_EQ(ToString(b.received[0].payload), "hi");
+  EXPECT_EQ(b.received[0].from, na);
+}
+
+TEST(SimNetTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    SimNetConfig cfg;
+    cfg.seed = seed;
+    SimNetwork net(cfg);
+    std::vector<std::pair<SimTime, uint32_t>> order;
+    net.AddNode([&](const Message& m) { order.emplace_back(net.Now(), m.type); });
+    for (uint32_t i = 0; i < 20; ++i) net.Send(1, 0, i, {});
+    net.RunUntilIdle();
+    return order;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(SimNetTest, BroadcastReachesAllButSender) {
+  SimNetwork net;
+  Recorder r[3];
+  for (auto& rec : r) net.AddNode(rec.Handler());
+  net.Broadcast(0, 1, ToBytes("x"));
+  net.RunUntilIdle();
+  EXPECT_TRUE(r[0].received.empty());
+  EXPECT_EQ(r[1].received.size(), 1u);
+  EXPECT_EQ(r[2].received.size(), 1u);
+}
+
+TEST(SimNetTest, DropRateDropsEverythingAtOne) {
+  SimNetConfig cfg;
+  cfg.drop_rate = 1.0;
+  SimNetwork net(cfg);
+  Recorder a;
+  net.AddNode(a.Handler());
+  net.AddNode(a.Handler());
+  for (int i = 0; i < 10; ++i) net.Send(0, 1, 1, {});
+  net.RunUntilIdle();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(net.messages_dropped(), 10u);
+}
+
+TEST(SimNetTest, PartitionBlocksBothDirectionsUntilHealed) {
+  SimNetwork net;
+  Recorder a, b;
+  net.AddNode(a.Handler());
+  net.AddNode(b.Handler());
+  net.Partition(0, 1);
+  net.Send(0, 1, 1, {});
+  net.Send(1, 0, 1, {});
+  net.RunUntilIdle();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+  net.Heal(0, 1);
+  net.Send(0, 1, 1, {});
+  net.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimNetTest, IsolateSimulatesCrash) {
+  SimNetwork net;
+  Recorder a, b, c;
+  net.AddNode(a.Handler());
+  net.AddNode(b.Handler());
+  net.AddNode(c.Handler());
+  net.Isolate(1);
+  net.Broadcast(0, 1, {});
+  net.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);
+  net.Reconnect(1);
+  net.Broadcast(0, 1, {});
+  net.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimNetTest, ScheduledCallbacksFireInOrder) {
+  SimNetwork net;
+  std::vector<int> order;
+  net.ScheduleAfter(30, [&] { order.push_back(3); });
+  net.ScheduleAfter(10, [&] { order.push_back(1); });
+  net.ScheduleAfter(20, [&] { order.push_back(2); });
+  net.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(net.Now(), 30u);
+}
+
+TEST(SimNetTest, TieBreakIsFifo) {
+  SimNetConfig cfg;
+  cfg.min_latency = cfg.max_latency = 5;
+  SimNetwork net(cfg);
+  Recorder a;
+  net.AddNode(a.Handler());
+  net.AddNode(a.Handler());
+  for (uint32_t i = 0; i < 5; ++i) net.Send(1, 0, i, {});
+  net.RunUntilIdle();
+  ASSERT_EQ(a.received.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(a.received[i].type, i);
+}
+
+TEST(SimNetTest, CountersTrackTraffic) {
+  SimNetwork net;
+  net.AddNode([](const Message&) {});
+  net.AddNode([](const Message&) {});
+  net.Send(0, 1, 1, Bytes(10));
+  net.Send(1, 0, 1, Bytes(5));
+  net.RunUntilIdle();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 15u);
+}
+
+}  // namespace
+}  // namespace prever::net

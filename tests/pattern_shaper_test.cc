@@ -1,0 +1,109 @@
+#include "core/pattern_shaper.h"
+
+#include <gtest/gtest.h>
+
+#include "core/plaintext_engine.h"
+
+namespace prever::core {
+namespace {
+
+using storage::Mutation;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class PatternShaperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema({{"id", ValueType::kString},
+                   {"kind", ValueType::kString},
+                   {"at", ValueType::kTimestamp}});
+    ASSERT_TRUE(db_.CreateTable("events", schema).ok());
+    engine_ = std::make_unique<PlaintextEngine>(&db_, &catalog_, &ordering_);
+    shaper_ = std::make_unique<UpdatePatternShaper>(
+        engine_.get(), /*interval=*/kSecond, [this](SimTime tick) {
+          return MakeUpdate("dummy-" + std::to_string(dummy_counter_++),
+                            "dummy", tick);
+        });
+  }
+
+  Update MakeUpdate(const std::string& id, const std::string& kind,
+                    SimTime at) {
+    Update u;
+    u.id = id;
+    u.producer = "p";
+    u.timestamp = at;
+    u.mutation.op = Mutation::Op::kInsert;
+    u.mutation.table = "events";
+    u.mutation.row = {Value::String(id), Value::String(kind),
+                      Value::Timestamp(at)};
+    return u;
+  }
+
+  storage::Database db_;
+  constraint::ConstraintCatalog catalog_;
+  CentralizedOrdering ordering_;
+  std::unique_ptr<PlaintextEngine> engine_;
+  std::unique_ptr<UpdatePatternShaper> shaper_;
+  int dummy_counter_ = 0;
+};
+
+TEST_F(PatternShaperTest, OneSubmissionPerTickRegardlessOfArrivals) {
+  // Bursty arrivals: three updates at t=0.1s, nothing after.
+  shaper_->Enqueue(MakeUpdate("r1", "real", kSecond / 10));
+  shaper_->Enqueue(MakeUpdate("r2", "real", kSecond / 10));
+  shaper_->Enqueue(MakeUpdate("r3", "real", kSecond / 10));
+  size_t fired = shaper_->AdvanceTo(5 * kSecond);
+  EXPECT_EQ(fired, 6u);  // Ticks at 0s,1s,...,5s.
+  // An observer sees exactly 6 submissions — independent of the burst.
+  EXPECT_EQ(engine_->stats().submitted, 6u);
+  EXPECT_EQ(shaper_->real_submitted(), 3u);
+  EXPECT_EQ(shaper_->dummies_submitted(), 3u);
+}
+
+TEST_F(PatternShaperTest, ObservableTimesAreTheTicks) {
+  shaper_->Enqueue(MakeUpdate("r1", "real", 123456));  // Odd arrival time.
+  shaper_->AdvanceTo(2 * kSecond);
+  // The ledger records only tick-aligned timestamps.
+  const ledger::LedgerDb& led = ordering_.Ledger();
+  for (uint64_t i = 0; i < led.size(); ++i) {
+    auto u = Update::Decode(led.GetEntry(i)->payload);
+    ASSERT_TRUE(u.ok());
+    EXPECT_EQ(u->timestamp % kSecond, 0u) << i;
+  }
+}
+
+TEST_F(PatternShaperTest, LatencyCostAccounted) {
+  // Arrival just after a tick waits almost a full interval.
+  shaper_->Enqueue(MakeUpdate("r1", "real", 1));
+  shaper_->AdvanceTo(kSecond);
+  // Tick 0 fired a dummy (arrival at t=1 > tick 0); tick 1s carried r1.
+  EXPECT_EQ(shaper_->real_submitted(), 1u);
+  EXPECT_EQ(shaper_->total_added_latency(), kSecond - 1);
+}
+
+TEST_F(PatternShaperTest, QueueDrainsInOrder) {
+  for (int i = 0; i < 3; ++i) {
+    shaper_->Enqueue(MakeUpdate("r" + std::to_string(i), "real", 0));
+  }
+  shaper_->AdvanceTo(2 * kSecond);
+  EXPECT_EQ(shaper_->queued(), 0u);
+  // Real updates appear in FIFO order on the ledger.
+  auto u0 = Update::Decode(ordering_.Ledger().GetEntry(0)->payload);
+  auto u1 = Update::Decode(ordering_.Ledger().GetEntry(1)->payload);
+  ASSERT_TRUE(u0.ok() && u1.ok());
+  EXPECT_EQ(u0->id, "r0");
+  EXPECT_EQ(u1->id, "r1");
+}
+
+TEST_F(PatternShaperTest, FutureArrivalsWaitForTheirTick) {
+  shaper_->Enqueue(MakeUpdate("r1", "real", 10 * kSecond));
+  shaper_->AdvanceTo(5 * kSecond);
+  EXPECT_EQ(shaper_->real_submitted(), 0u);  // Not yet arrived "publicly".
+  EXPECT_EQ(shaper_->queued(), 1u);
+  shaper_->AdvanceTo(10 * kSecond);
+  EXPECT_EQ(shaper_->real_submitted(), 1u);
+}
+
+}  // namespace
+}  // namespace prever::core

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "pir/cpir.h"
+#include "pir/xor_pir.h"
+
+namespace prever::pir {
+namespace {
+
+std::vector<Bytes> MakeRecords(size_t n, size_t size) {
+  std::vector<Bytes> records;
+  for (size_t i = 0; i < n; ++i) {
+    Bytes r = ToBytes("record-" + std::to_string(i));
+    r.resize(size, static_cast<uint8_t>(i));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+// ---------------------------------------------------------------- XOR PIR
+
+TEST(XorPirTest, FetchesEveryRecordCorrectly) {
+  constexpr size_t kN = 17, kSize = 24;
+  auto records = MakeRecords(kN, kSize);
+  XorPirServer s0(records, kSize), s1(records, kSize);
+  XorPirClient client(1);
+  for (size_t i = 0; i < kN; ++i) {
+    auto got = client.Fetch(i, s0, s1);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, records[i]) << i;
+  }
+}
+
+TEST(XorPirTest, QueriesLookRandomIndividually) {
+  XorPirClient client(2);
+  auto q1 = client.BuildQuery(3, 64);
+  auto q2 = client.BuildQuery(3, 64);
+  // Each server's view differs between runs (fresh randomness), and within
+  // a run the two servers' vectors differ in exactly one position.
+  EXPECT_NE(q1.for_server0, q2.for_server0);
+  size_t diffs = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    if (q1.for_server0[i] != q1.for_server1[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST(XorPirTest, AppendThenFetch) {
+  constexpr size_t kSize = 16;
+  auto records = MakeRecords(4, kSize);
+  XorPirServer s0(records, kSize), s1(records, kSize);
+  ASSERT_TRUE(s0.Append(ToBytes("new-entry")).ok());
+  ASSERT_TRUE(s1.Append(ToBytes("new-entry")).ok());
+  XorPirClient client(3);
+  auto got = client.Fetch(4, s0, s1);
+  ASSERT_TRUE(got.ok());
+  Bytes expected = ToBytes("new-entry");
+  expected.resize(kSize, 0);
+  EXPECT_EQ(*got, expected);
+}
+
+TEST(XorPirTest, AppendRejectsOversizedRecord) {
+  XorPirServer s({}, 8);
+  EXPECT_FALSE(s.Append(Bytes(9)).ok());
+}
+
+TEST(XorPirTest, ErrorsOnBadInput) {
+  auto records = MakeRecords(4, 8);
+  XorPirServer s0(records, 8), s1(records, 8);
+  XorPirClient client(4);
+  EXPECT_FALSE(client.Fetch(4, s0, s1).ok());  // Out of range.
+  EXPECT_FALSE(s0.Answer(std::vector<uint8_t>(3)).ok());  // Wrong size.
+}
+
+TEST(XorPirTest, ServerWorkIsLinear) {
+  auto records = MakeRecords(32, 8);
+  XorPirServer s0(records, 8), s1(records, 8);
+  XorPirClient client(5);
+  ASSERT_TRUE(client.Fetch(0, s0, s1).ok());
+  EXPECT_EQ(s0.records_scanned(), 32u);
+}
+
+// ----------------------------------------------------------- Paillier PIR
+
+class PaillierPirTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::Drbg drbg(uint64_t{99});
+    key_ = new crypto::PaillierKeyPair(
+        crypto::PaillierGenerateKey(256, drbg).value());
+  }
+  static crypto::PaillierKeyPair* key_;
+};
+crypto::PaillierKeyPair* PaillierPirTest::key_ = nullptr;
+
+TEST_F(PaillierPirTest, FetchesEveryRecord) {
+  constexpr size_t kN = 8, kSize = 16;  // 16 bytes < 256/8 - 2.
+  auto records = MakeRecords(kN, kSize);
+  PaillierPirServer server(records, kSize, key_->pub);
+  PaillierPirClient client(*key_, 7);
+  for (size_t i = 0; i < kN; ++i) {
+    auto got = client.Fetch(i, server);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, records[i]) << i;
+  }
+}
+
+TEST_F(PaillierPirTest, AppendThenFetch) {
+  constexpr size_t kSize = 8;
+  PaillierPirServer server(MakeRecords(3, kSize), kSize, key_->pub);
+  ASSERT_TRUE(server.Append(ToBytes("xyz")).ok());
+  PaillierPirClient client(*key_, 8);
+  auto got = client.Fetch(3, server);
+  ASSERT_TRUE(got.ok());
+  Bytes expected = ToBytes("xyz");
+  expected.resize(kSize, 0);
+  EXPECT_EQ(*got, expected);
+}
+
+TEST_F(PaillierPirTest, QueryIsSemanticallyHidden) {
+  // Two queries for the same index produce different ciphertext vectors.
+  PaillierPirClient client(*key_, 9);
+  auto q1 = client.BuildQuery(2, 4);
+  auto q2 = client.BuildQuery(2, 4);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NE((*q1)[i].c, (*q2)[i].c) << i;
+  }
+}
+
+TEST_F(PaillierPirTest, RejectsOversizedRecords) {
+  constexpr size_t kTooBig = 64;  // > 256-bit plaintext space.
+  PaillierPirServer server(MakeRecords(2, kTooBig), kTooBig, key_->pub);
+  PaillierPirClient client(*key_, 10);
+  EXPECT_FALSE(client.Fetch(0, server).ok());
+}
+
+TEST_F(PaillierPirTest, BuildQueryRejectsOutOfRange) {
+  PaillierPirClient client(*key_, 11);
+  EXPECT_FALSE(client.BuildQuery(5, 5).ok());
+}
+
+TEST_F(PaillierPirTest, AnswerRejectsWrongSelectionSize) {
+  PaillierPirServer server(MakeRecords(3, 8), 8, key_->pub);
+  EXPECT_FALSE(server.Answer({}).ok());
+}
+
+}  // namespace
+}  // namespace prever::pir

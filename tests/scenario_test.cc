@@ -1,0 +1,217 @@
+// End-to-end scenario tests: condensed, assertion-checked versions of the
+// §2 application examples, exercising full engine pipelines the way the
+// runnable examples do.
+
+#include <gtest/gtest.h>
+
+#include "core/prever.h"
+#include "workload/crowdworking.h"
+#include "workload/supplychain.h"
+#include "workload/ycsb.h"
+
+namespace prever::core {
+namespace {
+
+using storage::Mutation;
+using storage::Value;
+
+// --------------------------------------------------- §2.1 sustainability
+
+TEST(ScenarioTest, SustainabilityCertificationRc1) {
+  DataOwner owner(256, crypto::PedersenParams::Test256(), 61);
+  CentralizedOrdering ordering;
+  std::vector<RegulatedBound> bounds = {
+      {constraint::BoundDirection::kUpper, 100, 30 * kDay, 8}};
+  EncryptedEngine authority(&owner, &ordering, "metric", "tons", bounds, 8,
+                            62);
+  auto report = [&](const char* id, const char* metric, int64_t tons,
+                    SimTime at) {
+    Update u;
+    u.id = id;
+    u.producer = "acme";
+    u.timestamp = at;
+    u.fields = {{"metric", Value::String(metric)},
+                {"tons", Value::Int64(tons)}};
+    return authority.SubmitUpdate(u);
+  };
+  EXPECT_TRUE(report("r1", "co2", 40, 1 * kDay).ok());
+  EXPECT_TRUE(report("r2", "co2", 35, 10 * kDay).ok());
+  EXPECT_EQ(report("r3", "co2", 30, 20 * kDay).code(),
+            StatusCode::kConstraintViolation);  // 105 > 100.
+  EXPECT_TRUE(report("r4", "water", 90, 20 * kDay).ok());  // Other metric.
+  EXPECT_TRUE(report("r5", "co2", 20, 45 * kDay).ok());    // Window slid.
+  EXPECT_TRUE(IntegrityAuditor::AuditLedger(ordering.Ledger()).ok());
+  EXPECT_EQ(authority.stats().accepted, 4u);
+}
+
+// ------------------------------------------------------ §2.2 conference
+
+TEST(ScenarioTest, ConferenceRegistrationRc3) {
+  storage::Database db;
+  storage::Schema attendees({{"name", storage::ValueType::kString},
+                             {"mode", storage::ValueType::kString}});
+  ASSERT_TRUE(db.CreateTable("attendees", attendees).ok());
+  constraint::ConstraintCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Add("capacity", constraint::ConstraintScope::kInternal,
+                       constraint::ConstraintVisibility::kPublic,
+                       "COUNT(attendees) + 1 <= 2")
+                  .ok());
+  std::vector<AttestationRequirement> reqs = {
+      {"doses", constraint::BoundDirection::kLower, 2, 8}};
+  CentralizedOrdering ordering;
+  PublicDataEngine desk(&db, &catalog, reqs, &ordering,
+                        crypto::PedersenParams::Test256());
+  crypto::Drbg drbg(uint64_t{63});
+  auto submit = [&](const char* name, int64_t doses) {
+    PublicDataEngine::Submission s;
+    s.update.id = std::string("reg-") + name;
+    s.update.producer = name;
+    s.update.timestamp = kDay;
+    s.update.fields = {{"name", Value::String(name)}};
+    s.update.mutation.op = Mutation::Op::kInsert;
+    s.update.mutation.table = "attendees";
+    s.update.mutation.row = {Value::String(name), Value::String("in-person")};
+    auto att = desk.Attest(desk.requirements()[0], doses, drbg);
+    if (!att.ok()) return att.status();
+    s.attestations.push_back(std::move(*att));
+    return desk.Submit(s);
+  };
+  EXPECT_TRUE(submit("ada", 3).ok());
+  EXPECT_EQ(submit("eve", 1).code(), StatusCode::kConstraintViolation);
+  EXPECT_TRUE(submit("bob", 2).ok());
+  EXPECT_EQ(submit("carol", 2).code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ((*db.GetTable("attendees"))->size(), 2u);
+}
+
+// --------------------------------------------- §2.3 crowdworking (3-way)
+
+TEST(ScenarioTest, AllThreeRc2EnginesAgreeOnTheCap) {
+  workload::CrowdworkingConfig config;
+  config.num_workers = 6;
+  config.num_platforms = 3;
+  config.num_weeks = 1;
+  config.seed = 64;
+  auto trace = workload::CrowdworkingWorkload(config).Generate();
+  ASSERT_FALSE(trace.empty());
+
+  auto make_platforms = [] {
+    std::vector<std::unique_ptr<FederatedPlatform>> out;
+    for (int i = 0; i < 3; ++i) {
+      auto p = std::make_unique<FederatedPlatform>();
+      p->id = "p" + std::to_string(i);
+      (void)p->db.CreateTable(workload::CrowdworkingWorkload::kTableName,
+                              workload::CrowdworkingWorkload::WorklogSchema());
+      out.push_back(std::move(p));
+    }
+    return out;
+  };
+  constraint::ConstraintCatalog regulations;
+  ASSERT_TRUE(regulations
+                  .Add("flsa", constraint::ConstraintScope::kRegulation,
+                       constraint::ConstraintVisibility::kPublic,
+                       "SUM(worklog.hours WHERE worker = update.worker "
+                       "WINDOW 7d) + update.hours <= 40")
+                  .ok());
+
+  // MPC engine.
+  auto mpc_platforms = make_platforms();
+  std::vector<FederatedPlatform*> mpc_raw;
+  for (auto& p : mpc_platforms) mpc_raw.push_back(p.get());
+  CentralizedOrdering mpc_ordering;
+  FederatedMpcEngine mpc(mpc_raw, &regulations, &mpc_ordering, 65);
+
+  // Threshold-ElGamal engine.
+  auto teg_platforms = make_platforms();
+  std::vector<FederatedPlatform*> teg_raw;
+  for (auto& p : teg_platforms) teg_raw.push_back(p.get());
+  CentralizedOrdering teg_ordering;
+  FederatedThresholdEngine teg(teg_raw, &regulations, &teg_ordering,
+                               crypto::PedersenParams::Test256(), 66);
+
+  uint64_t idx = 0;
+  for (const auto& e : trace) {
+    Update u = e.ToUpdate(idx++);
+    Status a = mpc.SubmitVia(e.platform, u);
+    Status b = teg.SubmitVia(e.platform, u);
+    // Identical decisions on the identical stream: the mechanism differs,
+    // the regulation semantics must not.
+    EXPECT_EQ(a.ok(), b.ok()) << u.id;
+  }
+  EXPECT_EQ(mpc.stats().accepted, teg.stats().accepted);
+  EXPECT_EQ(mpc.stats().rejected_constraint, teg.stats().rejected_constraint);
+}
+
+// ---------------------------------------------------- §2.4 supply chain
+
+TEST(ScenarioTest, SupplyChainSlaOverPbft) {
+  storage::Database db;
+  ASSERT_TRUE(db.CreateTable(workload::SupplyChainWorkload::kTableName,
+                             workload::SupplyChainWorkload::EventSchema())
+                  .ok());
+  constraint::ConstraintCatalog sla;
+  ASSERT_TRUE(sla.Add("no-overshipping",
+                      constraint::ConstraintScope::kInternal,
+                      constraint::ConstraintVisibility::kPublic,
+                      workload::SupplyChainWorkload::ShipmentConstraint())
+                  .ok());
+  PbftOrdering ordering(4, net::SimNetConfig{});
+  PlaintextEngine engine(&db, &sla, &ordering);
+
+  workload::SupplyChainConfig config;
+  config.num_events = 60;
+  config.violation_rate = 0.2;
+  config.seed = 67;
+  auto events = workload::SupplyChainWorkload(config).Generate();
+  uint64_t idx = 0, rejected = 0, accepted = 0;
+  for (const auto& e : events) {
+    Update u = e.ToUpdate(idx++);
+    if (e.kind == workload::SupplyEventKind::kProduce) {
+      ASSERT_TRUE(db.Apply(u.mutation).ok());
+      continue;
+    }
+    if (engine.SubmitUpdate(u).ok()) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);  // violation_rate must surface as rejections.
+  ordering.network().RunUntilIdle();
+  std::vector<const ledger::LedgerDb*> replicas;
+  for (size_t i = 0; i < ordering.num_replicas(); ++i) {
+    replicas.push_back(&ordering.ReplicaLedger(i));
+  }
+  EXPECT_TRUE(IntegrityAuditor::CheckReplicaAgreement(replicas).ok());
+  EXPECT_EQ(ordering.ReplicaLedger(0).size(), accepted);
+}
+
+// ---------------------------------------- YCSB across ordering services
+
+TEST(ScenarioTest, YcsbThroughRaftOrderedPlaintextEngine) {
+  workload::YcsbConfig config;
+  config.record_count = 20;
+  config.operation_count = 15;
+  config.seed = 68;
+  workload::YcsbWorkload ycsb(config);
+  storage::Database db;
+  ASSERT_TRUE(db.CreateTable(workload::YcsbWorkload::kTableName,
+                             workload::YcsbWorkload::TableSchema())
+                  .ok());
+  auto* table = *db.GetMutableTable(workload::YcsbWorkload::kTableName);
+  for (const auto& row : ycsb.InitialLoad()) ASSERT_TRUE(table->Insert(row).ok());
+  constraint::ConstraintCatalog catalog;
+  RaftOrdering ordering(3, net::SimNetConfig{});
+  PlaintextEngine engine(&db, &catalog, &ordering);
+  for (int i = 0; i < 15; ++i) {
+    core::Update u = ycsb.Next();
+    u.mutation.op = Mutation::Op::kUpsert;
+    ASSERT_TRUE(engine.SubmitUpdate(u).ok()) << i;
+  }
+  EXPECT_EQ(ordering.CommittedCount(), 15u);
+  EXPECT_TRUE(IntegrityAuditor::AuditLedger(ordering.Ledger()).ok());
+}
+
+}  // namespace
+}  // namespace prever::core

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "constraint/linear.h"
+#include "constraint/parser.h"
+#include "workload/crowdworking.h"
+#include "workload/supplychain.h"
+#include "workload/tpc_lite.h"
+#include "workload/ycsb.h"
+
+namespace prever::workload {
+namespace {
+
+// ------------------------------------------------------------------ YCSB
+
+TEST(YcsbTest, InitialLoadMatchesSchemaAndCount) {
+  YcsbConfig config;
+  config.record_count = 100;
+  YcsbWorkload ycsb(config);
+  auto rows = ycsb.InitialLoad();
+  ASSERT_EQ(rows.size(), 100u);
+  storage::Schema schema = YcsbWorkload::TableSchema();
+  std::set<storage::Value> keys;
+  for (const auto& row : rows) {
+    EXPECT_TRUE(schema.ValidateRow(row).ok());
+    keys.insert(row[0]);
+  }
+  EXPECT_EQ(keys.size(), 100u);  // Distinct keys.
+}
+
+TEST(YcsbTest, UpdatesConformToSchemaAndConfig) {
+  YcsbConfig config;
+  config.record_count = 50;
+  config.max_amount = 10;
+  config.insert_proportion = 0.5;
+  YcsbWorkload ycsb(config);
+  storage::Schema schema = YcsbWorkload::TableSchema();
+  int inserts = 0;
+  for (int i = 0; i < 500; ++i) {
+    core::Update u = ycsb.Next();
+    EXPECT_TRUE(schema.ValidateRow(u.mutation.row).ok());
+    EXPECT_EQ(u.mutation.table, YcsbWorkload::kTableName);
+    int64_t amount = *u.fields.at("amount").AsInt64();
+    EXPECT_GE(amount, 0);
+    EXPECT_LE(amount, 10);
+    if (u.mutation.op == storage::Mutation::Op::kInsert) ++inserts;
+  }
+  // Roughly half inserts.
+  EXPECT_GT(inserts, 150);
+  EXPECT_LT(inserts, 350);
+  EXPECT_EQ(ycsb.generated(), 500u);
+}
+
+TEST(YcsbTest, DeterministicForSeed) {
+  YcsbConfig config;
+  config.seed = 9;
+  YcsbWorkload a(config), b(config);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next().Encode(), b.Next().Encode());
+  }
+}
+
+TEST(YcsbTest, InsertsUseFreshKeys) {
+  YcsbConfig config;
+  config.record_count = 10;
+  config.insert_proportion = 1.0;
+  YcsbWorkload ycsb(config);
+  std::set<std::string> keys;
+  for (int i = 0; i < 100; ++i) {
+    core::Update u = ycsb.Next();
+    std::string key = *u.fields.at("key").AsString();
+    EXPECT_TRUE(keys.insert(key).second) << key;  // Never repeats.
+  }
+}
+
+TEST(YcsbTest, TimestampsAdvanceMonotonically) {
+  YcsbWorkload ycsb(YcsbConfig{});
+  SimTime prev = 0;
+  for (int i = 0; i < 20; ++i) {
+    core::Update u = ycsb.Next();
+    EXPECT_GT(u.timestamp, prev);
+    prev = u.timestamp;
+  }
+}
+
+// ---------------------------------------------------------- Crowdworking
+
+TEST(CrowdworkingTest, TraceIsTimeOrderedAndInRange) {
+  CrowdworkingConfig config;
+  config.num_workers = 5;
+  config.num_platforms = 3;
+  config.num_weeks = 2;
+  config.min_task_hours = 2;
+  config.max_task_hours = 6;
+  CrowdworkingWorkload gen(config);
+  auto trace = gen.Generate();
+  ASSERT_FALSE(trace.empty());
+  SimTime prev = 0;
+  for (const TaskEvent& e : trace) {
+    EXPECT_GE(e.at, prev);
+    prev = e.at;
+    EXPECT_LT(e.platform, 3u);
+    EXPECT_GE(e.hours, 2);
+    EXPECT_LE(e.hours, 6);
+    EXPECT_LT(e.at, 2 * kWeek);
+  }
+}
+
+TEST(CrowdworkingTest, ToUpdateConformsToSchema) {
+  CrowdworkingWorkload gen(CrowdworkingConfig{});
+  auto trace = gen.Generate();
+  ASSERT_FALSE(trace.empty());
+  storage::Schema schema = CrowdworkingWorkload::WorklogSchema();
+  core::Update u = trace[0].ToUpdate(7);
+  EXPECT_TRUE(schema.ValidateRow(u.mutation.row).ok());
+  EXPECT_EQ(u.id, "task7");
+  EXPECT_EQ(*u.fields.at("hours").AsInt64(), trace[0].hours);
+  EXPECT_EQ(u.producer, trace[0].worker);
+}
+
+TEST(CrowdworkingTest, DeterministicForSeed) {
+  CrowdworkingConfig config;
+  config.seed = 4;
+  auto t1 = CrowdworkingWorkload(config).Generate();
+  auto t2 = CrowdworkingWorkload(config).Generate();
+  ASSERT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].worker, t2[i].worker);
+    EXPECT_EQ(t1[i].at, t2[i].at);
+  }
+}
+
+// ------------------------------------------------------------ Supply chain
+
+TEST(SupplyChainTest, HonestPrefixNeverOverships) {
+  SupplyChainConfig config;
+  config.violation_rate = 0.0;
+  config.num_events = 300;
+  SupplyChainWorkload gen(config);
+  auto events = gen.Generate();
+  std::map<std::string, int64_t> balance;
+  for (const SupplyEvent& e : events) {
+    if (e.kind == SupplyEventKind::kProduce) {
+      balance[e.product] += e.quantity;
+    } else {
+      // With violation_rate 0, ship events may still be "forced violations"
+      // when stock is empty (available <= 0); those are intentional.
+      if (balance[e.product] >= e.quantity) {
+        balance[e.product] -= e.quantity;
+        EXPECT_GE(balance[e.product], 0);
+      }
+    }
+    EXPECT_GT(e.quantity, 0);
+  }
+}
+
+TEST(SupplyChainTest, ViolationRateProducesRejections) {
+  SupplyChainConfig config;
+  config.violation_rate = 1.0;  // Every ship event oversized.
+  config.num_events = 100;
+  SupplyChainWorkload gen(config);
+  auto events = gen.Generate();
+  std::map<std::string, int64_t> produced, shipped;
+  int violations = 0;
+  for (const SupplyEvent& e : events) {
+    if (e.kind == SupplyEventKind::kProduce) {
+      produced[e.product] += e.quantity;
+    } else if (shipped[e.product] + e.quantity > produced[e.product]) {
+      ++violations;
+    }
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(SupplyChainTest, ConstraintTextParses) {
+  auto expr =
+      constraint::ParseConstraint(SupplyChainWorkload::ShipmentConstraint());
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+}
+
+TEST(SupplyChainTest, ToUpdateConformsToSchema) {
+  SupplyChainWorkload gen(SupplyChainConfig{});
+  auto events = gen.Generate();
+  ASSERT_FALSE(events.empty());
+  storage::Schema schema = SupplyChainWorkload::EventSchema();
+  core::Update u = events[0].ToUpdate(3);
+  EXPECT_TRUE(schema.ValidateRow(u.mutation.row).ok());
+}
+
+// -------------------------------------------------------------- TPC-lite
+
+TEST(TpcLiteTest, OrdersConformAndConstraintParses) {
+  TpcLiteConfig config;
+  config.num_customers = 10;
+  config.max_order_amount = 20;
+  TpcLiteWorkload gen(config);
+  storage::Schema schema = TpcLiteWorkload::OrdersSchema();
+  for (int i = 0; i < 100; ++i) {
+    core::Update u = gen.NextOrder();
+    EXPECT_TRUE(schema.ValidateRow(u.mutation.row).ok());
+    int64_t amount = *u.fields.at("amount").AsInt64();
+    EXPECT_GE(amount, 1);
+    EXPECT_LE(amount, 20);
+  }
+  auto expr = constraint::ParseConstraint(gen.CreditConstraint());
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+}
+
+TEST(TpcLiteTest, CreditLimitShapeIsLinear) {
+  TpcLiteWorkload gen(TpcLiteConfig{});
+  auto expr = constraint::ParseConstraint(gen.CreditConstraint());
+  ASSERT_TRUE(expr.ok());
+  auto form = constraint::ExtractLinearBound(**expr);
+  ASSERT_TRUE(form.ok());
+  EXPECT_EQ(form->direction, constraint::BoundDirection::kUpper);
+  EXPECT_EQ(form->bound, 1000);
+}
+
+}  // namespace
+}  // namespace prever::workload

@@ -1,0 +1,189 @@
+#include "crypto/zkp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace prever::crypto {
+namespace {
+
+class ZkpTest : public ::testing::Test {
+ protected:
+  const PedersenParams& params_ = PedersenParams::Test256();
+  Drbg drbg_{uint64_t{1234}};
+};
+
+TEST_F(ZkpTest, OpeningProofVerifies) {
+  auto opening = PedersenCommitFresh(params_, BigInt(40), drbg_);
+  OpeningProof proof = ProveOpening(params_, opening.commitment, BigInt(40),
+                                    opening.randomness, drbg_);
+  EXPECT_TRUE(VerifyOpening(params_, opening.commitment, proof));
+}
+
+TEST_F(ZkpTest, OpeningProofRejectsWrongCommitment) {
+  auto o1 = PedersenCommitFresh(params_, BigInt(40), drbg_);
+  auto o2 = PedersenCommitFresh(params_, BigInt(41), drbg_);
+  OpeningProof proof =
+      ProveOpening(params_, o1.commitment, BigInt(40), o1.randomness, drbg_);
+  EXPECT_FALSE(VerifyOpening(params_, o2.commitment, proof));
+}
+
+TEST_F(ZkpTest, OpeningProofRejectsTamperedResponse) {
+  auto o = PedersenCommitFresh(params_, BigInt(7), drbg_);
+  OpeningProof proof =
+      ProveOpening(params_, o.commitment, BigInt(7), o.randomness, drbg_);
+  proof.z1 = proof.z1.AddMod(BigInt(1), params_.q);
+  EXPECT_FALSE(VerifyOpening(params_, o.commitment, proof));
+}
+
+TEST_F(ZkpTest, BitProofVerifiesForZeroAndOne) {
+  for (int bit : {0, 1}) {
+    auto o = PedersenCommitFresh(params_, BigInt(bit), drbg_);
+    auto proof = ProveBit(params_, o.commitment, bit, o.randomness, drbg_);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(VerifyBit(params_, o.commitment, *proof)) << bit;
+  }
+}
+
+TEST_F(ZkpTest, BitProofRejectsNonBitValue) {
+  EXPECT_FALSE(
+      ProveBit(params_, PedersenCommitment{BigInt(1)}, 2, BigInt(0), drbg_)
+          .ok());
+}
+
+TEST_F(ZkpTest, BitProofCannotBeForgedForTwo) {
+  // A commitment to 2 with an honest bit proof structure must not verify.
+  auto o = PedersenCommitFresh(params_, BigInt(2), drbg_);
+  // Try to prove it is a bit by lying (claim bit=0 with the real randomness).
+  auto proof = ProveBit(params_, o.commitment, 0, o.randomness, drbg_);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_FALSE(VerifyBit(params_, o.commitment, *proof));
+}
+
+TEST_F(ZkpTest, BitProofRejectsChallengeSplitTampering) {
+  auto o = PedersenCommitFresh(params_, BigInt(1), drbg_);
+  auto proof = ProveBit(params_, o.commitment, 1, o.randomness, drbg_);
+  ASSERT_TRUE(proof.ok());
+  proof->e0 = proof->e0.AddMod(BigInt(1), params_.q);
+  EXPECT_FALSE(VerifyBit(params_, o.commitment, *proof));
+}
+
+TEST_F(ZkpTest, RangeProofVerifies) {
+  // 40 fits in 6 bits.
+  auto o = PedersenCommitFresh(params_, BigInt(40), drbg_);
+  auto proof =
+      ProveRange(params_, o.commitment, BigInt(40), o.randomness, 6, drbg_);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(VerifyRange(params_, o.commitment, *proof, 6));
+}
+
+TEST_F(ZkpTest, RangeProofBoundaries) {
+  for (int64_t m : {int64_t{0}, int64_t{1}, int64_t{63}}) {
+    auto o = PedersenCommitFresh(params_, BigInt(m), drbg_);
+    auto proof =
+        ProveRange(params_, o.commitment, BigInt(m), o.randomness, 6, drbg_);
+    ASSERT_TRUE(proof.ok()) << m;
+    EXPECT_TRUE(VerifyRange(params_, o.commitment, *proof, 6)) << m;
+  }
+}
+
+TEST_F(ZkpTest, RangeProofRejectsValueTooLarge) {
+  auto o = PedersenCommitFresh(params_, BigInt(64), drbg_);
+  EXPECT_FALSE(
+      ProveRange(params_, o.commitment, BigInt(64), o.randomness, 6, drbg_)
+          .ok());
+}
+
+TEST_F(ZkpTest, RangeProofRejectsWrongOpening)  {
+  auto o = PedersenCommitFresh(params_, BigInt(10), drbg_);
+  EXPECT_FALSE(
+      ProveRange(params_, o.commitment, BigInt(11), o.randomness, 6, drbg_)
+          .ok());
+}
+
+TEST_F(ZkpTest, RangeProofRejectsMismatchedCommitment) {
+  auto o1 = PedersenCommitFresh(params_, BigInt(10), drbg_);
+  auto o2 = PedersenCommitFresh(params_, BigInt(10), drbg_);
+  auto proof =
+      ProveRange(params_, o1.commitment, BigInt(10), o1.randomness, 6, drbg_);
+  ASSERT_TRUE(proof.ok());
+  // Same value, different randomness: weighted product check must fail.
+  EXPECT_FALSE(VerifyRange(params_, o2.commitment, *proof, 6));
+}
+
+TEST_F(ZkpTest, RangeProofRejectsWrongBitWidth) {
+  auto o = PedersenCommitFresh(params_, BigInt(40), drbg_);
+  auto proof =
+      ProveRange(params_, o.commitment, BigInt(40), o.randomness, 6, drbg_);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_FALSE(VerifyRange(params_, o.commitment, *proof, 7));
+}
+
+TEST_F(ZkpTest, RangeProofRejectsSwappedBitCommitments) {
+  auto o = PedersenCommitFresh(params_, BigInt(5), drbg_);  // 101b.
+  auto proof =
+      ProveRange(params_, o.commitment, BigInt(5), o.randomness, 3, drbg_);
+  ASSERT_TRUE(proof.ok());
+  std::swap(proof->bit_commitments[0], proof->bit_commitments[1]);
+  std::swap(proof->bit_proofs[0], proof->bit_proofs[1]);
+  EXPECT_FALSE(VerifyRange(params_, o.commitment, *proof, 3));
+}
+
+// The canonical PReVer regulation: committed weekly hours <= 40.
+TEST_F(ZkpTest, UpperBoundProofAcceptsCompliantValue) {
+  const BigInt kBound(40);
+  auto o = PedersenCommitFresh(params_, BigInt(38), drbg_);
+  auto proof = ProveUpperBound(params_, o.commitment, BigInt(38),
+                               o.randomness, kBound, 8, drbg_);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(VerifyUpperBound(params_, o.commitment, *proof, kBound, 8));
+}
+
+TEST_F(ZkpTest, UpperBoundProofExactlyAtBound) {
+  const BigInt kBound(40);
+  auto o = PedersenCommitFresh(params_, BigInt(40), drbg_);
+  auto proof = ProveUpperBound(params_, o.commitment, BigInt(40),
+                               o.randomness, kBound, 8, drbg_);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(VerifyUpperBound(params_, o.commitment, *proof, kBound, 8));
+}
+
+TEST_F(ZkpTest, UpperBoundProofCannotBeProducedWhenViolating) {
+  const BigInt kBound(40);
+  auto o = PedersenCommitFresh(params_, BigInt(41), drbg_);
+  EXPECT_FALSE(ProveUpperBound(params_, o.commitment, BigInt(41),
+                               o.randomness, kBound, 8, drbg_)
+                   .ok());
+}
+
+TEST_F(ZkpTest, UpperBoundProofDoesNotTransferToOtherCommitment) {
+  const BigInt kBound(40);
+  auto o1 = PedersenCommitFresh(params_, BigInt(10), drbg_);
+  auto o2 = PedersenCommitFresh(params_, BigInt(50), drbg_);
+  auto proof = ProveUpperBound(params_, o1.commitment, BigInt(10),
+                               o1.randomness, kBound, 8, drbg_);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_FALSE(VerifyUpperBound(params_, o2.commitment, *proof, kBound, 8));
+}
+
+// Property sweep over random values and widths.
+class RangeProofProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeProofProperty, RandomValuesRoundTrip) {
+  const auto& params = PedersenParams::Test256();
+  Drbg drbg(static_cast<uint64_t>(GetParam()) * 1000 + 7);
+  prever::Rng rng(static_cast<uint64_t>(GetParam()));
+  size_t bits = 4 + rng.NextBelow(6);  // 4..9 bits.
+  int64_t m = static_cast<int64_t>(rng.NextBelow(1ULL << bits));
+  auto o = PedersenCommitFresh(params, BigInt(m), drbg);
+  auto proof = ProveRange(params, o.commitment, BigInt(m), o.randomness, bits,
+                          drbg);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(VerifyRange(params, o.commitment, *proof, bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeProofProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace prever::crypto

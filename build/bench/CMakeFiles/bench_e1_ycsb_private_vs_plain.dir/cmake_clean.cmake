@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_ycsb_private_vs_plain.dir/bench_e1_ycsb_private_vs_plain.cpp.o"
+  "CMakeFiles/bench_e1_ycsb_private_vs_plain.dir/bench_e1_ycsb_private_vs_plain.cpp.o.d"
+  "bench_e1_ycsb_private_vs_plain"
+  "bench_e1_ycsb_private_vs_plain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_ycsb_private_vs_plain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

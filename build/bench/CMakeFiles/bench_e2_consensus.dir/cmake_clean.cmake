@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_consensus.dir/bench_e2_consensus.cpp.o"
+  "CMakeFiles/bench_e2_consensus.dir/bench_e2_consensus.cpp.o.d"
+  "bench_e2_consensus"
+  "bench_e2_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

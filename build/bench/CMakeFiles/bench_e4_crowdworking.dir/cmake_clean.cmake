@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_crowdworking.dir/bench_e4_crowdworking.cpp.o"
+  "CMakeFiles/bench_e4_crowdworking.dir/bench_e4_crowdworking.cpp.o.d"
+  "bench_e4_crowdworking"
+  "bench_e4_crowdworking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_crowdworking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

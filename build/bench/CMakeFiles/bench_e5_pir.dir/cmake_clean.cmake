@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_pir.dir/bench_e5_pir.cpp.o"
+  "CMakeFiles/bench_e5_pir.dir/bench_e5_pir.cpp.o.d"
+  "bench_e5_pir"
+  "bench_e5_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_ledger_integrity.dir/bench_e6_ledger_integrity.cpp.o"
+  "CMakeFiles/bench_e6_ledger_integrity.dir/bench_e6_ledger_integrity.cpp.o.d"
+  "bench_e6_ledger_integrity"
+  "bench_e6_ledger_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_ledger_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

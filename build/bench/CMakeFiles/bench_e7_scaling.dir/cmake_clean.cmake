@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_scaling.dir/bench_e7_scaling.cpp.o"
+  "CMakeFiles/bench_e7_scaling.dir/bench_e7_scaling.cpp.o.d"
+  "bench_e7_scaling"
+  "bench_e7_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_dp_budget.dir/bench_e8_dp_budget.cpp.o"
+  "CMakeFiles/bench_e8_dp_budget.dir/bench_e8_dp_budget.cpp.o.d"
+  "bench_e8_dp_budget"
+  "bench_e8_dp_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_dp_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

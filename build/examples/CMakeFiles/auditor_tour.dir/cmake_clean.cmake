@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditor_tour.dir/auditor_tour.cpp.o"
+  "CMakeFiles/auditor_tour.dir/auditor_tour.cpp.o.d"
+  "auditor_tour"
+  "auditor_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditor_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/crowdworking.cpp" "examples/CMakeFiles/crowdworking.dir/crowdworking.cpp.o" "gcc" "examples/CMakeFiles/crowdworking.dir/crowdworking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/prever_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prever_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/prever_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/prever_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/prever_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prever_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/prever_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/token/CMakeFiles/prever_token.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/prever_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/prever_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prever_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prever_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdworking.dir/crowdworking.cpp.o"
+  "CMakeFiles/crowdworking.dir/crowdworking.cpp.o.d"
+  "crowdworking"
+  "crowdworking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdworking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplychain.dir/supplychain.cpp.o"
+  "CMakeFiles/supplychain.dir/supplychain.cpp.o.d"
+  "supplychain"
+  "supplychain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplychain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainability.dir/sustainability.cpp.o"
+  "CMakeFiles/sustainability.dir/sustainability.cpp.o.d"
+  "sustainability"
+  "sustainability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

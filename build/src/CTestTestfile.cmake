@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("storage")
+subdirs("constraint")
+subdirs("ledger")
+subdirs("net")
+subdirs("consensus")
+subdirs("mpc")
+subdirs("pir")
+subdirs("token")
+subdirs("core")
+subdirs("workload")

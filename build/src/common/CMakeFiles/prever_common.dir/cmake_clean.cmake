@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_common.dir/bytes.cc.o"
+  "CMakeFiles/prever_common.dir/bytes.cc.o.d"
+  "CMakeFiles/prever_common.dir/crc32.cc.o"
+  "CMakeFiles/prever_common.dir/crc32.cc.o.d"
+  "CMakeFiles/prever_common.dir/rng.cc.o"
+  "CMakeFiles/prever_common.dir/rng.cc.o.d"
+  "CMakeFiles/prever_common.dir/serial.cc.o"
+  "CMakeFiles/prever_common.dir/serial.cc.o.d"
+  "CMakeFiles/prever_common.dir/status.cc.o"
+  "CMakeFiles/prever_common.dir/status.cc.o.d"
+  "libprever_common.a"
+  "libprever_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

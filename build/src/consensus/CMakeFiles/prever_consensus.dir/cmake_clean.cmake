@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_consensus.dir/pbft.cc.o"
+  "CMakeFiles/prever_consensus.dir/pbft.cc.o.d"
+  "CMakeFiles/prever_consensus.dir/raft.cc.o"
+  "CMakeFiles/prever_consensus.dir/raft.cc.o.d"
+  "libprever_consensus.a"
+  "libprever_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

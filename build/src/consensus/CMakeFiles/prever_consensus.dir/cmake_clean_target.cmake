@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprever_consensus.a"
+)

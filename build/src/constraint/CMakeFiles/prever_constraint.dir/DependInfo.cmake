@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/ast.cc" "src/constraint/CMakeFiles/prever_constraint.dir/ast.cc.o" "gcc" "src/constraint/CMakeFiles/prever_constraint.dir/ast.cc.o.d"
+  "/root/repo/src/constraint/constraint.cc" "src/constraint/CMakeFiles/prever_constraint.dir/constraint.cc.o" "gcc" "src/constraint/CMakeFiles/prever_constraint.dir/constraint.cc.o.d"
+  "/root/repo/src/constraint/eval.cc" "src/constraint/CMakeFiles/prever_constraint.dir/eval.cc.o" "gcc" "src/constraint/CMakeFiles/prever_constraint.dir/eval.cc.o.d"
+  "/root/repo/src/constraint/linear.cc" "src/constraint/CMakeFiles/prever_constraint.dir/linear.cc.o" "gcc" "src/constraint/CMakeFiles/prever_constraint.dir/linear.cc.o.d"
+  "/root/repo/src/constraint/parser.cc" "src/constraint/CMakeFiles/prever_constraint.dir/parser.cc.o" "gcc" "src/constraint/CMakeFiles/prever_constraint.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/prever_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prever_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_constraint.dir/ast.cc.o"
+  "CMakeFiles/prever_constraint.dir/ast.cc.o.d"
+  "CMakeFiles/prever_constraint.dir/constraint.cc.o"
+  "CMakeFiles/prever_constraint.dir/constraint.cc.o.d"
+  "CMakeFiles/prever_constraint.dir/eval.cc.o"
+  "CMakeFiles/prever_constraint.dir/eval.cc.o.d"
+  "CMakeFiles/prever_constraint.dir/linear.cc.o"
+  "CMakeFiles/prever_constraint.dir/linear.cc.o.d"
+  "CMakeFiles/prever_constraint.dir/parser.cc.o"
+  "CMakeFiles/prever_constraint.dir/parser.cc.o.d"
+  "libprever_constraint.a"
+  "libprever_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

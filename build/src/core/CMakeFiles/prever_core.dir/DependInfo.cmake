@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auditor.cc" "src/core/CMakeFiles/prever_core.dir/auditor.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/auditor.cc.o.d"
+  "/root/repo/src/core/demarcation_engine.cc" "src/core/CMakeFiles/prever_core.dir/demarcation_engine.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/demarcation_engine.cc.o.d"
+  "/root/repo/src/core/dp_index.cc" "src/core/CMakeFiles/prever_core.dir/dp_index.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/dp_index.cc.o.d"
+  "/root/repo/src/core/encrypted_engine.cc" "src/core/CMakeFiles/prever_core.dir/encrypted_engine.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/encrypted_engine.cc.o.d"
+  "/root/repo/src/core/federated_mpc_engine.cc" "src/core/CMakeFiles/prever_core.dir/federated_mpc_engine.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/federated_mpc_engine.cc.o.d"
+  "/root/repo/src/core/federated_threshold_engine.cc" "src/core/CMakeFiles/prever_core.dir/federated_threshold_engine.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/federated_threshold_engine.cc.o.d"
+  "/root/repo/src/core/federated_token_engine.cc" "src/core/CMakeFiles/prever_core.dir/federated_token_engine.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/federated_token_engine.cc.o.d"
+  "/root/repo/src/core/ordering.cc" "src/core/CMakeFiles/prever_core.dir/ordering.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/ordering.cc.o.d"
+  "/root/repo/src/core/participant.cc" "src/core/CMakeFiles/prever_core.dir/participant.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/participant.cc.o.d"
+  "/root/repo/src/core/pattern_shaper.cc" "src/core/CMakeFiles/prever_core.dir/pattern_shaper.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/pattern_shaper.cc.o.d"
+  "/root/repo/src/core/plaintext_engine.cc" "src/core/CMakeFiles/prever_core.dir/plaintext_engine.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/plaintext_engine.cc.o.d"
+  "/root/repo/src/core/public_data_engine.cc" "src/core/CMakeFiles/prever_core.dir/public_data_engine.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/public_data_engine.cc.o.d"
+  "/root/repo/src/core/signed_update.cc" "src/core/CMakeFiles/prever_core.dir/signed_update.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/signed_update.cc.o.d"
+  "/root/repo/src/core/update.cc" "src/core/CMakeFiles/prever_core.dir/update.cc.o" "gcc" "src/core/CMakeFiles/prever_core.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/prever_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/prever_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/prever_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/prever_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prever_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/prever_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prever_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/token/CMakeFiles/prever_token.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/prever_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prever_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_core.dir/auditor.cc.o"
+  "CMakeFiles/prever_core.dir/auditor.cc.o.d"
+  "CMakeFiles/prever_core.dir/demarcation_engine.cc.o"
+  "CMakeFiles/prever_core.dir/demarcation_engine.cc.o.d"
+  "CMakeFiles/prever_core.dir/dp_index.cc.o"
+  "CMakeFiles/prever_core.dir/dp_index.cc.o.d"
+  "CMakeFiles/prever_core.dir/encrypted_engine.cc.o"
+  "CMakeFiles/prever_core.dir/encrypted_engine.cc.o.d"
+  "CMakeFiles/prever_core.dir/federated_mpc_engine.cc.o"
+  "CMakeFiles/prever_core.dir/federated_mpc_engine.cc.o.d"
+  "CMakeFiles/prever_core.dir/federated_threshold_engine.cc.o"
+  "CMakeFiles/prever_core.dir/federated_threshold_engine.cc.o.d"
+  "CMakeFiles/prever_core.dir/federated_token_engine.cc.o"
+  "CMakeFiles/prever_core.dir/federated_token_engine.cc.o.d"
+  "CMakeFiles/prever_core.dir/ordering.cc.o"
+  "CMakeFiles/prever_core.dir/ordering.cc.o.d"
+  "CMakeFiles/prever_core.dir/participant.cc.o"
+  "CMakeFiles/prever_core.dir/participant.cc.o.d"
+  "CMakeFiles/prever_core.dir/pattern_shaper.cc.o"
+  "CMakeFiles/prever_core.dir/pattern_shaper.cc.o.d"
+  "CMakeFiles/prever_core.dir/plaintext_engine.cc.o"
+  "CMakeFiles/prever_core.dir/plaintext_engine.cc.o.d"
+  "CMakeFiles/prever_core.dir/public_data_engine.cc.o"
+  "CMakeFiles/prever_core.dir/public_data_engine.cc.o.d"
+  "CMakeFiles/prever_core.dir/signed_update.cc.o"
+  "CMakeFiles/prever_core.dir/signed_update.cc.o.d"
+  "CMakeFiles/prever_core.dir/update.cc.o"
+  "CMakeFiles/prever_core.dir/update.cc.o.d"
+  "libprever_core.a"
+  "libprever_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cc" "src/crypto/CMakeFiles/prever_crypto.dir/bigint.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/bigint.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/crypto/CMakeFiles/prever_crypto.dir/drbg.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/drbg.cc.o.d"
+  "/root/repo/src/crypto/elgamal.cc" "src/crypto/CMakeFiles/prever_crypto.dir/elgamal.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/elgamal.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/prever_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/crypto/CMakeFiles/prever_crypto.dir/merkle.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/merkle.cc.o.d"
+  "/root/repo/src/crypto/montgomery.cc" "src/crypto/CMakeFiles/prever_crypto.dir/montgomery.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/montgomery.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/crypto/CMakeFiles/prever_crypto.dir/paillier.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/paillier.cc.o.d"
+  "/root/repo/src/crypto/pedersen.cc" "src/crypto/CMakeFiles/prever_crypto.dir/pedersen.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/pedersen.cc.o.d"
+  "/root/repo/src/crypto/prime.cc" "src/crypto/CMakeFiles/prever_crypto.dir/prime.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/prime.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/crypto/CMakeFiles/prever_crypto.dir/rsa.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/rsa.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/prever_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/shamir.cc" "src/crypto/CMakeFiles/prever_crypto.dir/shamir.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/shamir.cc.o.d"
+  "/root/repo/src/crypto/zkp.cc" "src/crypto/CMakeFiles/prever_crypto.dir/zkp.cc.o" "gcc" "src/crypto/CMakeFiles/prever_crypto.dir/zkp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prever_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_crypto.dir/bigint.cc.o"
+  "CMakeFiles/prever_crypto.dir/bigint.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/drbg.cc.o"
+  "CMakeFiles/prever_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/elgamal.cc.o"
+  "CMakeFiles/prever_crypto.dir/elgamal.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/hmac.cc.o"
+  "CMakeFiles/prever_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/merkle.cc.o"
+  "CMakeFiles/prever_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/montgomery.cc.o"
+  "CMakeFiles/prever_crypto.dir/montgomery.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/paillier.cc.o"
+  "CMakeFiles/prever_crypto.dir/paillier.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/pedersen.cc.o"
+  "CMakeFiles/prever_crypto.dir/pedersen.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/prime.cc.o"
+  "CMakeFiles/prever_crypto.dir/prime.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/rsa.cc.o"
+  "CMakeFiles/prever_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/sha256.cc.o"
+  "CMakeFiles/prever_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/shamir.cc.o"
+  "CMakeFiles/prever_crypto.dir/shamir.cc.o.d"
+  "CMakeFiles/prever_crypto.dir/zkp.cc.o"
+  "CMakeFiles/prever_crypto.dir/zkp.cc.o.d"
+  "libprever_crypto.a"
+  "libprever_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/block.cc" "src/ledger/CMakeFiles/prever_ledger.dir/block.cc.o" "gcc" "src/ledger/CMakeFiles/prever_ledger.dir/block.cc.o.d"
+  "/root/repo/src/ledger/ledger_db.cc" "src/ledger/CMakeFiles/prever_ledger.dir/ledger_db.cc.o" "gcc" "src/ledger/CMakeFiles/prever_ledger.dir/ledger_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/prever_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/prever_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prever_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

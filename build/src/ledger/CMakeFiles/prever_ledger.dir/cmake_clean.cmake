@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_ledger.dir/block.cc.o"
+  "CMakeFiles/prever_ledger.dir/block.cc.o.d"
+  "CMakeFiles/prever_ledger.dir/ledger_db.cc.o"
+  "CMakeFiles/prever_ledger.dir/ledger_db.cc.o.d"
+  "libprever_ledger.a"
+  "libprever_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

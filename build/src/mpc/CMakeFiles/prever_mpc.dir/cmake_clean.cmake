@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_mpc.dir/compare.cc.o"
+  "CMakeFiles/prever_mpc.dir/compare.cc.o.d"
+  "CMakeFiles/prever_mpc.dir/secure_agg.cc.o"
+  "CMakeFiles/prever_mpc.dir/secure_agg.cc.o.d"
+  "libprever_mpc.a"
+  "libprever_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_net.dir/sim_net.cc.o"
+  "CMakeFiles/prever_net.dir/sim_net.cc.o.d"
+  "libprever_net.a"
+  "libprever_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pir/cpir.cc" "src/pir/CMakeFiles/prever_pir.dir/cpir.cc.o" "gcc" "src/pir/CMakeFiles/prever_pir.dir/cpir.cc.o.d"
+  "/root/repo/src/pir/xor_pir.cc" "src/pir/CMakeFiles/prever_pir.dir/xor_pir.cc.o" "gcc" "src/pir/CMakeFiles/prever_pir.dir/xor_pir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/prever_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prever_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_pir.dir/cpir.cc.o"
+  "CMakeFiles/prever_pir.dir/cpir.cc.o.d"
+  "CMakeFiles/prever_pir.dir/xor_pir.cc.o"
+  "CMakeFiles/prever_pir.dir/xor_pir.cc.o.d"
+  "libprever_pir.a"
+  "libprever_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_storage.dir/database.cc.o"
+  "CMakeFiles/prever_storage.dir/database.cc.o.d"
+  "CMakeFiles/prever_storage.dir/schema.cc.o"
+  "CMakeFiles/prever_storage.dir/schema.cc.o.d"
+  "CMakeFiles/prever_storage.dir/table.cc.o"
+  "CMakeFiles/prever_storage.dir/table.cc.o.d"
+  "CMakeFiles/prever_storage.dir/value.cc.o"
+  "CMakeFiles/prever_storage.dir/value.cc.o.d"
+  "CMakeFiles/prever_storage.dir/wal.cc.o"
+  "CMakeFiles/prever_storage.dir/wal.cc.o.d"
+  "libprever_storage.a"
+  "libprever_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

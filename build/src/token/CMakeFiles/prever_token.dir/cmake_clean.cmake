@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_token.dir/token.cc.o"
+  "CMakeFiles/prever_token.dir/token.cc.o.d"
+  "libprever_token.a"
+  "libprever_token.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/crowdworking.cc" "src/workload/CMakeFiles/prever_workload.dir/crowdworking.cc.o" "gcc" "src/workload/CMakeFiles/prever_workload.dir/crowdworking.cc.o.d"
+  "/root/repo/src/workload/supplychain.cc" "src/workload/CMakeFiles/prever_workload.dir/supplychain.cc.o" "gcc" "src/workload/CMakeFiles/prever_workload.dir/supplychain.cc.o.d"
+  "/root/repo/src/workload/tpc_lite.cc" "src/workload/CMakeFiles/prever_workload.dir/tpc_lite.cc.o" "gcc" "src/workload/CMakeFiles/prever_workload.dir/tpc_lite.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/workload/CMakeFiles/prever_workload.dir/ycsb.cc.o" "gcc" "src/workload/CMakeFiles/prever_workload.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prever_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prever_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prever_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/prever_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/prever_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/prever_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prever_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/prever_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/token/CMakeFiles/prever_token.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/prever_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/prever_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

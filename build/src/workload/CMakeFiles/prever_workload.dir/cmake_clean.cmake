@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prever_workload.dir/crowdworking.cc.o"
+  "CMakeFiles/prever_workload.dir/crowdworking.cc.o.d"
+  "CMakeFiles/prever_workload.dir/supplychain.cc.o"
+  "CMakeFiles/prever_workload.dir/supplychain.cc.o.d"
+  "CMakeFiles/prever_workload.dir/tpc_lite.cc.o"
+  "CMakeFiles/prever_workload.dir/tpc_lite.cc.o.d"
+  "CMakeFiles/prever_workload.dir/ycsb.cc.o"
+  "CMakeFiles/prever_workload.dir/ycsb.cc.o.d"
+  "libprever_workload.a"
+  "libprever_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prever_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

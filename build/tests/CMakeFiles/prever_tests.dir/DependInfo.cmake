@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bigint_test.cc" "tests/CMakeFiles/prever_tests.dir/bigint_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/bigint_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/bigint_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/bigint_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx.cxx" "tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx.gch" "gcc" "tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx.gch.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx.gch" "gcc" "tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx.gch.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/prever_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/common_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/consensus_test.cc" "tests/CMakeFiles/prever_tests.dir/consensus_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/consensus_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/consensus_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/consensus_test.cc.o.d"
+  "/root/repo/tests/constraint_test.cc" "tests/CMakeFiles/prever_tests.dir/constraint_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/constraint_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/constraint_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/constraint_test.cc.o.d"
+  "/root/repo/tests/core_extensions_test.cc" "tests/CMakeFiles/prever_tests.dir/core_extensions_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/core_extensions_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/core_extensions_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/core_extensions_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/prever_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/core_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/prever_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/demarcation_test.cc" "tests/CMakeFiles/prever_tests.dir/demarcation_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/demarcation_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/demarcation_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/demarcation_test.cc.o.d"
+  "/root/repo/tests/elgamal_test.cc" "tests/CMakeFiles/prever_tests.dir/elgamal_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/elgamal_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/elgamal_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/elgamal_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/prever_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/fault_injection_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/fault_injection_test.cc.o.d"
+  "/root/repo/tests/federated_threshold_test.cc" "tests/CMakeFiles/prever_tests.dir/federated_threshold_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/federated_threshold_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/federated_threshold_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/federated_threshold_test.cc.o.d"
+  "/root/repo/tests/ledger_test.cc" "tests/CMakeFiles/prever_tests.dir/ledger_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/ledger_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/ledger_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/ledger_test.cc.o.d"
+  "/root/repo/tests/merkle_test.cc" "tests/CMakeFiles/prever_tests.dir/merkle_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/merkle_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/merkle_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/merkle_test.cc.o.d"
+  "/root/repo/tests/montgomery_test.cc" "tests/CMakeFiles/prever_tests.dir/montgomery_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/montgomery_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/montgomery_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/montgomery_test.cc.o.d"
+  "/root/repo/tests/mpc_test.cc" "tests/CMakeFiles/prever_tests.dir/mpc_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/mpc_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/mpc_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/mpc_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/prever_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/net_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/pattern_shaper_test.cc" "tests/CMakeFiles/prever_tests.dir/pattern_shaper_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/pattern_shaper_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/pattern_shaper_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/pattern_shaper_test.cc.o.d"
+  "/root/repo/tests/pir_test.cc" "tests/CMakeFiles/prever_tests.dir/pir_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/pir_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/pir_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/pir_test.cc.o.d"
+  "/root/repo/tests/scenario_test.cc" "tests/CMakeFiles/prever_tests.dir/scenario_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/scenario_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/scenario_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/scenario_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/prever_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/storage_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/token_test.cc" "tests/CMakeFiles/prever_tests.dir/token_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/token_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/token_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/token_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/prever_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/workload_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/zkp_test.cc" "tests/CMakeFiles/prever_tests.dir/zkp_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/zkp_test.cc.o.d"
+  "/root/repo/build/tests/CMakeFiles/prever_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/prever_tests.dir/zkp_test.cc.o" "gcc" "tests/CMakeFiles/prever_tests.dir/zkp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/prever_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prever_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/prever_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prever_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/prever_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/prever_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/token/CMakeFiles/prever_token.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/prever_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/prever_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prever_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/prever_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prever_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

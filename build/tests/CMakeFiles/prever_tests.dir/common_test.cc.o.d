@@ -1,0 +1,9 @@
+tests/CMakeFiles/prever_tests.dir/common_test.cc.o: \
+ /root/repo/tests/common_test.cc /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/set \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/string /usr/include/c++/12/string_view \
+ /usr/include/c++/12/vector /root/repo/src/common/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/variant \
+ /root/repo/src/common/rng.h /root/repo/src/common/serial.h \
+ /root/repo/src/common/sim_clock.h

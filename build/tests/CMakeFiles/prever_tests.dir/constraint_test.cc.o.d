@@ -1,0 +1,17 @@
+tests/CMakeFiles/prever_tests.dir/constraint_test.cc.o: \
+ /root/repo/tests/constraint_test.cc /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/constraint/constraint.h /usr/include/c++/12/string \
+ /usr/include/c++/12/vector /root/repo/src/common/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/variant \
+ /root/repo/src/constraint/ast.h /usr/include/c++/12/memory \
+ /root/repo/src/common/sim_clock.h /usr/include/c++/12/cstdint \
+ /root/repo/src/storage/value.h /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/string_view /root/repo/src/common/serial.h \
+ /root/repo/src/constraint/eval.h /usr/include/c++/12/map \
+ /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/functional /root/repo/src/storage/schema.h \
+ /root/repo/src/storage/wal.h /usr/include/c++/12/cstdio \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/stdio.h /root/repo/src/constraint/linear.h \
+ /root/repo/src/constraint/parser.h

@@ -1,0 +1,12 @@
+tests/CMakeFiles/prever_tests.dir/crypto_test.cc.o: \
+ /root/repo/tests/crypto_test.cc /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/cstdint /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/string /usr/include/c++/12/string_view \
+ /usr/include/c++/12/vector /root/repo/src/common/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/variant \
+ /root/repo/src/crypto/drbg.h /root/repo/src/crypto/bigint.h \
+ /root/repo/src/crypto/hmac.h /root/repo/src/crypto/paillier.h \
+ /root/repo/src/crypto/pedersen.h /root/repo/src/crypto/prime.h \
+ /root/repo/src/crypto/rsa.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/crypto/shamir.h

@@ -1,0 +1,9 @@
+tests/CMakeFiles/prever_tests.dir/ledger_test.cc.o: \
+ /root/repo/tests/ledger_test.cc /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h /root/repo/src/ledger/block.h \
+ /usr/include/c++/12/vector /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/string \
+ /usr/include/c++/12/string_view /root/repo/src/common/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/variant \
+ /root/repo/src/common/sim_clock.h /root/repo/src/ledger/ledger_db.h \
+ /root/repo/src/crypto/merkle.h

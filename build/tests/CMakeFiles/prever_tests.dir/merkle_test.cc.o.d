@@ -1,0 +1,8 @@
+tests/CMakeFiles/prever_tests.dir/merkle_test.cc.o: \
+ /root/repo/tests/merkle_test.cc /usr/include/stdc-predef.h \
+ /root/repo/src/crypto/merkle.h /usr/include/c++/12/vector \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/string /usr/include/c++/12/string_view \
+ /root/repo/src/common/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/variant /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/common/rng.h

@@ -1,0 +1,39 @@
+tests/CMakeFiles/prever_tests.dir/pattern_shaper_test.cc.o: \
+ /root/repo/tests/pattern_shaper_test.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/pattern_shaper.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/bits/allocator.h \
+ /usr/include/c++/12/bits/stl_construct.h \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
+ /usr/include/c++/12/initializer_list /usr/include/c++/12/compare \
+ /usr/include/c++/12/debug/assertions.h \
+ /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/range_access.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
+ /root/repo/src/core/engine.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/string /usr/include/c++/12/utility \
+ /usr/include/c++/12/variant /root/repo/src/core/update.h \
+ /root/repo/src/common/sim_clock.h /usr/include/c++/12/cstdint \
+ /root/repo/src/constraint/eval.h /usr/include/c++/12/map \
+ /root/repo/src/constraint/ast.h /usr/include/c++/12/memory \
+ /root/repo/src/storage/value.h /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/string_view /usr/include/c++/12/vector \
+ /root/repo/src/common/serial.h /root/repo/src/storage/database.h \
+ /root/repo/src/storage/table.h /root/repo/src/storage/schema.h \
+ /root/repo/src/storage/wal.h /usr/include/c++/12/cstdio \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/stdio.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/core/plaintext_engine.h \
+ /root/repo/src/constraint/constraint.h /root/repo/src/core/ordering.h \
+ /root/repo/src/consensus/pbft.h /usr/include/c++/12/set \
+ /root/repo/src/net/sim_net.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/debug/debug.h \
+ /usr/include/c++/12/bits/uses_allocator.h /root/repo/src/common/rng.h \
+ /root/repo/src/consensus/raft.h /root/repo/src/ledger/ledger_db.h \
+ /root/repo/src/crypto/merkle.h

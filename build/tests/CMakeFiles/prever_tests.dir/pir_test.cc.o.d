@@ -1,0 +1,10 @@
+tests/CMakeFiles/prever_tests.dir/pir_test.cc.o: \
+ /root/repo/tests/pir_test.cc /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h /root/repo/src/pir/cpir.h \
+ /usr/include/c++/12/vector /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/string \
+ /usr/include/c++/12/string_view /root/repo/src/common/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/variant \
+ /root/repo/src/crypto/paillier.h /root/repo/src/crypto/bigint.h \
+ /root/repo/src/crypto/drbg.h /root/repo/src/pir/xor_pir.h \
+ /root/repo/src/common/rng.h

@@ -1,0 +1,14 @@
+tests/CMakeFiles/prever_tests.dir/storage_test.cc.o: \
+ /root/repo/tests/storage_test.cc /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstdio \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/stdio.h /usr/include/c++/12/string \
+ /root/repo/src/storage/database.h /usr/include/c++/12/map \
+ /usr/include/c++/12/memory /root/repo/src/common/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/variant \
+ /root/repo/src/storage/table.h /usr/include/c++/12/functional \
+ /root/repo/src/storage/schema.h /usr/include/c++/12/vector \
+ /root/repo/src/storage/value.h /usr/include/c++/12/cstdint \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/string_view \
+ /root/repo/src/common/serial.h /root/repo/src/common/sim_clock.h \
+ /root/repo/src/storage/wal.h

@@ -1,0 +1,11 @@
+tests/CMakeFiles/prever_tests.dir/token_test.cc.o: \
+ /root/repo/tests/token_test.cc /usr/include/stdc-predef.h \
+ /root/repo/src/token/token.h /usr/include/c++/12/map \
+ /usr/include/c++/12/set /usr/include/c++/12/string \
+ /usr/include/c++/12/vector /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/string_view \
+ /root/repo/src/common/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/variant /root/repo/src/common/sim_clock.h \
+ /root/repo/src/crypto/drbg.h /root/repo/src/crypto/bigint.h \
+ /root/repo/src/crypto/rsa.h /root/repo/src/ledger/ledger_db.h \
+ /root/repo/src/crypto/merkle.h /root/miniconda/include/gtest/gtest.h

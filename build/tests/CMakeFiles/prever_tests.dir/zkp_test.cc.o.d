@@ -1,0 +1,9 @@
+tests/CMakeFiles/prever_tests.dir/zkp_test.cc.o: \
+ /root/repo/tests/zkp_test.cc /usr/include/stdc-predef.h \
+ /root/repo/src/crypto/zkp.h /usr/include/c++/12/vector \
+ /root/repo/src/common/status.h /usr/include/c++/12/string \
+ /usr/include/c++/12/utility /usr/include/c++/12/variant \
+ /root/repo/src/crypto/bigint.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/string_view /root/repo/src/common/bytes.h \
+ /root/repo/src/crypto/drbg.h /root/repo/src/crypto/pedersen.h \
+ /root/miniconda/include/gtest/gtest.h /root/repo/src/common/rng.h

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full check: configure with ASan+UBSan, build, run every test.
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DPREVER_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -225,6 +225,15 @@ void PbftReplica::TryExecute() {
     if (slot.commits[slot.digest].size() < quorum2f1()) return;
     slot.executed = true;
     ++last_executed_;
+    if (executed_digests_.count(slot.digest)) {
+      // Reply-cache analogue (PBFT §4.4): a request the new primary
+      // re-assigned to a second sequence number across a view change (its
+      // log had no trace of the original assignment) commits twice but must
+      // execute only once.
+      pending_requests_.erase(slot.digest);
+      pending_timers_.erase(slot.digest);
+      continue;
+    }
     ++num_executed_;
     executed_digests_.insert(slot.digest);
     pending_requests_.erase(slot.digest);

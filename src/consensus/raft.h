@@ -40,6 +40,16 @@ class RaftReplica {
   size_t log_size() const { return log_.size(); }
   bool crashed() const { return crashed_; }
 
+  /// Invariant-checker accessors (1-based log indices). TermAt returns 0 and
+  /// CommandAt returns nullptr for out-of-range indices.
+  uint64_t TermAt(uint64_t index) const {
+    return (index == 0 || index > log_.size()) ? 0 : log_[index - 1].term;
+  }
+  const Bytes* CommandAt(uint64_t index) const {
+    return (index == 0 || index > log_.size()) ? nullptr
+                                               : &log_[index - 1].command;
+  }
+
   void SetApplyCallback(ApplyCallback cb) { apply_cb_ = std::move(cb); }
 
   /// Starts timers; call once after all replicas exist.

@@ -12,14 +12,20 @@ NodeId SimNetwork::AddNode(Handler handler) {
 
 bool SimNetwork::Blocked(NodeId a, NodeId b) const {
   if (isolated_.count(a) || isolated_.count(b)) return true;
-  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-  return partitions_.count(key) > 0;
+  if (crashed_.count(a) || crashed_.count(b)) return true;
+  return partitions_.count(LinkKey(a, b)) > 0;
 }
 
-SimTime SimNetwork::SampleLatency() {
-  if (config_.max_latency <= config_.min_latency) return config_.min_latency;
-  SimTime span = config_.max_latency - config_.min_latency;
-  return config_.min_latency + rng_.NextBelow(span + 1);
+SimTime SimNetwork::SampleLatency(NodeId from, NodeId to) {
+  SimTime lo = config_.min_latency;
+  SimTime hi = config_.max_latency;
+  auto it = link_latency_.find(LinkKey(from, to));
+  if (it != link_latency_.end()) {
+    lo = it->second.first;
+    hi = it->second.second;
+  }
+  if (hi <= lo) return lo;
+  return lo + rng_.NextBelow(hi - lo + 1);
 }
 
 void SimNetwork::Send(NodeId from, NodeId to, uint32_t type,
@@ -32,8 +38,14 @@ void SimNetwork::Send(NodeId from, NodeId to, uint32_t type,
     return;
   }
   Message msg{from, to, type, payload};
-  SimTime deliver_at = clock_.Now() + SampleLatency();
+  SimTime deliver_at = clock_.Now() + SampleLatency(from, to);
   queue_.push(Event{deliver_at, next_seq_++, [this, msg = std::move(msg)]() {
+                      // Dropped at delivery time if the target crashed while
+                      // the message was in flight.
+                      if (crashed_.count(msg.to)) {
+                        ++messages_dropped_;
+                        return;
+                      }
                       handlers_[msg.to](msg);
                     }});
 }
@@ -45,6 +57,9 @@ void SimNetwork::Broadcast(NodeId from, uint32_t type, const Bytes& payload) {
 }
 
 void SimNetwork::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  if (timer_scale_ != 1.0) {
+    delay = static_cast<SimTime>(static_cast<double>(delay) * timer_scale_);
+  }
   queue_.push(Event{clock_.Now() + delay, next_seq_++, std::move(fn)});
 }
 
@@ -61,6 +76,25 @@ void SimNetwork::HealAll() { partitions_.clear(); }
 void SimNetwork::Isolate(NodeId node) { isolated_.insert(node); }
 
 void SimNetwork::Reconnect(NodeId node) { isolated_.erase(node); }
+
+void SimNetwork::CrashNode(NodeId node) { crashed_.insert(node); }
+
+void SimNetwork::RestartNode(NodeId node) { crashed_.erase(node); }
+
+void SimNetwork::SetLinkLatency(NodeId a, NodeId b, SimTime min_latency,
+                                SimTime max_latency) {
+  link_latency_[LinkKey(a, b)] = {min_latency, max_latency};
+}
+
+void SimNetwork::ClearLinkLatency(NodeId a, NodeId b) {
+  link_latency_.erase(LinkKey(a, b));
+}
+
+void SimNetwork::ClearLinkLatencies() { link_latency_.clear(); }
+
+void SimNetwork::SetTimerScale(double scale) {
+  timer_scale_ = scale > 0.0 ? scale : 1.0;
+}
 
 bool SimNetwork::Step() {
   if (queue_.empty()) return false;

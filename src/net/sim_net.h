@@ -2,6 +2,7 @@
 #define PREVER_NET_SIM_NET_H_
 
 #include <functional>
+#include <map>
 #include <queue>
 #include <set>
 #include <vector>
@@ -70,6 +71,31 @@ class SimNetwork {
   void Isolate(NodeId node);
   void Reconnect(NodeId node);
 
+  /// Crash-stop at the fabric level: unlike Isolate, messages already in
+  /// flight toward the node are discarded at delivery time, so a crashed
+  /// node observes nothing sent before OR during the outage. RestartNode
+  /// resumes delivery for traffic sent after the restart.
+  void CrashNode(NodeId node);
+  void RestartNode(NodeId node);
+  bool IsCrashed(NodeId node) const { return crashed_.count(node) > 0; }
+
+  /// Overrides the latency range for one link (both directions), modeling a
+  /// slow or degraded path. Cleared per-link or all at once.
+  void SetLinkLatency(NodeId a, NodeId b, SimTime min_latency,
+                      SimTime max_latency);
+  void ClearLinkLatency(NodeId a, NodeId b);
+  void ClearLinkLatencies();
+
+  /// Adjusts the global drop probability at runtime (loss-burst injection).
+  void set_drop_rate(double rate) { config_.drop_rate = rate; }
+  double drop_rate() const { return config_.drop_rate; }
+
+  /// Scales delays of subsequently scheduled timers (ScheduleAfter), i.e.
+  /// clock skew between protocol timers and network latency. 1.0 = nominal;
+  /// values < 1 fire timers early, > 1 late. Delivery latency is unaffected.
+  void SetTimerScale(double scale);
+  double timer_scale() const { return timer_scale_; }
+
   /// Runs queued events until the queue is empty or `until` is reached.
   /// Returns the number of events processed.
   size_t RunUntil(SimTime until);
@@ -94,7 +120,10 @@ class SimNetwork {
   };
 
   bool Blocked(NodeId a, NodeId b) const;
-  SimTime SampleLatency();
+  SimTime SampleLatency(NodeId from, NodeId to);
+  static std::pair<NodeId, NodeId> LinkKey(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
 
   SimNetConfig config_;
   Rng rng_;
@@ -104,6 +133,10 @@ class SimNetwork {
   uint64_t next_seq_ = 0;
   std::set<std::pair<NodeId, NodeId>> partitions_;
   std::set<NodeId> isolated_;
+  std::set<NodeId> crashed_;
+  std::map<std::pair<NodeId, NodeId>, std::pair<SimTime, SimTime>>
+      link_latency_;
+  double timer_scale_ = 1.0;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_sent_ = 0;

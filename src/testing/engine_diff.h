@@ -1,0 +1,75 @@
+#ifndef PREVER_TESTING_ENGINE_DIFF_H_
+#define PREVER_TESTING_ENGINE_DIFF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/encrypted_engine.h"
+#include "core/signed_update.h"
+#include "token/token.h"
+
+namespace prever::simtest {
+
+/// Heavyweight key material shared across seeds of a differential sweep —
+/// key generation is independent of scenario determinism (decisions do not
+/// depend on randomness, only proof bytes do), so regenerating it per seed
+/// would only burn time.
+struct EngineDiffFixtures {
+  /// RC1 data owner (Paillier + Pedersen). >= |bound| + slack bits.
+  core::DataOwner* owner = nullptr;
+  /// Separ-style token authority; budget_per_period must equal
+  /// EngineDiffOptions::bound, period must be >= the stream's time span.
+  token::TokenAuthority* authority = nullptr;
+  /// Producer signing keys, assigned round-robin to generated producers.
+  std::vector<crypto::RsaKeyPair>* producer_keys = nullptr;
+
+  /// Builds a self-owned fixture set (expensive; do once per process).
+  static std::unique_ptr<EngineDiffFixtures> Create(int64_t bound,
+                                                    uint64_t seed);
+
+  std::unique_ptr<core::DataOwner> owned_owner;
+  std::unique_ptr<token::TokenAuthority> owned_authority;
+  std::vector<crypto::RsaKeyPair> owned_keys;
+};
+
+struct EngineDiffOptions {
+  size_t num_producers = 3;
+  size_t num_updates = 10;
+  size_t num_platforms = 2;   ///< Federated engines.
+  int64_t bound = 40;         ///< Weekly cap (FLSA-style regulation).
+  size_t value_bits = 8;      ///< Producer range-proof width (RC1).
+};
+
+/// Outcome of replaying one seed-derived signed-update stream through the
+/// plaintext reference engine and every private engine.
+struct EngineDiffReport {
+  bool ok = true;
+  uint64_t seed = 0;
+  std::string divergence;  ///< First mismatch; empty when ok.
+  /// Deterministic decision trace: one line per update with every engine's
+  /// accept/reject bit, plus a final-state section.
+  std::string trace;
+  size_t updates = 0;
+  size_t accepted = 0;     ///< Reference (plaintext) accept count.
+
+  std::string Summary() const;
+};
+
+/// Generates a signed-update stream from `seed` (mixed compliant /
+/// violating / oversized values, all timestamps within one regulation
+/// window so sliding-window and per-period semantics coincide), verifies
+/// every signature, replays the stream through PlaintextEngine,
+/// EncryptedEngine, FederatedTokenEngine, FederatedThresholdEngine and
+/// FederatedMpcEngine, and checks that (1) each private engine's
+/// accept/reject decision matches the plaintext reference on every update
+/// and (2) the engines' final (decrypted) states agree: per-producer
+/// accepted totals across platform databases, sealed-row counts, spent
+/// tokens, and ledger commit counts.
+EngineDiffReport RunEngineDifferential(uint64_t seed,
+                                       const EngineDiffOptions& options,
+                                       const EngineDiffFixtures& fixtures);
+
+}  // namespace prever::simtest
+
+#endif  // PREVER_TESTING_ENGINE_DIFF_H_

@@ -1,0 +1,225 @@
+#include "testing/scenario.h"
+
+#include <algorithm>
+
+namespace prever::simtest {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kHealAll: return "heal-all";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kLatencySpike: return "latency-spike";
+    case FaultKind::kLatencyClear: return "latency-clear";
+    case FaultKind::kDropSpike: return "drop-spike";
+    case FaultKind::kDropClear: return "drop-clear";
+    case FaultKind::kTimerSkew: return "timer-skew";
+    case FaultKind::kTimerClear: return "timer-clear";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string TimeString(SimTime t) {
+  // Fixed-point seconds with millisecond resolution: deterministic, no
+  // locale-dependent floating formatting.
+  return std::to_string(t / kSecond) + "." +
+         std::to_string((t % kSecond) / kMillisecond / 100) +
+         std::to_string((t % kSecond) / kMillisecond / 10 % 10) +
+         std::to_string((t % kSecond) / kMillisecond % 10) + "s";
+}
+
+std::string RateString(double rate) {
+  // Two decimal places, deterministic.
+  int hundredths = static_cast<int>(rate * 100.0 + 0.5);
+  return std::to_string(hundredths / 100) + "." +
+         std::to_string(hundredths / 10 % 10) +
+         std::to_string(hundredths % 10);
+}
+
+}  // namespace
+
+std::string FaultAction::ToString() const {
+  std::string s = "@" + TimeString(at) + " " + FaultKindName(kind);
+  switch (kind) {
+    case FaultKind::kPartition:
+    case FaultKind::kHeal:
+      s += " link=" + std::to_string(a) + "<->" + std::to_string(b);
+      break;
+    case FaultKind::kCrash:
+    case FaultKind::kRestart:
+      s += " node=" + std::to_string(a);
+      break;
+    case FaultKind::kLatencySpike:
+      s += " link=" + std::to_string(a) + "<->" + std::to_string(b) +
+           " range=[" + TimeString(lat_min) + "," + TimeString(lat_max) + "]";
+      break;
+    case FaultKind::kLatencyClear:
+      s += " link=" + std::to_string(a) + "<->" + std::to_string(b);
+      break;
+    case FaultKind::kDropSpike:
+    case FaultKind::kTimerSkew:
+      s += " rate=" + RateString(rate);
+      break;
+    case FaultKind::kHealAll:
+    case FaultKind::kDropClear:
+    case FaultKind::kTimerClear:
+      break;
+  }
+  return s;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string s = "schedule seed=" + std::to_string(seed) + " actions=" +
+                  std::to_string(actions.size()) + "\n";
+  for (const FaultAction& action : actions) {
+    s += "  " + action.ToString() + "\n";
+  }
+  return s;
+}
+
+ScenarioGenerator::ScenarioGenerator(ScenarioOptions options)
+    : options_(options) {}
+
+FaultSchedule ScenarioGenerator::Generate(uint64_t seed) const {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);  // Decorrelate nearby seeds.
+  FaultSchedule schedule;
+  schedule.seed = seed;
+
+  const SimTime quiesce = static_cast<SimTime>(
+      static_cast<double>(options_.horizon) * options_.quiesce_fraction);
+  const SimTime start = quiesce / 10;
+  size_t crashed = 0;
+  std::vector<net::NodeId> crashed_nodes;
+
+  SimTime t = start;
+  for (size_t i = 0; i < options_.max_actions && t < quiesce; ++i) {
+    t += rng.NextBelow((quiesce - start) / options_.max_actions + 1);
+    if (t >= quiesce) break;
+    // Closing actions land between the opener and the quiesce point.
+    SimTime close_at =
+        t + 1 + rng.NextBelow(std::max<SimTime>(quiesce - t, 2) - 1);
+    FaultAction open;
+    FaultAction close;
+    open.at = t;
+    close.at = close_at;
+    switch (rng.NextBelow(5)) {
+      case 0: {  // Crash + restart.
+        if (crashed >= options_.max_concurrent_crashed) continue;
+        open.kind = FaultKind::kCrash;
+        open.a = static_cast<net::NodeId>(rng.NextBelow(options_.num_nodes));
+        if (std::find(crashed_nodes.begin(), crashed_nodes.end(), open.a) !=
+            crashed_nodes.end()) {
+          continue;
+        }
+        // The restart must precede any later crash accounting; simplest
+        // sound bookkeeping: treat the node as crashed for the rest of the
+        // generation pass.
+        ++crashed;
+        crashed_nodes.push_back(open.a);
+        close.kind = FaultKind::kRestart;
+        close.a = open.a;
+        break;
+      }
+      case 1: {  // Partition + heal.
+        open.kind = FaultKind::kPartition;
+        open.a = static_cast<net::NodeId>(rng.NextBelow(options_.num_nodes));
+        open.b = static_cast<net::NodeId>(rng.NextBelow(options_.num_nodes));
+        if (open.a == open.b) continue;
+        close.kind = rng.NextBool(0.3) ? FaultKind::kHealAll : FaultKind::kHeal;
+        close.a = open.a;
+        close.b = open.b;
+        break;
+      }
+      case 2: {  // Latency spike + clear.
+        open.kind = FaultKind::kLatencySpike;
+        open.a = static_cast<net::NodeId>(rng.NextBelow(options_.num_nodes));
+        open.b = static_cast<net::NodeId>(rng.NextBelow(options_.num_nodes));
+        if (open.a == open.b) continue;
+        open.lat_min = (5 + rng.NextBelow(45)) * kMillisecond;
+        open.lat_max = open.lat_min + rng.NextBelow(100) * kMillisecond;
+        close.kind = FaultKind::kLatencyClear;
+        close.a = open.a;
+        close.b = open.b;
+        break;
+      }
+      case 3: {  // Drop-rate spike + clear.
+        open.kind = FaultKind::kDropSpike;
+        open.rate = 0.05 + 0.01 * static_cast<double>(rng.NextBelow(25));
+        close.kind = FaultKind::kDropClear;
+        break;
+      }
+      default: {  // Timer skew + clear.
+        open.kind = FaultKind::kTimerSkew;
+        open.rate = 0.5 + 0.125 * static_cast<double>(rng.NextBelow(13));
+        close.kind = FaultKind::kTimerClear;
+        break;
+      }
+    }
+    schedule.actions.push_back(open);
+    schedule.actions.push_back(close);
+  }
+
+  std::stable_sort(schedule.actions.begin(), schedule.actions.end(),
+                   [](const FaultAction& x, const FaultAction& y) {
+                     return x.at < y.at;
+                   });
+  return schedule;
+}
+
+void InstallSchedule(net::SimNetwork* net, const FaultSchedule& schedule,
+                     const FaultHooks& hooks, std::string* trace) {
+  // All actions are installed up-front at t=0 with the nominal timer scale,
+  // so kTimerSkew cannot retroactively move fault times.
+  const double base_drop = net->drop_rate();
+  for (const FaultAction& action : schedule.actions) {
+    net->ScheduleAfter(action.at, [net, action, hooks, base_drop, trace] {
+      if (trace != nullptr) {
+        *trace += "fault " + action.ToString() + "\n";
+      }
+      switch (action.kind) {
+        case FaultKind::kPartition:
+          net->Partition(action.a, action.b);
+          break;
+        case FaultKind::kHeal:
+          net->Heal(action.a, action.b);
+          break;
+        case FaultKind::kHealAll:
+          net->HealAll();
+          break;
+        case FaultKind::kCrash:
+          net->CrashNode(action.a);
+          if (hooks.crash) hooks.crash(action.a);
+          break;
+        case FaultKind::kRestart:
+          net->RestartNode(action.a);
+          if (hooks.restart) hooks.restart(action.a);
+          break;
+        case FaultKind::kLatencySpike:
+          net->SetLinkLatency(action.a, action.b, action.lat_min,
+                              action.lat_max);
+          break;
+        case FaultKind::kLatencyClear:
+          net->ClearLinkLatency(action.a, action.b);
+          break;
+        case FaultKind::kDropSpike:
+          net->set_drop_rate(action.rate);
+          break;
+        case FaultKind::kDropClear:
+          net->set_drop_rate(base_drop);
+          break;
+        case FaultKind::kTimerSkew:
+          net->SetTimerScale(action.rate);
+          break;
+        case FaultKind::kTimerClear:
+          net->SetTimerScale(1.0);
+          break;
+      }
+    });
+  }
+}
+
+}  // namespace prever::simtest

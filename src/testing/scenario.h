@@ -1,0 +1,95 @@
+#ifndef PREVER_TESTING_SCENARIO_H_
+#define PREVER_TESTING_SCENARIO_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "net/sim_net.h"
+
+namespace prever::simtest {
+
+/// One fault injected into a running simulation at a fixed simulated time.
+/// Schedules are plain data so a failing schedule can be printed, shrunk,
+/// and replayed verbatim.
+enum class FaultKind : uint8_t {
+  kPartition,     ///< Cut link a <-> b.
+  kHeal,          ///< Restore link a <-> b.
+  kHealAll,       ///< Restore all partitioned links.
+  kCrash,         ///< Crash-stop node a (network + protocol state).
+  kRestart,       ///< Restart node a.
+  kLatencySpike,  ///< Override link a <-> b latency to [lat_min, lat_max].
+  kLatencyClear,  ///< Remove the a <-> b latency override.
+  kDropSpike,     ///< Raise the global drop probability to `rate`.
+  kDropClear,     ///< Restore the baseline drop probability.
+  kTimerSkew,     ///< Scale protocol timer delays by `rate`.
+  kTimerClear,    ///< Restore nominal timer scale (1.0).
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultAction {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kHealAll;
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  SimTime lat_min = 0;
+  SimTime lat_max = 0;
+  double rate = 0.0;
+
+  /// One-line replayable form, e.g. "@2.150s crash node=3".
+  std::string ToString() const;
+};
+
+struct FaultSchedule {
+  uint64_t seed = 0;
+  std::vector<FaultAction> actions;  ///< Sorted by `at`.
+
+  std::string ToString() const;
+};
+
+/// Tuning knobs for randomized schedule generation.
+struct ScenarioOptions {
+  size_t num_nodes = 3;
+  SimTime horizon = 30 * kSecond;   ///< Simulation end time.
+  size_t max_actions = 16;          ///< Fault actions (excluding closers).
+  size_t max_concurrent_crashed = 1;
+  double base_drop_rate = 0.0;      ///< Restored by kDropClear.
+  /// All outages are closed (healed / restarted / cleared) by this fraction
+  /// of the horizon, leaving a quiet tail for the protocol to converge.
+  double quiesce_fraction = 0.7;
+};
+
+/// Derives a randomized-but-deterministic fault schedule from a single
+/// uint64 seed: same seed + options -> identical schedule. Every opening
+/// fault (crash, partition, spike, skew) gets a matching closing action, so
+/// a generated scenario always ends with a fully connected, fully live
+/// cluster.
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(ScenarioOptions options);
+
+  FaultSchedule Generate(uint64_t seed) const;
+
+ private:
+  ScenarioOptions options_;
+};
+
+/// Protocol-level crash hooks (the network-level part is handled by
+/// SimNetwork::CrashNode/RestartNode).
+struct FaultHooks {
+  std::function<void(net::NodeId)> crash;
+  std::function<void(net::NodeId)> restart;
+};
+
+/// Schedules every action of `schedule` onto `net` (call once, before
+/// running the event loop). Each applied action appends one line to
+/// `trace` if non-null — part of the deterministic event trace.
+void InstallSchedule(net::SimNetwork* net, const FaultSchedule& schedule,
+                     const FaultHooks& hooks, std::string* trace);
+
+}  // namespace prever::simtest
+
+#endif  // PREVER_TESTING_SCENARIO_H_

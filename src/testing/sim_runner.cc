@@ -1,0 +1,387 @@
+#include "testing/sim_runner.h"
+
+#include <functional>
+#include <set>
+
+#include "testing/invariants.h"
+
+namespace prever::simtest {
+
+namespace {
+
+std::string Preview(const Bytes& b) {
+  std::string s;
+  for (size_t i = 0; i < b.size() && i < 24; ++i) {
+    char c = static_cast<char>(b[i]);
+    s += (c >= 32 && c < 127) ? c : '?';
+  }
+  return s;
+}
+
+std::string T(SimTime t) { return std::to_string(t); }
+
+struct RunOutcome {
+  bool ok = true;
+  std::string violation;
+  size_t events = 0;
+  uint64_t committed = 0;
+  std::string trace;
+};
+
+ScenarioOptions ScenarioOptionsFor(const ConsensusSimOptions& o) {
+  ScenarioOptions s;
+  s.num_nodes = o.num_nodes;
+  s.horizon = o.horizon;
+  s.max_actions = o.max_actions;
+  s.max_concurrent_crashed = o.max_concurrent_crashed;
+  s.base_drop_rate = o.base_drop_rate;
+  return s;
+}
+
+Bytes CommandBytes(size_t i) {
+  return ToBytes("cmd-" + std::to_string(i));
+}
+
+// ------------------------------------------------------------------- Raft
+
+RunOutcome RunRaftOnce(uint64_t seed, const FaultSchedule& schedule,
+                       const ConsensusSimOptions& o, bool record_trace) {
+  RunOutcome out;
+  std::string* tr = record_trace ? &out.trace : nullptr;
+
+  net::SimNetConfig ncfg;
+  ncfg.drop_rate = o.base_drop_rate;
+  ncfg.seed = seed ^ 0xC0FFEEULL;
+  net::SimNetwork net(ncfg);
+
+  consensus::RaftConfig rcfg;
+  rcfg.num_replicas = o.num_nodes;
+  rcfg.seed = seed * 31 + 7;
+  consensus::RaftCluster cluster(rcfg, &net);
+
+  RaftInvariantChecker checker(&cluster);
+  SingleCopyChecker applies(o.num_nodes);
+  std::set<Bytes> submitted;
+  std::set<Bytes> applied_cmds;
+  std::string async_violation;
+
+  for (size_t i = 0; i < o.num_nodes; ++i) {
+    cluster.replica(i).SetApplyCallback(
+        [&, i](uint64_t index, const Bytes& cmd) {
+          applied_cmds.insert(cmd);
+          Status s = applies.Observe(i, index - 1, cmd);
+          if (!s.ok() && async_violation.empty()) {
+            async_violation = s.message();
+          }
+          if (tr != nullptr) {
+            *tr += "t=" + T(net.Now()) + " apply r=" + std::to_string(i) +
+                   " idx=" + std::to_string(index) + " cmd=" + Preview(cmd) +
+                   "\n";
+          }
+        });
+  }
+
+  FaultHooks hooks;
+  hooks.crash = [&](net::NodeId id) { cluster.replica(id).Crash(); };
+  hooks.restart = [&](net::NodeId id) { cluster.replica(id).Restart(); };
+  InstallSchedule(&net, schedule, hooks, tr);
+
+  // Client: submits the next command whenever a leader accepts it. Once all
+  // commands were accepted, it keeps re-driving the lowest unapplied command
+  // — an entry accepted by a deposed leader only commits once a
+  // current-term entry lands on top of it (Raft §5.4.2), so the pump must
+  // not go quiet before everything applied.
+  size_t next_cmd = 0;
+  std::function<void()> pump = [&] {
+    if (net.Now() > o.horizon) return;
+    Bytes cmd;
+    if (next_cmd < o.num_commands) {
+      cmd = CommandBytes(next_cmd);
+    } else {
+      for (size_t i = 0; i < o.num_commands; ++i) {
+        Bytes candidate = CommandBytes(i);
+        if (applied_cmds.count(candidate) == 0) {
+          cmd = candidate;
+          break;
+        }
+      }
+      if (cmd.empty()) return;  // Everything applied; client done.
+    }
+    auto leader = cluster.Leader();
+    if (leader.ok() && (*leader)->Submit(cmd).ok()) {
+      submitted.insert(cmd);
+      if (tr != nullptr) {
+        *tr += "t=" + T(net.Now()) + " submit " + Preview(cmd) + " via r=" +
+               std::to_string((*leader)->id()) + "\n";
+      }
+      if (next_cmd < o.num_commands) ++next_cmd;
+    }
+    net.ScheduleAfter(o.submit_interval, pump);
+  };
+  net.ScheduleAfter(o.submit_interval, pump);
+
+  auto fail = [&](const std::string& why) {
+    out.ok = false;
+    out.violation = why;
+    if (tr != nullptr) {
+      *tr += "t=" + T(net.Now()) + " VIOLATION " + why + "\n";
+    }
+  };
+
+  while (net.Step()) {
+    if (net.Now() > o.horizon) break;
+    ++out.events;
+    if (!async_violation.empty()) {
+      fail(async_violation);
+      break;
+    }
+    Status s = checker.CheckStep();
+    if (s.ok() && o.deep_check_every != 0 &&
+        out.events % o.deep_check_every == 0) {
+      s = checker.CheckLogMatching();
+    }
+    if (!s.ok()) {
+      fail(s.message());
+      break;
+    }
+  }
+
+  if (out.ok) {
+    Status s = checker.CheckStep();
+    if (s.ok()) s = checker.CheckLogMatching();
+    if (s.ok()) s = applies.CheckProvenance(submitted);
+    if (!s.ok()) fail(s.message());
+  }
+  out.committed = checker.max_commit_index();
+  if (out.ok && out.committed == 0) {
+    fail("liveness stall: no command committed over the whole horizon");
+  }
+  if (out.ok && applies.history().size() != out.committed) {
+    fail("apply/commit mismatch: " +
+         std::to_string(applies.history().size()) + " applied vs commit " +
+         "index " + std::to_string(out.committed));
+  }
+
+  if (tr != nullptr) {
+    for (size_t i = 0; i < o.num_nodes; ++i) {
+      consensus::RaftReplica& r = cluster.replica(i);
+      *tr += "final r=" + std::to_string(i) +
+             " role=" + std::to_string(static_cast<int>(r.role())) +
+             " term=" + std::to_string(r.term()) +
+             " commit=" + std::to_string(r.commit_index()) +
+             " log=" + std::to_string(r.log_size()) +
+             " applied=" + std::to_string(applies.executed(i)) + "\n";
+    }
+    *tr += "final events=" + std::to_string(out.events) +
+           " sent=" + std::to_string(net.messages_sent()) +
+           " dropped=" + std::to_string(net.messages_dropped()) + "\n";
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- PBFT
+
+RunOutcome RunPbftOnce(uint64_t seed, const FaultSchedule& schedule,
+                       const ConsensusSimOptions& o, bool record_trace) {
+  RunOutcome out;
+  std::string* tr = record_trace ? &out.trace : nullptr;
+
+  net::SimNetConfig ncfg;
+  ncfg.drop_rate = o.base_drop_rate;
+  ncfg.seed = seed ^ 0xFACADEULL;
+  net::SimNetwork net(ncfg);
+
+  consensus::PbftConfig pcfg;
+  pcfg.num_replicas = o.num_nodes;
+  pcfg.view_change_timeout = 150 * kMillisecond;
+  consensus::PbftCluster cluster(pcfg, &net);
+
+  // A seed-chosen replica may equivocate when it holds the primary role —
+  // at most one, i.e. within the f = (n-1)/3 fault budget for n >= 4.
+  const bool equivocate = o.allow_equivocation && (seed % 3 == 0);
+  const net::NodeId equivocator =
+      static_cast<net::NodeId>(seed / 3 % o.num_nodes);
+  if (equivocate) {
+    cluster.replica(equivocator)
+        .SetFaultMode(consensus::PbftFaultMode::kEquivocate);
+    if (tr != nullptr) {
+      *tr += "equivocator r=" + std::to_string(equivocator) + "\n";
+    }
+  }
+
+  PbftInvariantChecker checker(&cluster, equivocate);
+  std::set<Bytes> submitted;
+  std::set<Bytes> executed_cmds;
+  cluster.SetCommitCallback(
+      [&](net::NodeId replica, uint64_t seq, const Bytes& cmd) {
+        checker.OnCommit(replica, seq, cmd);
+        executed_cmds.insert(cmd);
+        if (tr != nullptr) {
+          *tr += "t=" + T(net.Now()) + " commit r=" + std::to_string(replica) +
+                 " seq=" + std::to_string(seq) + " cmd=" + Preview(cmd) + "\n";
+        }
+      });
+
+  FaultHooks hooks;
+  hooks.crash = [&](net::NodeId id) {
+    cluster.replica(id).SetFaultMode(consensus::PbftFaultMode::kSilent);
+  };
+  hooks.restart = [&](net::NodeId id) {
+    cluster.replica(id).SetFaultMode(
+        equivocate && id == equivocator
+            ? consensus::PbftFaultMode::kEquivocate
+            : consensus::PbftFaultMode::kHonest);
+  };
+  InstallSchedule(&net, schedule, hooks, tr);
+
+  // Client: submit each command once, then keep re-broadcasting the lowest
+  // unexecuted command (executed-digest dedup makes this safe) so the run
+  // makes progress once the quiet tail begins.
+  size_t sent = 0;
+  std::function<void()> pump = [&] {
+    if (net.Now() > o.horizon) return;
+    if (sent < o.num_commands) {
+      Bytes cmd = CommandBytes(sent);
+      submitted.insert(cmd);
+      cluster.Submit(cmd);
+      if (tr != nullptr) {
+        *tr += "t=" + T(net.Now()) + " submit " + Preview(cmd) + "\n";
+      }
+      ++sent;
+    } else {
+      for (size_t i = 0; i < o.num_commands; ++i) {
+        Bytes cmd = CommandBytes(i);
+        if (executed_cmds.count(cmd) == 0) {
+          cluster.Submit(cmd);
+          break;
+        }
+      }
+    }
+    net.ScheduleAfter(o.submit_interval, pump);
+  };
+  net.ScheduleAfter(o.submit_interval, pump);
+
+  auto fail = [&](const std::string& why) {
+    out.ok = false;
+    out.violation = why;
+    if (tr != nullptr) {
+      *tr += "t=" + T(net.Now()) + " VIOLATION " + why + "\n";
+    }
+  };
+
+  while (net.Step()) {
+    if (net.Now() > o.horizon) break;
+    ++out.events;
+    Status s = checker.CheckStep();
+    if (!s.ok()) {
+      fail(s.message());
+      break;
+    }
+  }
+
+  if (out.ok) {
+    Status s = checker.CheckStep();
+    if (s.ok()) s = checker.CheckProvenance(submitted);
+    if (!s.ok()) fail(s.message());
+  }
+  out.committed = checker.single_copy().history().size();
+  // The liveness floor only applies to honest-primary scenarios: this PBFT's
+  // simplified view change has no null-request gap filling, so a cluster
+  // whose primary equivocates can wedge on a stale never-prepared slot.
+  // Safety (agreement, total order, no rollback) is still fully checked
+  // above; see DESIGN.md "Simulation testing" for the limitation.
+  if (out.ok && out.committed == 0 && !equivocate) {
+    fail("liveness stall: no command executed over the whole horizon");
+  }
+
+  if (tr != nullptr) {
+    for (size_t i = 0; i < o.num_nodes; ++i) {
+      consensus::PbftReplica& r = cluster.replica(i);
+      *tr += "final r=" + std::to_string(i) +
+             " view=" + std::to_string(r.view()) +
+             " executed=" + std::to_string(r.num_executed()) + "\n";
+    }
+    *tr += "final events=" + std::to_string(out.events) +
+           " sent=" + std::to_string(net.messages_sent()) +
+           " dropped=" + std::to_string(net.messages_dropped()) + "\n";
+  }
+  return out;
+}
+
+// ------------------------------------------------------- Shrink + report
+
+using RunFn = std::function<RunOutcome(const FaultSchedule&, bool record)>;
+
+SimReport RunWithShrink(uint64_t seed, const ConsensusSimOptions& o,
+                        const RunFn& run_once) {
+  ScenarioGenerator generator(ScenarioOptionsFor(o));
+  SimReport report;
+  report.seed = seed;
+  report.schedule = generator.Generate(seed);
+  report.reduced = report.schedule;
+
+  RunOutcome out = run_once(report.schedule, o.record_trace);
+  report.ok = out.ok;
+  report.violation = out.violation;
+  report.trace = out.trace;
+  report.events = out.events;
+  report.committed = out.committed;
+  if (out.ok || !o.shrink_on_failure) return report;
+
+  // Greedy delta-debugging: drop one action at a time while the violation
+  // persists. Deterministic replays make this sound.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (size_t i = 0; i < report.reduced.actions.size(); ++i) {
+      FaultSchedule candidate = report.reduced;
+      candidate.actions.erase(candidate.actions.begin() +
+                              static_cast<ptrdiff_t>(i));
+      RunOutcome r = run_once(candidate, false);
+      if (!r.ok) {
+        report.reduced = candidate;
+        report.violation = r.violation;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+std::string SimReport::Summary(const char* protocol) const {
+  if (ok) {
+    return std::string(protocol) + " seed=" + std::to_string(seed) +
+           " ok events=" + std::to_string(events) +
+           " committed=" + std::to_string(committed);
+  }
+  std::string s = std::string(protocol) + " scenario FAILED\n";
+  s += "  seed: " + std::to_string(seed) + "\n";
+  s += "  violation: " + violation + "\n";
+  s += "  reduced schedule (" + std::to_string(reduced.actions.size()) +
+       " of " + std::to_string(schedule.actions.size()) + " actions):\n";
+  for (const FaultAction& a : reduced.actions) {
+    s += "    " + a.ToString() + "\n";
+  }
+  s += "  replay: PREVER_SIM_SEED=" + std::to_string(seed) +
+       " ./tests/sim_consensus_test --gtest_filter='*" + protocol + "*'\n";
+  return s;
+}
+
+SimReport RunRaftScenario(uint64_t seed, const ConsensusSimOptions& options) {
+  return RunWithShrink(seed, options,
+                       [&](const FaultSchedule& schedule, bool record) {
+                         return RunRaftOnce(seed, schedule, options, record);
+                       });
+}
+
+SimReport RunPbftScenario(uint64_t seed, const ConsensusSimOptions& options) {
+  return RunWithShrink(seed, options,
+                       [&](const FaultSchedule& schedule, bool record) {
+                         return RunPbftOnce(seed, schedule, options, record);
+                       });
+}
+
+}  // namespace prever::simtest

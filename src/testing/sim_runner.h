@@ -1,0 +1,58 @@
+#ifndef PREVER_TESTING_SIM_RUNNER_H_
+#define PREVER_TESTING_SIM_RUNNER_H_
+
+#include <string>
+
+#include "testing/scenario.h"
+
+namespace prever::simtest {
+
+/// Shared configuration for one randomized consensus scenario.
+struct ConsensusSimOptions {
+  size_t num_nodes = 5;
+  size_t num_commands = 14;
+  SimTime submit_interval = 250 * kMillisecond;
+  SimTime horizon = 30 * kSecond;
+  size_t max_actions = 12;
+  size_t max_concurrent_crashed = 2;
+  double base_drop_rate = 0.01;
+  /// PBFT only: a seed-chosen replica may equivocate as primary.
+  bool allow_equivocation = false;
+  /// On violation, greedily minimize the fault schedule before reporting.
+  bool shrink_on_failure = true;
+  /// Events between expensive full-log invariant checks (cheap incremental
+  /// checks still run after every event).
+  size_t deep_check_every = 64;
+  /// Record per-event detail (faults, submissions, applies, final state)
+  /// into SimReport::trace.
+  bool record_trace = true;
+};
+
+/// Outcome of one scenario (possibly after shrinking).
+struct SimReport {
+  bool ok = true;
+  uint64_t seed = 0;
+  std::string violation;    ///< First invariant violation; empty when ok.
+  FaultSchedule schedule;   ///< As generated from the seed.
+  FaultSchedule reduced;    ///< Minimized failing schedule (== schedule if ok).
+  std::string trace;        ///< Deterministic event trace.
+  size_t events = 0;        ///< Drained simulation events.
+  uint64_t committed = 0;   ///< Committed/executed entries observed.
+
+  /// Human-readable failure report: seed, violation, reduced schedule, and
+  /// the one-command repro line.
+  std::string Summary(const char* protocol) const;
+};
+
+/// Runs one seed-derived Raft scenario: randomized faults, a submitting
+/// client, and invariant checks (election safety, commit agreement, log
+/// matching, single-copy applies) after every drained event.
+SimReport RunRaftScenario(uint64_t seed, const ConsensusSimOptions& options);
+
+/// Runs one seed-derived PBFT scenario: agreement / total order / view
+/// change safety via the commit stream, with optional primary equivocation.
+SimReport RunPbftScenario(uint64_t seed, const ConsensusSimOptions& options);
+
+}  // namespace prever::simtest
+
+#endif  // PREVER_TESTING_SIM_RUNNER_H_

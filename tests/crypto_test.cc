@@ -302,6 +302,32 @@ TEST_F(PaillierTest, RejectsOutOfRangePlaintext) {
   EXPECT_FALSE(PaillierEncrypt(key_->pub, BigInt(-1), *drbg_).ok());
 }
 
+TEST_F(PaillierTest, BoundaryPlaintextNMinusOne) {
+  // n - 1 is the largest valid plaintext and the signed embedding of -1.
+  BigInt n_minus_1 = key_->pub.n - BigInt(1);
+  auto ct = PaillierEncrypt(key_->pub, n_minus_1, *drbg_);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(*PaillierDecrypt(*key_, *ct), n_minus_1);
+  EXPECT_EQ(*PaillierDecryptSigned(*key_, *ct), -1);
+}
+
+TEST_F(PaillierTest, HomomorphicAddWrapsAtModulus) {
+  // Enc(n-1) + Enc(1) must wrap to Enc(0): plaintexts live in Z_n.
+  auto cmax = PaillierEncrypt(key_->pub, key_->pub.n - BigInt(1), *drbg_);
+  auto cone = PaillierEncrypt(key_->pub, BigInt(1), *drbg_);
+  ASSERT_TRUE(cmax.ok() && cone.ok());
+  auto sum = PaillierAdd(key_->pub, *cmax, *cone);
+  EXPECT_EQ(*PaillierDecrypt(*key_, sum), BigInt(0));
+}
+
+TEST_F(PaillierTest, RejectsModulusSizedAndLargerPlaintexts) {
+  // Everything from n upward is out of range, including n^2-sized values a
+  // confused caller might pass after mixing up plaintext and ciphertext
+  // spaces.
+  EXPECT_FALSE(PaillierEncrypt(key_->pub, key_->pub.n + BigInt(1), *drbg_).ok());
+  EXPECT_FALSE(PaillierEncrypt(key_->pub, key_->pub.n2, *drbg_).ok());
+}
+
 TEST_F(PaillierTest, RejectsOutOfRangeCiphertext) {
   EXPECT_FALSE(PaillierDecrypt(*key_, PaillierCiphertext{key_->pub.n2}).ok());
   EXPECT_FALSE(PaillierDecrypt(*key_, PaillierCiphertext{BigInt(0)}).ok());
@@ -466,6 +492,43 @@ TEST(ShamirTest, ScaleShares) {
   ASSERT_TRUE(a.ok());
   auto scaled = ShamirScaleShares(*a, 7);
   EXPECT_EQ(*ShamirReconstruct(scaled), 42u);
+}
+
+TEST(ShamirTest, ExactlyThresholdSharesSuffice) {
+  // t == n: every share is needed; exactly t shares reconstruct, and
+  // removing any single one yields a wrong value.
+  prever::Rng rng(103);
+  auto shares = ShamirShareSecret(777, 4, 4, rng);
+  ASSERT_TRUE(shares.ok());
+  EXPECT_EQ(*ShamirReconstruct(*shares), 777u);
+  for (size_t drop = 0; drop < 4; ++drop) {
+    std::vector<ShamirShare> three;
+    for (size_t i = 0; i < 4; ++i) {
+      if (i != drop) three.push_back((*shares)[i]);
+    }
+    auto value = ShamirReconstruct(three);
+    ASSERT_TRUE(value.ok());
+    EXPECT_NE(*value, 777u) << "dropped share " << drop;
+  }
+}
+
+TEST(ShamirTest, ThresholdOneMeansEveryShareIsTheSecret) {
+  // t == 1 degenerates to replication: the polynomial is constant.
+  prever::Rng rng(107);
+  auto shares = ShamirShareSecret(42, 3, 1, rng);
+  ASSERT_TRUE(shares.ok());
+  for (const ShamirShare& s : *shares) {
+    EXPECT_EQ(*ShamirReconstruct({s}), 42u);
+  }
+}
+
+TEST(ShamirTest, BoundarySecretsRoundTrip) {
+  prever::Rng rng(109);
+  for (uint64_t secret : {uint64_t{0}, Field61::kPrime - 1}) {
+    auto shares = ShamirShareSecret(secret, 5, 3, rng);
+    ASSERT_TRUE(shares.ok());
+    EXPECT_EQ(*ShamirReconstruct(*shares), secret);
+  }
 }
 
 TEST(ShamirTest, InvalidParameters) {

@@ -49,6 +49,25 @@ TEST_F(ElGamalTest, NegativePlaintextRejected) {
   EXPECT_FALSE(eg.Encrypt(-1, drbg_).ok());
 }
 
+TEST_F(ElGamalTest, ZeroPlaintextBoundary) {
+  // m = 0 means b = y^r with no g^m factor; the dlog scan must find it even
+  // with the tightest possible bound.
+  ElGamal eg(params_, drbg_);
+  auto ct = eg.Encrypt(0, drbg_);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(*eg.Decrypt(*ct, 0), 0);
+}
+
+TEST_F(ElGamalTest, PlaintextAtExactScanBoundDecrypts) {
+  // The bound is inclusive: m == max_plaintext is the last value the
+  // recovery scan tries.
+  ElGamal eg(params_, drbg_);
+  auto ct = eg.Encrypt(200, drbg_);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(*eg.Decrypt(*ct, 200), 200);
+  EXPECT_FALSE(eg.Decrypt(*ct, 199).ok());
+}
+
 TEST_F(ElGamalTest, DiscreteLogRecovery) {
   EXPECT_EQ(*RecoverDiscreteLog(params_, BigInt(1), 10), 0);
   EXPECT_EQ(*RecoverDiscreteLog(params_, params_.g, 10), 1);

@@ -128,6 +128,121 @@ TEST(SimNetTest, TieBreakIsFifo) {
   for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(a.received[i].type, i);
 }
 
+TEST(SimNetTest, CrashDiscardsInFlightMessages) {
+  SimNetwork net;
+  Recorder a, b;
+  net.AddNode(a.Handler());
+  net.AddNode(b.Handler());
+  net.Send(0, 1, 1, {});  // In flight when the crash hits.
+  net.CrashNode(1);
+  EXPECT_TRUE(net.IsCrashed(1));
+  net.RunUntilIdle();
+  // Unlike Isolate, the message sent BEFORE the crash is discarded too.
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(SimNetTest, CrashedNodeSendsAndReceivesNothingUntilRestart) {
+  SimNetwork net;
+  Recorder a, b;
+  net.AddNode(a.Handler());
+  net.AddNode(b.Handler());
+  net.CrashNode(0);
+  net.Send(0, 1, 1, {});  // From a crashed node: dropped at send time.
+  net.Send(1, 0, 1, {});  // Toward a crashed node: dropped as well.
+  net.RunUntilIdle();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+  net.RestartNode(0);
+  EXPECT_FALSE(net.IsCrashed(0));
+  net.Send(1, 0, 1, {});
+  net.RunUntilIdle();
+  EXPECT_EQ(a.received.size(), 1u);
+}
+
+TEST(SimNetTest, HealAllClearsEveryPartition) {
+  SimNetwork net;
+  Recorder r[3];
+  for (auto& rec : r) net.AddNode(rec.Handler());
+  net.Partition(0, 1);
+  net.Partition(0, 2);
+  net.HealAll();
+  net.Broadcast(0, 1, {});
+  net.RunUntilIdle();
+  EXPECT_EQ(r[1].received.size(), 1u);
+  EXPECT_EQ(r[2].received.size(), 1u);
+}
+
+TEST(SimNetTest, LinkLatencyOverrideAppliesBothWaysAndClears) {
+  SimNetConfig cfg;
+  cfg.min_latency = cfg.max_latency = 1 * kMillisecond;
+  SimNetwork net(cfg);
+  Recorder a, b;
+  net.AddNode(a.Handler());
+  net.AddNode(b.Handler());
+  net.SetLinkLatency(0, 1, 100 * kMillisecond, 100 * kMillisecond);
+
+  net.Send(0, 1, 1, {});
+  net.RunUntil(99 * kMillisecond);
+  EXPECT_TRUE(b.received.empty());  // Base latency no longer applies.
+  net.RunUntil(101 * kMillisecond);
+  EXPECT_EQ(b.received.size(), 1u);
+
+  net.Send(1, 0, 1, {});  // Reverse direction uses the same override.
+  net.RunUntil(200 * kMillisecond);
+  EXPECT_TRUE(a.received.empty());
+  net.RunUntil(202 * kMillisecond);
+  EXPECT_EQ(a.received.size(), 1u);
+
+  net.ClearLinkLatency(0, 1);
+  net.Send(0, 1, 1, {});
+  net.RunUntil(205 * kMillisecond);  // Back to the 1ms base latency.
+  EXPECT_EQ(b.received.size(), 2u);
+}
+
+TEST(SimNetTest, ClearLinkLatenciesRestoresEveryLink) {
+  SimNetConfig cfg;
+  cfg.min_latency = cfg.max_latency = 1 * kMillisecond;
+  SimNetwork net(cfg);
+  Recorder a, b;
+  net.AddNode(a.Handler());
+  net.AddNode(b.Handler());
+  net.SetLinkLatency(0, 1, kSecond, kSecond);
+  net.ClearLinkLatencies();
+  net.Send(0, 1, 1, {});
+  net.RunUntil(2 * kMillisecond);
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimNetTest, DropRateAdjustableAtRuntime) {
+  SimNetwork net;
+  Recorder a;
+  net.AddNode([](const Message&) {});
+  net.AddNode(a.Handler());
+  EXPECT_EQ(net.drop_rate(), 0.0);
+  net.set_drop_rate(1.0);
+  net.Send(0, 1, 1, {});
+  net.RunUntilIdle();
+  EXPECT_TRUE(a.received.empty());
+  net.set_drop_rate(0.0);
+  net.Send(0, 1, 1, {});
+  net.RunUntilIdle();
+  EXPECT_EQ(a.received.size(), 1u);
+}
+
+TEST(SimNetTest, TimerScaleStretchesScheduledDelays) {
+  SimNetwork net;
+  std::vector<int> order;
+  net.SetTimerScale(3.0);
+  EXPECT_EQ(net.timer_scale(), 3.0);
+  net.ScheduleAfter(10 * kMillisecond, [&] { order.push_back(1); });
+  net.SetTimerScale(1.0);  // Only affects timers scheduled afterwards.
+  net.ScheduleAfter(10 * kMillisecond, [&] { order.push_back(2); });
+  net.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(net.Now(), 30 * kMillisecond);
+}
+
 TEST(SimNetTest, CountersTrackTraffic) {
   SimNetwork net;
   net.AddNode([](const Message&) {});

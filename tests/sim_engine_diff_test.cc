@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "testing/engine_diff.h"
+
+namespace prever::simtest {
+namespace {
+
+// Seeds for the differential sweep. Each seed derives a fresh signed-update
+// stream (seed-qualified workers, mixed compliant/violating hours) that is
+// replayed through the plaintext reference engine and all four private
+// engines. Failures reproduce with:
+//   PREVER_SIM_SEED=<seed> ./tests/sim_engine_diff_test
+constexpr uint64_t kNumSeeds = 200;
+
+class SimEngineDiffTest : public ::testing::Test {
+ protected:
+  // Key material (Paillier owner, token authority, producer RSA keys) is
+  // independent of per-seed determinism — decisions never depend on it —
+  // so generate it once for the whole sweep.
+  static void SetUpTestSuite() {
+    fixtures_ = EngineDiffFixtures::Create(EngineDiffOptions{}.bound,
+                                           /*seed=*/271828)
+                    .release();
+  }
+
+  static EngineDiffFixtures* fixtures_;
+};
+EngineDiffFixtures* SimEngineDiffTest::fixtures_ = nullptr;
+
+TEST_F(SimEngineDiffTest, Sweep) {
+  EngineDiffOptions o;
+  const char* env = std::getenv("PREVER_SIM_SEED");
+  if (env != nullptr && *env != '\0') {
+    uint64_t seed = std::strtoull(env, nullptr, 10);
+    EngineDiffReport r = RunEngineDifferential(seed, o, *fixtures_);
+    EXPECT_TRUE(r.ok) << r.Summary();
+    std::fputs(r.trace.c_str(), stderr);
+    return;
+  }
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    EngineDiffReport r = RunEngineDifferential(seed, o, *fixtures_);
+    ASSERT_TRUE(r.ok) << r.Summary();
+    // Every stream must exercise both outcomes at least once overall; a
+    // stream that only ever accepts would not test the reject paths. Not
+    // required per seed (a lucky stream may accept everything), so assert
+    // on aggregate below.
+  }
+}
+
+TEST_F(SimEngineDiffTest, SweepCoversAcceptAndReject) {
+  EngineDiffOptions o;
+  size_t accepted = 0, rejected = 0;
+  for (uint64_t seed = 1000; seed < 1020; ++seed) {
+    EngineDiffReport r = RunEngineDifferential(seed, o, *fixtures_);
+    ASSERT_TRUE(r.ok) << r.Summary();
+    accepted += r.accepted;
+    rejected += r.updates - r.accepted;
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST_F(SimEngineDiffTest, TraceIsDeterministic) {
+  EngineDiffOptions o;
+  // Same seed, same fixtures -> byte-identical decision trace, even though
+  // ciphertexts and proofs differ per run (decisions are what we compare).
+  EngineDiffReport a = RunEngineDifferential(7, o, *fixtures_);
+  EngineDiffReport b = RunEngineDifferential(7, o, *fixtures_);
+  ASSERT_TRUE(a.ok) << a.Summary();
+  ASSERT_TRUE(b.ok) << b.Summary();
+  EXPECT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+}  // namespace
+}  // namespace prever::simtest

@@ -1,0 +1,45 @@
+#ifndef PREVER_BENCH_BENCH_COMMON_H_
+#define PREVER_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the E* benchmark binaries: per-operation latency
+// histograms and the uniform machine-readable metrics blob every bench
+// prints before exiting (consumed by scripts/bench_smoke.sh and any
+// harness that wants structured results instead of scraping counters).
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace prever::benchutil {
+
+/// Wall-clock per-operation histogram for one case of one bench, e.g.
+/// OpHistogram("e5", "xor_fetch"). Pair with PREVER_TRACE_SPAN around the
+/// measured operation; the registry dedups, so calling this inside the
+/// benchmark setup is cheap and idempotent.
+inline obs::Histogram* OpHistogram(const std::string& bench,
+                                   const std::string& bench_case) {
+  return obs::Registry::Default().GetHistogram(
+      "prever_bench_op_ns", {{"bench", bench}, {"case", bench_case}});
+}
+
+/// Prints the uniform end-of-run metrics line:
+///   PREVER_METRICS_JSON {"bench":"eN","schema":"prever.metrics.v1",
+///                        "metrics":{...full registry dump...}}
+/// Call from main() after RunSpecifiedBenchmarks(). The marker prefix keeps
+/// the blob greppable amid Google Benchmark's human-oriented output.
+inline void EmitMetricsJson(const char* bench) {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("bench", obs::Json::Str(bench));
+  doc.Set("schema", obs::Json::Str("prever.metrics.v1"));
+  doc.Set("metrics", obs::Registry::Default().RenderJsonDoc());
+  std::printf("\nPREVER_METRICS_JSON %s\n", doc.Dump().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace prever::benchutil
+
+#endif  // PREVER_BENCH_BENCH_COMMON_H_

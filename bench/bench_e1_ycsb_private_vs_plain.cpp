@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/prever.h"
 #include "workload/ycsb.h"
 
@@ -219,5 +220,8 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Per-engine submit/phase histograms are recorded by the engines
+  // themselves (src/core/engine_metrics.h); dump everything.
+  prever::benchutil::EmitMetricsJson("e1");
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/prever.h"
 
 namespace {
@@ -23,6 +24,28 @@ using namespace prever;
 Bytes Payload(uint64_t i) {
   return ToBytes("update-" + std::to_string(i) + "-padding-to-64-bytes-" +
                  std::string(20, 'x'));
+}
+
+// The ordering layer records sim-time commit latency into a process-lifetime
+// registry histogram; benches isolate their own samples by snapshot deltas.
+obs::Histogram* CommitLatency(const char* proto) {
+  return obs::Registry::Default().GetHistogram(
+      "prever_consensus_commit_latency_us", {{"proto", proto}});
+}
+
+// Tail-aware latency reporting: per-commit percentiles in milliseconds
+// (a single mean hides election stalls and view-change hiccups entirely).
+void ReportLatencyPercentiles(benchmark::State& state,
+                              const obs::HistogramSnapshot& delta) {
+  if (delta.count == 0) return;
+  state.counters["sim_latency_p50_ms"] =
+      static_cast<double>(delta.Percentile(50)) / kMillisecond;
+  state.counters["sim_latency_p90_ms"] =
+      static_cast<double>(delta.Percentile(90)) / kMillisecond;
+  state.counters["sim_latency_p99_ms"] =
+      static_cast<double>(delta.Percentile(99)) / kMillisecond;
+  state.counters["sim_latency_p999_ms"] =
+      static_cast<double>(delta.Percentile(99.9)) / kMillisecond;
 }
 
 void BM_CentralizedLedger(benchmark::State& state) {
@@ -41,6 +64,7 @@ BENCHMARK(BM_CentralizedLedger)->Unit(benchmark::kMicrosecond);
 void BM_Raft(benchmark::State& state) {
   size_t replicas = static_cast<size_t>(state.range(0));
   core::RaftOrdering ordering(replicas, net::SimNetConfig{});
+  obs::HistogramSnapshot before = CommitLatency("raft")->snapshot();
   SimTime start = ordering.network().Now();
   uint64_t i = 0;
   for (auto _ : state) {
@@ -50,11 +74,10 @@ void BM_Raft(benchmark::State& state) {
   }
   SimTime elapsed = ordering.network().Now() - start;
   if (i > 0 && elapsed > 0) {
-    state.counters["sim_latency_ms"] =
-        static_cast<double>(elapsed) / static_cast<double>(i) / kMillisecond;
     state.counters["sim_commits_per_s"] =
         static_cast<double>(i) * kSecond / static_cast<double>(elapsed);
   }
+  ReportLatencyPercentiles(state, CommitLatency("raft")->snapshot().Delta(before));
   state.counters["net_msgs"] =
       static_cast<double>(ordering.network().messages_sent());
 }
@@ -64,6 +87,7 @@ BENCHMARK(BM_Raft)->Arg(3)->Arg(5)->Arg(7)->Unit(benchmark::kMicrosecond)
 void BM_Pbft(benchmark::State& state) {
   size_t replicas = static_cast<size_t>(state.range(0));
   core::PbftOrdering ordering(replicas, net::SimNetConfig{});
+  obs::HistogramSnapshot before = CommitLatency("pbft")->snapshot();
   SimTime start = ordering.network().Now();
   uint64_t i = 0;
   for (auto _ : state) {
@@ -73,11 +97,10 @@ void BM_Pbft(benchmark::State& state) {
   }
   SimTime elapsed = ordering.network().Now() - start;
   if (i > 0 && elapsed > 0) {
-    state.counters["sim_latency_ms"] =
-        static_cast<double>(elapsed) / static_cast<double>(i) / kMillisecond;
     state.counters["sim_commits_per_s"] =
         static_cast<double>(i) * kSecond / static_cast<double>(elapsed);
   }
+  ReportLatencyPercentiles(state, CommitLatency("pbft")->snapshot().Delta(before));
   state.counters["net_msgs"] =
       static_cast<double>(ordering.network().messages_sent());
 }
@@ -115,6 +138,7 @@ BENCHMARK(BM_PbftBatched)->Arg(1)->Arg(8)->Arg(32)->Arg(128)
 void BM_ShardedPbft(benchmark::State& state) {
   size_t shards = static_cast<size_t>(state.range(0));
   core::ShardedPbftOrdering ordering(shards, 4, net::SimNetConfig{});
+  obs::HistogramSnapshot before = CommitLatency("pbft-sharded")->snapshot();
   uint64_t i = 0;
   for (auto _ : state) {
     Status s = ordering.AppendRouted("key" + std::to_string(i), Payload(i), i);
@@ -126,6 +150,8 @@ void BM_ShardedPbft(benchmark::State& state) {
     state.counters["agg_sim_commits_per_s"] =
         static_cast<double>(i) * kSecond / static_cast<double>(elapsed);
   }
+  ReportLatencyPercentiles(
+      state, CommitLatency("pbft-sharded")->snapshot().Delta(before));
   state.counters["shards"] = static_cast<double>(shards);
 }
 BENCHMARK(BM_ShardedPbft)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
@@ -137,11 +163,14 @@ int main(int argc, char** argv) {
   std::printf(
       "E2: commit latency/throughput — centralized ledger vs Raft "
       "(Paxos-family CFT) vs PBFT (BFT), sweeping replica count.\n"
-      "sim_latency_ms / sim_commits_per_s are measured on the simulated "
-      "network (1-5 ms one-way links).\nExpected shape: centralized < Raft "
-      "< PBFT latency; PBFT message count grows O(n^2).\n\n");
+      "sim_latency_p{50,90,99,999}_ms / sim_commits_per_s are measured on "
+      "the simulated network (1-5 ms one-way links).\nExpected shape: "
+      "centralized < Raft < PBFT latency; PBFT message count grows O(n^2); "
+      "tail percentiles expose election/view-change stalls the mean "
+      "hides.\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  prever::benchutil::EmitMetricsJson("e2");
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "constraint/parser.h"
 #include "core/prever.h"
 #include "crypto/montgomery.h"
@@ -48,7 +49,9 @@ void BM_PlaintextEval(benchmark::State& state) {
       {"worker", storage::Value::String("w3")},
       {"hours", storage::Value::Int64(2)}};
   constraint::EvalContext ctx{&db, &fields, rows * kMinute};
+  obs::Histogram* op = benchutil::OpHistogram("e3", "plaintext_eval");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     auto ok = constraint::EvaluateBool(**expr, ctx);
     benchmark::DoNotOptimize(ok);
   }
@@ -64,7 +67,9 @@ void BM_MpcCompare(benchmark::State& state) {
   Rng dealer(7);
   std::vector<uint64_t> inputs(parties, 10);
   mpc::MpcTranscript transcript;
+  obs::Histogram* op = benchutil::OpHistogram("e3", "mpc_compare");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     auto r = mpc::SecureComparison::SumLessEqual(inputs, 1000, bits, dealer,
                                                  &transcript);
     benchmark::DoNotOptimize(r);
@@ -86,7 +91,9 @@ void BM_TokenWithdrawSpend(benchmark::State& state) {
   ledger::LedgerDb ledger;
   token::TokenVerifier verifier(authority.public_key(), &ledger);
   token::TokenWallet wallet(authority.public_key(), 5);
+  obs::Histogram* op = benchutil::OpHistogram("e3", "token_withdraw_spend");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     (void)wallet.Withdraw(authority, "w", 1, 0);
     auto t = wallet.Take();
     Status s = verifier.Spend(*t, 0);
@@ -122,7 +129,9 @@ void BM_ZkUpperBoundProve(benchmark::State& state) {
   const auto& params = crypto::PedersenParams::Test256();
   crypto::Drbg drbg(uint64_t{9});
   auto opening = crypto::PedersenCommitFresh(params, crypto::BigInt(38), drbg);
+  obs::Histogram* op = benchutil::OpHistogram("e3", "zk_prove");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     auto proof = crypto::ProveUpperBound(params, opening.commitment,
                                          crypto::BigInt(38),
                                          opening.randomness,
@@ -141,7 +150,9 @@ void BM_ZkUpperBoundVerify(benchmark::State& state) {
   auto proof = crypto::ProveUpperBound(params, opening.commitment,
                                        crypto::BigInt(38), opening.randomness,
                                        crypto::BigInt(40), bits, drbg);
+  obs::Histogram* op = benchutil::OpHistogram("e3", "zk_verify");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     bool ok = crypto::VerifyUpperBound(params, opening.commitment, *proof,
                                        crypto::BigInt(40), bits);
     benchmark::DoNotOptimize(ok);
@@ -163,7 +174,9 @@ void BM_PaillierVerificationChain(benchmark::State& state) {
     window.push_back(
         crypto::PaillierEncrypt(key.pub, crypto::BigInt(i % 8), drbg).value());
   }
+  obs::Histogram* op = benchutil::OpHistogram("e3", "paillier_chain");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     auto fresh = crypto::PaillierEncrypt(key.pub, crypto::BigInt(5), drbg);
     crypto::PaillierCiphertext acc = *fresh;
     for (const auto& ct : window) acc = crypto::PaillierAdd(key.pub, acc, ct);
@@ -245,5 +258,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  prever::benchutil::EmitMetricsJson("e3");
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/prever.h"
 #include "workload/crowdworking.h"
 
@@ -176,5 +177,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  prever::benchutil::EmitMetricsJson("e4");
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "crypto/paillier.h"
 #include "pir/cpir.h"
 #include "pir/xor_pir.h"
@@ -37,7 +38,9 @@ void BM_XorPirFetch(benchmark::State& state) {
   pir::XorPirServer s0(records, kRecordSize), s1(records, kRecordSize);
   pir::XorPirClient client(1);
   size_t index = 0;
+  obs::Histogram* op = benchutil::OpHistogram("e5", "xor_fetch");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     auto rec = client.Fetch(index++ % n, s0, s1);
     benchmark::DoNotOptimize(rec);
   }
@@ -81,7 +84,9 @@ void BM_PaillierCpirFetch(benchmark::State& state) {
                                 Cpir().key.pub);
   pir::PaillierPirClient client(Cpir().key, 5);
   size_t index = 0;
+  obs::Histogram* op = benchutil::OpHistogram("e5", "cpir_fetch");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     auto rec = client.Fetch(index++ % n, server);
     benchmark::DoNotOptimize(rec);
   }
@@ -117,5 +122,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  prever::benchutil::EmitMetricsJson("e5");
   return 0;
 }

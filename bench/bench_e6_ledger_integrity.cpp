@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/auditor.h"
 #include "ledger/ledger_db.h"
 
@@ -28,7 +29,9 @@ ledger::LedgerDb BuildLedger(size_t n) {
 void BM_Append(benchmark::State& state) {
   ledger::LedgerDb led;
   uint64_t i = 0;
+  obs::Histogram* op = benchutil::OpHistogram("e6", "append");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     benchmark::DoNotOptimize(led.Append(ToBytes("e" + std::to_string(i)), i));
     ++i;
   }
@@ -50,7 +53,9 @@ void BM_InclusionProve(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   auto led = BuildLedger(n);
   size_t i = 0;
+  obs::Histogram* op = benchutil::OpHistogram("e6", "inclusion_prove");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     auto proof = led.ProveInclusion(i++ % n, n);
     benchmark::DoNotOptimize(proof);
   }
@@ -65,7 +70,9 @@ void BM_InclusionVerify(benchmark::State& state) {
   auto digest = led.Digest();
   auto entry = led.GetEntry(n / 2).value();
   auto proof = led.ProveInclusion(n / 2, n).value();
+  obs::Histogram* op = benchutil::OpHistogram("e6", "inclusion_verify");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     bool ok = ledger::LedgerDb::VerifyInclusion(entry, proof, digest);
     benchmark::DoNotOptimize(ok);
   }
@@ -92,7 +99,9 @@ BENCHMARK(BM_ConsistencyProveVerify)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16)
 
 void BM_FullAudit(benchmark::State& state) {
   auto led = BuildLedger(static_cast<size_t>(state.range(0)));
+  obs::Histogram* op = benchutil::OpHistogram("e6", "full_audit");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     Status s = core::IntegrityAuditor::AuditLedger(led);
     benchmark::DoNotOptimize(s);
   }
@@ -132,5 +141,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  prever::benchutil::EmitMetricsJson("e6");
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/prever.h"
 #include "workload/tpc_lite.h"
 
@@ -142,5 +143,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  prever::benchutil::EmitMetricsJson("e7");
   return 0;
 }

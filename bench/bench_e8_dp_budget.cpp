@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/dp_index.h"
 #include "crypto/paillier.h"
 
@@ -27,7 +28,11 @@ void BM_DpRefusePolicy(benchmark::State& state) {
   // Budget epsilon_total = 1, per-release epsilon from the arg (x1000).
   double eps_per = static_cast<double>(state.range(0)) / 1000.0;
   uint64_t served = 0, refused = 0;
+  // One span per 1000-update stream replay: per-update spans would dwarf
+  // the ~ns DP bookkeeping they measure.
+  obs::Histogram* op = benchutil::OpHistogram("e8", "dp_refuse_stream");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     core::DpAggregateIndex index(1.0, eps_per, 1.0,
                                  core::DpExhaustionPolicy::kRefuse,
                                  state.range(0));
@@ -49,7 +54,9 @@ BENCHMARK(BM_DpRefusePolicy)->Arg(100)->Arg(10)->Arg(1)
 void BM_DpDegradePolicy(benchmark::State& state) {
   int64_t updates = state.range(0);
   double final_scale = 0, first_scale = 0, max_abs_error = 0;
+  obs::Histogram* op = benchutil::OpHistogram("e8", "dp_degrade_stream");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     core::DpAggregateIndex index(1.0, 0.1, 1.0,
                                  core::DpExhaustionPolicy::kDegrade, 7);
     for (int64_t i = 0; i < updates; ++i) {
@@ -74,7 +81,9 @@ void BM_CryptoPathPerUpdate(benchmark::State& state) {
   crypto::Drbg drbg(uint64_t{11});
   auto key = crypto::PaillierGenerateKey(256, drbg).value();
   auto acc = crypto::PaillierEncrypt(key.pub, crypto::BigInt(0), drbg).value();
+  obs::Histogram* op = benchutil::OpHistogram("e8", "crypto_update");
   for (auto _ : state) {
+    PREVER_TRACE_SPAN(op);
     auto ct = crypto::PaillierEncrypt(key.pub, crypto::BigInt(1), drbg);
     acc = crypto::PaillierAdd(key.pub, acc, *ct);
     benchmark::DoNotOptimize(acc);
@@ -96,5 +105,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  prever::benchutil::EmitMetricsJson("e8");
   return 0;
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke-runs every E* bench briefly and validates the machine-readable
+# metrics blob each one emits (the PREVER_METRICS_JSON line): it must parse,
+# carry the expected schema, and contain at least one histogram with data.
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "bench_smoke: $BENCH_DIR not found (build first)" >&2
+  exit 1
+fi
+
+PYTHON="$(command -v python3 || true)"
+if [ -z "$PYTHON" ]; then
+  echo "bench_smoke: python3 not found; skipping JSON validation" >&2
+  exit 0
+fi
+
+# Narrow filters keep each bench around a second: one cheap case per binary
+# is enough to exercise the instrumentation path and the emit-at-exit hook.
+declare -A FILTERS=(
+  [bench_e1_ycsb_private_vs_plain]='BM_Plaintext$'
+  [bench_e2_consensus]='BM_Raft/3'
+  [bench_e3_constraint_verification]='BM_PlaintextEval/100'
+  [bench_e4_crowdworking]='BM_DemarcationTrace/2'
+  [bench_e5_pir]='BM_XorPirFetch/256'
+  [bench_e6_ledger_integrity]='BM_Append'
+  [bench_e7_scaling]='BM_PlaintextDataSize/1000'
+  [bench_e8_dp_budget]='BM_DpRefusePolicy/100'
+)
+
+fail=0
+for bench in "${!FILTERS[@]}"; do
+  bin="$BENCH_DIR/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "bench_smoke: FAIL $bench (binary missing)" >&2
+    fail=1
+    continue
+  fi
+  out="$("$bin" --benchmark_filter="${FILTERS[$bench]}" \
+        --benchmark_min_time=0.01s 2>/dev/null)" || {
+    echo "bench_smoke: FAIL $bench (non-zero exit)" >&2
+    fail=1
+    continue
+  }
+  line="$(printf '%s\n' "$out" | grep '^PREVER_METRICS_JSON ' | tail -1 || true)"
+  if [ -z "$line" ]; then
+    echo "bench_smoke: FAIL $bench (no PREVER_METRICS_JSON line)" >&2
+    fail=1
+    continue
+  fi
+  if ! printf '%s\n' "${line#PREVER_METRICS_JSON }" | "$PYTHON" -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["schema"] == "prever.metrics.v1", "bad schema"
+assert doc["bench"], "missing bench id"
+m = doc["metrics"]
+for key in ("counters", "gauges", "histograms"):
+    assert key in m, f"missing {key} section"
+hists = [h for h in m["histograms"] if h["count"] > 0]
+assert hists, "no histogram recorded any samples"
+for h in hists:
+    for key in ("name", "count", "sum", "min", "max", "p50", "p99"):
+        assert key in h, f"histogram missing {key}"
+'; then
+    echo "bench_smoke: FAIL $bench (metrics JSON invalid)" >&2
+    fail=1
+    continue
+  fi
+  echo "bench_smoke: OK $bench"
+done
+
+exit "$fail"

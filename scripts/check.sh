@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full check: configure with ASan+UBSan, build, run every test.
+# Full check: configure with ASan+UBSan, build, run every test, then
+# smoke-run the benches and validate their metrics JSON output.
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
 
@@ -9,3 +10,4 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DPREVER_SANITIZE=address,undefined
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+scripts/bench_smoke.sh "$BUILD_DIR"

@@ -1,0 +1,25 @@
+#include "consensus/metrics.h"
+
+namespace prever::consensus {
+
+ConsensusMetrics::ConsensusMetrics(
+    const std::string& proto,
+    const std::map<uint32_t, std::string>& type_names,
+    obs::Registry* registry) {
+  auto counter = [&](const std::string& type, const char* dir) {
+    return registry->GetCounter(
+        "prever_consensus_msgs_total",
+        {{"proto", proto}, {"type", type}, {"dir", dir}});
+  };
+  for (const auto& [id, name] : type_names) {
+    sent_[id] = counter(name, "sent");
+    recv_[id] = counter(name, "recv");
+  }
+  other_ = counter("other", "any");
+  elections_ = registry->GetCounter("prever_consensus_elections_total",
+                                    {{"proto", proto}});
+  view_changes_ = registry->GetCounter("prever_consensus_view_changes_total",
+                                       {{"proto", proto}});
+}
+
+}  // namespace prever::consensus

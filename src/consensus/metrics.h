@@ -1,0 +1,44 @@
+#ifndef PREVER_CONSENSUS_METRICS_H_
+#define PREVER_CONSENSUS_METRICS_H_
+
+#include <map>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace prever::consensus {
+
+/// Registry-backed protocol instrumentation shared by all replicas of one
+/// cluster. Message counters are resolved to stable pointers at construction
+/// (one per declared message type and direction), so the per-message hot path
+/// is a single relaxed increment. Replicas hold a nullable pointer: clusters
+/// without a metrics object (unit tests) skip instrumentation entirely.
+class ConsensusMetrics {
+ public:
+  /// `proto` labels every family (e.g. "raft", "pbft"); `type_names` maps
+  /// wire message-type ids to stable label values.
+  ConsensusMetrics(const std::string& proto,
+                   const std::map<uint32_t, std::string>& type_names,
+                   obs::Registry* registry = &obs::Registry::Default());
+
+  void OnSend(uint32_t type) { Bump(sent_, type); }
+  void OnRecv(uint32_t type) { Bump(recv_, type); }
+  void OnElection() { elections_->Inc(); }
+  void OnViewChange() { view_changes_->Inc(); }
+
+ private:
+  void Bump(std::map<uint32_t, obs::Counter*>& dir, uint32_t type) {
+    auto it = dir.find(type);
+    (it != dir.end() ? it->second : other_)->Inc();
+  }
+
+  std::map<uint32_t, obs::Counter*> sent_;
+  std::map<uint32_t, obs::Counter*> recv_;
+  obs::Counter* other_;  ///< Types not declared in `type_names`.
+  obs::Counter* elections_;
+  obs::Counter* view_changes_;
+};
+
+}  // namespace prever::consensus
+
+#endif  // PREVER_CONSENSUS_METRICS_H_

@@ -69,8 +69,15 @@ PbftReplica::PbftReplica(net::NodeId id, const PbftConfig& config,
                          net::SimNetwork* net)
     : id_(id), config_(config), net_(net) {}
 
+void PbftReplica::SendMsg(net::NodeId to, uint32_t type,
+                          const Bytes& payload) {
+  if (metrics_ != nullptr) metrics_->OnSend(type);
+  net_->Send(id_, to, type, payload);
+}
+
 void PbftReplica::OnMessage(const net::Message& msg) {
   if (fault_mode_ == PbftFaultMode::kSilent) return;
+  if (metrics_ != nullptr) metrics_->OnRecv(msg.type);
   switch (msg.type) {
     case kClientRequest:
       OnClientRequest(msg.payload);
@@ -128,13 +135,13 @@ void PbftReplica::Propose(const Bytes& command) {
     for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
       if (to == id_) continue;
       const Bytes& cmd = (to % 2 == 0) ? command : other;
-      net_->Send(id_, to, kPrePrepare, EncodePrePrepare(view_, seq, cmd));
+      SendMsg(to, kPrePrepare, EncodePrePrepare(view_, seq, cmd));
     }
     return;
   }
   for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
     if (to == id_) continue;
-    net_->Send(id_, to, kPrePrepare, EncodePrePrepare(view_, seq, command));
+    SendMsg(to, kPrePrepare, EncodePrePrepare(view_, seq, command));
   }
 }
 
@@ -166,7 +173,7 @@ void PbftReplica::HandlePrePrepare(const net::Message& msg) {
   if (*seq >= next_seq_) next_seq_ = *seq + 1;
   for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
     if (to == id_) continue;
-    net_->Send(id_, to, kPrepare, EncodeVote(*view, *seq, digest));
+    SendMsg(to, kPrepare, EncodeVote(*view, *seq, digest));
   }
   ArmRequestTimer(digest);
   MaybeSendCommit(*seq);
@@ -196,7 +203,7 @@ void PbftReplica::MaybeSendCommit(uint64_t seq) {
   slot.commits[slot.digest].insert(id_);
   for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
     if (to == id_) continue;
-    net_->Send(id_, to, kCommit, EncodeVote(view_, seq, slot.digest));
+    SendMsg(to, kCommit, EncodeVote(view_, seq, slot.digest));
   }
   TryExecute();
 }
@@ -262,6 +269,7 @@ void PbftReplica::ArmRequestTimer(const Bytes& digest) {
 
 void PbftReplica::StartViewChange(uint64_t new_view) {
   if (new_view <= view_) return;
+  if (metrics_ != nullptr) metrics_->OnViewChange();
   view_changing_ = true;
   // Escalation timer: if this view change stalls (e.g. the new primary is
   // faulty too), move on to the next view — PBFT's exponential-backoff
@@ -286,7 +294,7 @@ void PbftReplica::StartViewChange(uint64_t new_view) {
   view_change_entries_[new_view][id_] = prepared;
   for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
     if (to == id_) continue;
-    net_->Send(id_, to, kViewChange, payload);
+    SendMsg(to, kViewChange, payload);
   }
   MaybeBecomeNewPrimary(new_view);
 }
@@ -332,7 +340,7 @@ void PbftReplica::MaybeBecomeNewPrimary(uint64_t new_view) {
   Bytes payload = EncodeViewChange(new_view, reproposals);  // Same format.
   for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
     if (to == id_) continue;
-    net_->Send(id_, to, kNewView, payload);
+    SendMsg(to, kNewView, payload);
   }
   InstallNewView(new_view, reproposals);
 }
@@ -364,7 +372,7 @@ void PbftReplica::InstallNewView(uint64_t new_view,
     if (e.seq >= next_seq_) next_seq_ = e.seq + 1;
     for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
       if (to == id_) continue;
-      net_->Send(id_, to, kPrepare, EncodeVote(new_view, e.seq, digest));
+      SendMsg(to, kPrepare, EncodeVote(new_view, e.seq, digest));
     }
   }
   // The new primary re-proposes pending requests that were never prepared.
@@ -402,10 +410,18 @@ void PbftReplica::InstallNewView(uint64_t new_view,
 }
 
 PbftCluster::PbftCluster(const PbftConfig& config, net::SimNetwork* net) {
+  metrics_ = std::make_unique<ConsensusMetrics>(
+      "pbft", std::map<uint32_t, std::string>{{kClientRequest, "client_request"},
+                                              {kPrePrepare, "pre_prepare"},
+                                              {kPrepare, "prepare"},
+                                              {kCommit, "commit"},
+                                              {kViewChange, "view_change"},
+                                              {kNewView, "new_view"}});
   executed_.resize(config.num_replicas);
   for (size_t i = 0; i < config.num_replicas; ++i) {
     auto replica = std::make_unique<PbftReplica>(
         static_cast<net::NodeId>(i), config, net);
+    replica->SetMetrics(metrics_.get());
     PbftReplica* raw = replica.get();
     net::NodeId node = net->AddNode(
         [raw](const net::Message& msg) { raw->OnMessage(msg); });

@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "consensus/metrics.h"
 #include "net/sim_net.h"
 
 namespace prever::consensus {
@@ -50,6 +51,9 @@ class PbftReplica {
   void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
   void SetFaultMode(PbftFaultMode mode) { fault_mode_ = mode; }
 
+  /// Optional instrumentation (shared across the cluster); may be null.
+  void SetMetrics(ConsensusMetrics* metrics) { metrics_ = metrics; }
+
   /// Network ingress (registered with SimNetwork).
   void OnMessage(const net::Message& msg);
 
@@ -84,6 +88,7 @@ class PbftReplica {
   size_t quorum2f() const { return 2 * f(); }
   size_t quorum2f1() const { return 2 * f() + 1; }
 
+  void SendMsg(net::NodeId to, uint32_t type, const Bytes& payload);
   void HandlePrePrepare(const net::Message& msg);
   void HandlePrepare(const net::Message& msg);
   void HandleCommit(const net::Message& msg);
@@ -107,6 +112,7 @@ class PbftReplica {
   net::SimNetwork* net_;
   CommitCallback commit_cb_;
   PbftFaultMode fault_mode_ = PbftFaultMode::kHonest;
+  ConsensusMetrics* metrics_ = nullptr;
 
   uint64_t view_ = 0;
   bool view_changing_ = false;
@@ -153,6 +159,7 @@ class PbftCluster {
   bool ReachedCommitCount(uint64_t count, size_t quorum) const;
 
  private:
+  std::unique_ptr<ConsensusMetrics> metrics_;
   std::vector<std::unique_ptr<PbftReplica>> replicas_;
   std::vector<std::vector<Bytes>> executed_;
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "consensus/metrics.h"
 #include "net/sim_net.h"
 
 namespace prever::consensus {
@@ -52,6 +53,9 @@ class RaftReplica {
 
   void SetApplyCallback(ApplyCallback cb) { apply_cb_ = std::move(cb); }
 
+  /// Optional instrumentation (shared across the cluster); may be null.
+  void SetMetrics(ConsensusMetrics* metrics) { metrics_ = metrics; }
+
   /// Starts timers; call once after all replicas exist.
   void Start();
 
@@ -74,6 +78,7 @@ class RaftReplica {
 
   size_t Majority() const { return config_.num_replicas / 2 + 1; }
 
+  void SendMsg(net::NodeId to, uint32_t type, const Bytes& payload);
   void BecomeFollower(uint64_t term);
   void StartElection();
   void BecomeLeader();
@@ -98,6 +103,7 @@ class RaftReplica {
   net::SimNetwork* net_;
   Rng rng_;
   ApplyCallback apply_cb_;
+  ConsensusMetrics* metrics_ = nullptr;
 
   bool crashed_ = false;
   Role role_ = Role::kFollower;
@@ -129,6 +135,7 @@ class RaftCluster {
   const std::vector<Bytes>& AppliedBy(size_t i) const { return applied_[i]; }
 
  private:
+  std::unique_ptr<ConsensusMetrics> metrics_;
   std::vector<std::unique_ptr<RaftReplica>> replicas_;
   std::vector<std::vector<Bytes>> applied_;
 };

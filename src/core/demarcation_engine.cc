@@ -97,53 +97,35 @@ Status DemarcationEngine::CheckAndConsume(
 
 Status DemarcationEngine::SubmitVia(size_t platform_index,
                                     const Update& update) {
-  ++stats_.submitted;
+  metrics_.OnSubmit();
+  PREVER_TRACE_SPAN(metrics_.submit_ns());
   if (platform_index >= platforms_.size()) {
-    ++stats_.rejected_error;
-    return Status::InvalidArgument("no such platform");
+    return metrics_.Finish(Status::InvalidArgument("no such platform"));
   }
   FederatedPlatform* home = platforms_[platform_index];
+  obs::ScopedSpan verify_span(metrics_.verify_ns());
   constraint::EvalContext local_ctx{&home->db, &update.fields,
                                     update.timestamp};
   Status internal = home->internal_constraints.CheckAll(local_ctx);
-  if (!internal.ok()) {
-    ++stats_.rejected_constraint;
-    return internal;
-  }
+  if (!internal.ok()) return metrics_.Finish(internal);
   const auto& regulations = regulations_->constraints();
   for (size_t r = 0; r < regulations.size(); ++r) {
     auto forms = constraint::ExtractLinearConjunction(*regulations[r].expr);
-    if (!forms.ok()) {
-      ++stats_.rejected_error;
-      return forms.status();
-    }
+    if (!forms.ok()) return metrics_.Finish(forms.status());
     for (const auto& form : *forms) {
       Status checked = CheckAndConsume(r, form, platform_index, update);
-      if (!checked.ok()) {
-        if (checked.code() == StatusCode::kConstraintViolation) {
-          ++stats_.rejected_constraint;
-        } else {
-          ++stats_.rejected_error;
-        }
-        return checked;
-      }
+      if (!checked.ok()) return metrics_.Finish(checked);
     }
   }
+  verify_span.End();
+  PREVER_TRACE_SPAN(metrics_.ledger_ns());
   Status applied = home->db.Apply(update.mutation);
-  if (!applied.ok()) {
-    ++stats_.rejected_error;
-    return applied;
-  }
+  if (!applied.ok()) return metrics_.Finish(applied);
   BinaryWriter w;
   w.WriteString(home->id);
   w.WriteBytes(crypto::Sha256::Hash(update.Encode()));
   Status ordered = ordering_->Append(w.Take(), update.timestamp);
-  if (!ordered.ok()) {
-    ++stats_.rejected_error;
-    return ordered;
-  }
-  ++stats_.accepted;
-  return Status::Ok();
+  return metrics_.Finish(ordered);
 }
 
 }  // namespace prever::core

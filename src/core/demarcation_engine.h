@@ -8,6 +8,7 @@
 #include "constraint/constraint.h"
 #include "constraint/linear.h"
 #include "core/engine.h"
+#include "core/engine_metrics.h"
 #include "core/federated_mpc_engine.h"  // FederatedPlatform.
 #include "core/ordering.h"
 
@@ -47,7 +48,7 @@ class DemarcationEngine : public UpdateEngine {
     return SubmitVia(0, update);
   }
 
-  const EngineStats& stats() const override { return stats_; }
+  EngineStats stats() const override { return metrics_.Snapshot(); }
   const char* name() const override { return "demarcation-rc2-baseline"; }
 
   /// Limit-transfer negotiations (each costs one round of peer messages —
@@ -83,7 +84,7 @@ class DemarcationEngine : public UpdateEngine {
   std::map<BudgetKey, BudgetState> budgets_;
   uint64_t transfers_ = 0;
   uint64_t local_admissions_ = 0;
-  EngineStats stats_;
+  EngineMetrics metrics_{"demarcation-rc2-baseline"};
 };
 
 }  // namespace prever::core

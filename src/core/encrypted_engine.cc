@@ -123,31 +123,40 @@ Result<EncryptedEngine::SealedSubmission> EncryptedEngine::Seal(
 }
 
 Status EncryptedEngine::SubmitUpdate(const Update& update) {
-  auto sealed = Seal(update);
+  Result<SealedSubmission> sealed = [&] {
+    PREVER_TRACE_SPAN(metrics_.crypto_ns());
+    return Seal(update);
+  }();
   if (!sealed.ok()) {
-    ++stats_.submitted;
-    ++stats_.rejected_error;
-    return sealed.status();
+    metrics_.OnSubmit();
+    return metrics_.Finish(sealed.status());
   }
   return SubmitSealed(*sealed);
 }
 
 Status EncryptedEngine::SubmitSealed(const SealedSubmission& submission) {
-  ++stats_.submitted;
+  metrics_.OnSubmit();
+  PREVER_TRACE_SPAN(metrics_.submit_ns());
   const auto& pedersen = owner_->pedersen();
   const auto& pub = owner_->paillier_pub();
 
   // Manager-side check 1: the producer proved its hidden value is in range.
-  if (!crypto::VerifyRange(pedersen, submission.sealed.commitment,
-                           submission.sealed.range_proof, value_bits_)) {
-    ++stats_.rejected_error;
-    return Status::IntegrityViolation("producer range proof invalid");
+  bool range_ok;
+  {
+    PREVER_TRACE_SPAN(metrics_.crypto_ns());
+    range_ok = crypto::VerifyRange(pedersen, submission.sealed.commitment,
+                                   submission.sealed.range_proof, value_bits_);
+  }
+  if (!range_ok) {
+    return metrics_.Finish(
+        Status::IntegrityViolation("producer range proof invalid"));
   }
 
   // Manager-side check 2: per regulated bound, aggregate homomorphically
   // over the public filter (group, window) INCLUDING the incoming value,
   // then demand an owner attestation tied to our own commitment product.
   const std::vector<SealedRow>& group_rows = rows_[submission.group];
+  obs::ScopedSpan verify_span(metrics_.verify_ns());
   for (const RegulatedBound& bound : bounds_) {
     PaillierCiphertext total_v = submission.sealed.value_ct;
     PaillierCiphertext total_r = submission.sealed.rand_ct;
@@ -173,14 +182,7 @@ Status EncryptedEngine::SubmitSealed(const SealedSubmission& submission) {
                                        bound.bound, bound.slack_bits)
             : owner_->AttestLowerBound(total_v, total_r, total_cm,
                                        bound.bound, bound.slack_bits);
-    if (!attestation.ok()) {
-      if (attestation.status().code() == StatusCode::kConstraintViolation) {
-        ++stats_.rejected_constraint;
-      } else {
-        ++stats_.rejected_error;
-      }
-      return attestation.status();
-    }
+    if (!attestation.ok()) return metrics_.Finish(attestation.status());
     bool proof_ok =
         bound.direction == constraint::BoundDirection::kUpper
             ? crypto::VerifyUpperBound(pedersen, total_cm, *attestation,
@@ -188,13 +190,15 @@ Status EncryptedEngine::SubmitSealed(const SealedSubmission& submission) {
             : crypto::VerifyLowerBound(pedersen, total_cm, *attestation,
                                        BigInt(bound.bound), bound.slack_bits);
     if (!proof_ok) {
-      ++stats_.rejected_error;
-      return Status::IntegrityViolation("owner bound attestation invalid");
+      return metrics_.Finish(
+          Status::IntegrityViolation("owner bound attestation invalid"));
     }
   }
+  verify_span.End();
 
   // Step 3: store the sealed row and ledger a content commitment. The
   // ledger entry binds id/group/time + ciphertext digests, never plaintext.
+  PREVER_TRACE_SPAN(metrics_.ledger_ns());
   rows_[submission.group].push_back(
       SealedRow{submission.group, submission.timestamp, submission.sealed});
   BinaryWriter w;
@@ -205,12 +209,7 @@ Status EncryptedEngine::SubmitSealed(const SealedSubmission& submission) {
   w.WriteBytes(crypto::Sha256::Hash(submission.sealed.value_ct.c.ToBytes()));
   w.WriteBytes(crypto::Sha256::Hash(submission.sealed.commitment.c.ToBytes()));
   Status ordered = ordering_->Append(w.Take(), submission.timestamp);
-  if (!ordered.ok()) {
-    ++stats_.rejected_error;
-    return ordered;
-  }
-  ++stats_.accepted;
-  return Status::Ok();
+  return metrics_.Finish(ordered);
 }
 
 size_t EncryptedEngine::NumRows(const std::string& group) const {

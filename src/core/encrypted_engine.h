@@ -7,6 +7,7 @@
 
 #include "constraint/linear.h"
 #include "core/engine.h"
+#include "core/engine_metrics.h"
 #include "core/ordering.h"
 #include "crypto/paillier.h"
 #include "crypto/pedersen.h"
@@ -108,7 +109,7 @@ class EncryptedEngine : public UpdateEngine {
   /// manager-side code never touches `update.fields[value_field]`.
   Status SubmitUpdate(const Update& update) override;
 
-  const EngineStats& stats() const override { return stats_; }
+  EngineStats stats() const override { return metrics_.Snapshot(); }
   const char* name() const override { return "encrypted-rc1"; }
 
   /// What the manager stores: no plaintext anywhere.
@@ -144,7 +145,7 @@ class EncryptedEngine : public UpdateEngine {
   size_t value_bits_;
   crypto::Drbg producer_drbg_;
   std::map<std::string, std::vector<SealedRow>> rows_;
-  EngineStats stats_;
+  EngineMetrics metrics_{"encrypted-rc1"};
 };
 
 }  // namespace prever::core

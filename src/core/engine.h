@@ -23,7 +23,9 @@ class UpdateEngine {
 
   virtual Status SubmitUpdate(const Update& update) = 0;
 
-  virtual const EngineStats& stats() const = 0;
+  /// Per-instance outcome totals. A snapshot (by value): engines back these
+  /// by registry counters (src/obs/) rather than member bookkeeping.
+  virtual EngineStats stats() const = 0;
 
   /// Human-readable engine identifier (benchmark rows use it).
   virtual const char* name() const = 0;

@@ -1,0 +1,56 @@
+#include "core/engine_metrics.h"
+
+namespace prever::core {
+
+EngineMetrics::EngineMetrics(const std::string& engine,
+                             obs::Registry* registry) {
+  const obs::Labels base{{"engine", engine}};
+  auto outcome = [&](const char* o) {
+    obs::Labels l = base;
+    l["outcome"] = o;
+    return registry->GetCounter("prever_engine_updates_total", l);
+  };
+  submitted_ = outcome("submitted");
+  accepted_ = outcome("accepted");
+  rejected_constraint_ = outcome("rejected_constraint");
+  rejected_error_ = outcome("rejected_error");
+  submit_ns_ = registry->GetHistogram("prever_engine_submit_ns", base);
+  auto phase = [&](const char* p) {
+    obs::Labels l = base;
+    l["phase"] = p;
+    return registry->GetHistogram("prever_engine_phase_ns", l);
+  };
+  verify_ns_ = phase("verify");
+  crypto_ns_ = phase("crypto");
+  token_ns_ = phase("token");
+  ledger_ns_ = phase("ledger");
+  baseline_.submitted = submitted_->value();
+  baseline_.accepted = accepted_->value();
+  baseline_.rejected_constraint = rejected_constraint_->value();
+  baseline_.rejected_error = rejected_error_->value();
+}
+
+void EngineMetrics::OnSubmit() { submitted_->Inc(); }
+
+Status EngineMetrics::Finish(Status status) {
+  if (status.ok()) {
+    accepted_->Inc();
+  } else if (status.code() == StatusCode::kConstraintViolation) {
+    rejected_constraint_->Inc();
+  } else {
+    rejected_error_->Inc();
+  }
+  return status;
+}
+
+EngineStats EngineMetrics::Snapshot() const {
+  EngineStats s;
+  s.submitted = submitted_->value() - baseline_.submitted;
+  s.accepted = accepted_->value() - baseline_.accepted;
+  s.rejected_constraint =
+      rejected_constraint_->value() - baseline_.rejected_constraint;
+  s.rejected_error = rejected_error_->value() - baseline_.rejected_error;
+  return s;
+}
+
+}  // namespace prever::core

@@ -1,0 +1,62 @@
+#ifndef PREVER_CORE_ENGINE_METRICS_H_
+#define PREVER_CORE_ENGINE_METRICS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/update.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace prever::core {
+
+/// Registry-backed bookkeeping shared by every UpdateEngine. Each engine owns
+/// one instance; the underlying counters/histograms live in a Registry keyed
+/// by `engine=<name>`, so two instances of the same engine share metric
+/// families. stats() semantics stay per-instance: counters are read as deltas
+/// against a baseline captured at construction.
+///
+/// This replaces the hand-rolled `++stats_.accepted` / `++stats_.rejected_*`
+/// blocks each engine used to duplicate: call OnSubmit() on entry and return
+/// through Finish(status), which classifies the outcome once.
+class EngineMetrics {
+ public:
+  /// `engine` labels every metric family; pass the engine's name(). Metrics
+  /// register in `registry` (Default() for production engines).
+  explicit EngineMetrics(const std::string& engine,
+                         obs::Registry* registry = &obs::Registry::Default());
+
+  /// Counts a submission attempt. Call once at the top of SubmitUpdate.
+  void OnSubmit();
+
+  /// Classifies `status` into accepted / rejected_constraint / rejected_error
+  /// and returns it unchanged, so engines can `return metrics_.Finish(s);`.
+  Status Finish(Status status);
+
+  /// Per-instance outcome totals (counter values minus construction-time
+  /// baseline), preserving the pre-registry EngineStats contract.
+  EngineStats Snapshot() const;
+
+  /// Phase histograms (wall-clock ns) for PREVER_TRACE_SPAN at call sites.
+  obs::Histogram* submit_ns() { return submit_ns_; }
+  obs::Histogram* verify_ns() { return verify_ns_; }
+  obs::Histogram* crypto_ns() { return crypto_ns_; }
+  obs::Histogram* token_ns() { return token_ns_; }
+  obs::Histogram* ledger_ns() { return ledger_ns_; }
+
+ private:
+  obs::Counter* submitted_;
+  obs::Counter* accepted_;
+  obs::Counter* rejected_constraint_;
+  obs::Counter* rejected_error_;
+  obs::Histogram* submit_ns_;
+  obs::Histogram* verify_ns_;
+  obs::Histogram* crypto_ns_;
+  obs::Histogram* token_ns_;
+  obs::Histogram* ledger_ns_;
+  EngineStats baseline_;  ///< Counter values when this instance was created.
+};
+
+}  // namespace prever::core
+
+#endif  // PREVER_CORE_ENGINE_METRICS_H_

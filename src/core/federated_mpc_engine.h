@@ -8,6 +8,7 @@
 #include "constraint/constraint.h"
 #include "constraint/linear.h"
 #include "core/engine.h"
+#include "core/engine_metrics.h"
 #include "core/ordering.h"
 #include "mpc/compare.h"
 #include "storage/database.h"
@@ -52,7 +53,7 @@ class FederatedMpcEngine : public UpdateEngine {
     return SubmitVia(0, update);
   }
 
-  const EngineStats& stats() const override { return stats_; }
+  EngineStats stats() const override { return metrics_.Snapshot(); }
   const char* name() const override { return "federated-mpc-rc2"; }
 
   const mpc::MpcTranscript& transcript() const { return transcript_; }
@@ -66,7 +67,7 @@ class FederatedMpcEngine : public UpdateEngine {
   OrderingService* ordering_;
   Rng dealer_rng_;
   mpc::MpcTranscript transcript_;
-  EngineStats stats_;
+  EngineMetrics metrics_{"federated-mpc-rc2"};
 };
 
 }  // namespace prever::core

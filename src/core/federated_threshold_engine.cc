@@ -84,50 +84,36 @@ Status FederatedThresholdEngine::CheckRegulation(
 
 Status FederatedThresholdEngine::SubmitVia(size_t platform_index,
                                            const Update& update) {
-  ++stats_.submitted;
+  metrics_.OnSubmit();
+  PREVER_TRACE_SPAN(metrics_.submit_ns());
   if (platform_index >= platforms_.size()) {
-    ++stats_.rejected_error;
-    return Status::InvalidArgument("no such platform");
+    return metrics_.Finish(Status::InvalidArgument("no such platform"));
   }
   FederatedPlatform* home = platforms_[platform_index];
-  constraint::EvalContext local_ctx{&home->db, &update.fields,
-                                    update.timestamp};
-  Status internal = home->internal_constraints.CheckAll(local_ctx);
-  if (!internal.ok()) {
-    if (internal.code() == StatusCode::kConstraintViolation) {
-      ++stats_.rejected_constraint;
-    } else {
-      ++stats_.rejected_error;
-    }
-    return internal;
+  {
+    PREVER_TRACE_SPAN(metrics_.verify_ns());
+    constraint::EvalContext local_ctx{&home->db, &update.fields,
+                                      update.timestamp};
+    Status internal = home->internal_constraints.CheckAll(local_ctx);
+    if (!internal.ok()) return metrics_.Finish(internal);
   }
-  for (const constraint::Constraint& regulation :
-       regulations_->constraints()) {
-    Status checked = CheckRegulation(regulation, platform_index, update);
-    if (!checked.ok()) {
-      if (checked.code() == StatusCode::kConstraintViolation) {
-        ++stats_.rejected_constraint;
-      } else {
-        ++stats_.rejected_error;
-      }
-      return checked;
+  {
+    // The regulation check is dominated by threshold ElGamal work.
+    PREVER_TRACE_SPAN(metrics_.crypto_ns());
+    for (const constraint::Constraint& regulation :
+         regulations_->constraints()) {
+      Status checked = CheckRegulation(regulation, platform_index, update);
+      if (!checked.ok()) return metrics_.Finish(checked);
     }
   }
+  PREVER_TRACE_SPAN(metrics_.ledger_ns());
   Status applied = home->db.Apply(update.mutation);
-  if (!applied.ok()) {
-    ++stats_.rejected_error;
-    return applied;
-  }
+  if (!applied.ok()) return metrics_.Finish(applied);
   BinaryWriter w;
   w.WriteString(home->id);
   w.WriteBytes(crypto::Sha256::Hash(update.Encode()));
   Status ordered = ordering_->Append(w.Take(), update.timestamp);
-  if (!ordered.ok()) {
-    ++stats_.rejected_error;
-    return ordered;
-  }
-  ++stats_.accepted;
-  return Status::Ok();
+  return metrics_.Finish(ordered);
 }
 
 }  // namespace prever::core

@@ -6,6 +6,7 @@
 #include "constraint/constraint.h"
 #include "constraint/linear.h"
 #include "core/engine.h"
+#include "core/engine_metrics.h"
 #include "core/federated_mpc_engine.h"  // FederatedPlatform.
 #include "core/ordering.h"
 #include "crypto/elgamal.h"
@@ -38,7 +39,7 @@ class FederatedThresholdEngine : public UpdateEngine {
     return SubmitVia(0, update);
   }
 
-  const EngineStats& stats() const override { return stats_; }
+  EngineStats stats() const override { return metrics_.Snapshot(); }
   const char* name() const override { return "federated-threshold-rc2"; }
 
   /// Joint decryptions performed (each reveals one aggregate total).
@@ -54,7 +55,7 @@ class FederatedThresholdEngine : public UpdateEngine {
   crypto::Drbg drbg_;
   crypto::ThresholdElGamal keys_;
   uint64_t totals_opened_ = 0;
-  EngineStats stats_;
+  EngineMetrics metrics_{"federated-threshold-rc2"};
 };
 
 }  // namespace prever::core

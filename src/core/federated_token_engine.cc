@@ -26,23 +26,23 @@ token::TokenWallet& FederatedTokenEngine::WalletOf(
 
 Status FederatedTokenEngine::SubmitVia(size_t platform_index,
                                        const Update& update) {
-  ++stats_.submitted;
+  metrics_.OnSubmit();
+  PREVER_TRACE_SPAN(metrics_.submit_ns());
   if (platform_index >= platforms_.size()) {
-    ++stats_.rejected_error;
-    return Status::InvalidArgument("no such platform");
+    return metrics_.Finish(Status::InvalidArgument("no such platform"));
   }
   auto cost_it = update.fields.find(cost_field_);
   if (cost_it == update.fields.end()) {
-    ++stats_.rejected_error;
-    return Status::InvalidArgument("update lacks cost field '" + cost_field_ +
-                                   "'");
+    return metrics_.Finish(Status::InvalidArgument(
+        "update lacks cost field '" + cost_field_ + "'"));
   }
   auto cost = cost_it->second.AsInt64();
   if (!cost.ok() || *cost < 0) {
-    ++stats_.rejected_error;
-    return Status::InvalidArgument("cost must be a non-negative int");
+    return metrics_.Finish(
+        Status::InvalidArgument("cost must be a non-negative int"));
   }
 
+  obs::ScopedSpan token_span(metrics_.token_ns());
   // Producer side: ensure the wallet holds `cost` tokens, withdrawing the
   // shortfall. A failed withdrawal IS the regulation rejecting the update:
   // the budget encodes the bound.
@@ -51,15 +51,11 @@ Status FederatedTokenEngine::SubmitVia(size_t platform_index,
   if (wallet.NumTokens() < need) {
     auto got = wallet.Withdraw(*authority_, update.producer,
                                need - wallet.NumTokens(), update.timestamp);
-    if (!got.ok()) {
-      ++stats_.rejected_error;
-      return got.status();
-    }
+    if (!got.ok()) return metrics_.Finish(got.status());
     if (wallet.NumTokens() < need) {
-      ++stats_.rejected_constraint;
-      return Status::ConstraintViolation(
+      return metrics_.Finish(Status::ConstraintViolation(
           "token budget exhausted: regulation limit reached for '" +
-          update.producer + "'");
+          update.producer + "'"));
     }
   }
 
@@ -69,37 +65,33 @@ Status FederatedTokenEngine::SubmitVia(size_t platform_index,
   to_spend.reserve(need);
   for (size_t i = 0; i < need; ++i) {
     auto t = wallet.Take();
-    if (!t.ok()) {
-      ++stats_.rejected_error;
-      return t.status();
-    }
+    if (!t.ok()) return metrics_.Finish(t.status());
     if (!crypto::RsaVerify(authority_->public_key(), t->serial,
                            t->signature)) {
-      ++stats_.rejected_error;
-      return Status::IntegrityViolation("token signature invalid");
+      return metrics_.Finish(
+          Status::IntegrityViolation("token signature invalid"));
     }
     if (spent_.count(t->serial)) {
-      ++stats_.rejected_error;
-      return Status::AlreadyExists("token double spend detected");
+      return metrics_.Finish(
+          Status::AlreadyExists("token double spend detected"));
     }
     to_spend.push_back(std::move(*t));
   }
+  token_span.End();
 
   // Apply locally, then order the spent serials + update digest so every
   // platform learns the tokens are burned (and nothing else).
+  PREVER_TRACE_SPAN(metrics_.ledger_ns());
   FederatedPlatform* home = platforms_[platform_index];
   Status applied = home->db.Apply(update.mutation);
-  if (!applied.ok()) {
-    ++stats_.rejected_error;
-    return applied;
-  }
+  if (!applied.ok()) return metrics_.Finish(applied);
   for (const token::Token& t : to_spend) {
     spent_.insert(t.serial);
-    PREVER_RETURN_IF_ERROR(ordering_->Append(t.serial, update.timestamp));
+    Status ordered = ordering_->Append(t.serial, update.timestamp);
+    if (!ordered.ok()) return metrics_.Finish(ordered);
     ++tokens_spent_;
   }
-  ++stats_.accepted;
-  return Status::Ok();
+  return metrics_.Finish(Status::Ok());
 }
 
 }  // namespace prever::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/engine_metrics.h"
 #include "core/federated_mpc_engine.h"  // FederatedPlatform.
 #include "core/ordering.h"
 #include "token/token.h"
@@ -42,7 +43,7 @@ class FederatedTokenEngine : public UpdateEngine {
     return SubmitVia(0, update);
   }
 
-  const EngineStats& stats() const override { return stats_; }
+  EngineStats stats() const override { return metrics_.Snapshot(); }
   const char* name() const override { return "federated-token-rc2"; }
 
   uint64_t tokens_spent() const { return tokens_spent_; }
@@ -57,7 +58,7 @@ class FederatedTokenEngine : public UpdateEngine {
   std::set<Bytes> spent_;
   uint64_t next_wallet_seed_ = 1000;
   uint64_t tokens_spent_ = 0;
-  EngineStats stats_;
+  EngineMetrics metrics_{"federated-token-rc2"};
 };
 
 }  // namespace prever::core

@@ -9,9 +9,12 @@ Status CentralizedOrdering::Append(const Bytes& payload, SimTime timestamp) {
   return Status::Ok();
 }
 
-PbftOrdering::PbftOrdering(size_t num_replicas, net::SimNetConfig net_config)
+PbftOrdering::PbftOrdering(size_t num_replicas, net::SimNetConfig net_config,
+                           const std::string& proto_label)
     : net_(std::make_unique<net::SimNetwork>(net_config)),
-      ledgers_(num_replicas) {
+      ledgers_(num_replicas),
+      commit_latency_us_(obs::Registry::Default().GetHistogram(
+          "prever_consensus_commit_latency_us", {{"proto", proto_label}})) {
   consensus::PbftConfig config;
   config.num_replicas = num_replicas;
   cluster_ = std::make_unique<consensus::PbftCluster>(config, net_.get());
@@ -47,16 +50,18 @@ Status PbftOrdering::AppendBatch(const std::vector<Bytes>& payloads,
   w.WriteU64(batch_counter_++);
   w.WriteU32(static_cast<uint32_t>(payloads.size()));
   for (const Bytes& p : payloads) w.WriteBytes(p);
+  SimTime submit_at = net_->Now();
   cluster_->Submit(w.Take());
   // Drive the simulation until replica 0 commits (bounded by a generous
   // deadline to surface liveness bugs as errors instead of hangs).
-  SimTime deadline = net_->Now() + 60 * kSecond;
+  SimTime deadline = submit_at + 60 * kSecond;
   while (ledgers_[0].size() < target && net_->Now() < deadline) {
     if (!net_->Step()) break;
   }
   if (ledgers_[0].size() < target) {
     return Status::Unavailable("PBFT did not commit within deadline");
   }
+  commit_latency_us_->Record(net_->Now() - submit_at);
   return Status::Ok();
 }
 
@@ -66,7 +71,8 @@ ShardedPbftOrdering::ShardedPbftOrdering(size_t num_shards,
   for (size_t i = 0; i < num_shards; ++i) {
     net::SimNetConfig cfg = net_config;
     cfg.seed = net_config.seed + i;  // Independent shard networks.
-    shards_.push_back(std::make_unique<PbftOrdering>(replicas_per_shard, cfg));
+    shards_.push_back(std::make_unique<PbftOrdering>(replicas_per_shard, cfg,
+                                                     "pbft-sharded"));
   }
 }
 
@@ -104,7 +110,9 @@ SimTime ShardedPbftOrdering::MaxShardTime() const {
 
 RaftOrdering::RaftOrdering(size_t num_replicas, net::SimNetConfig net_config)
     : net_(std::make_unique<net::SimNetwork>(net_config)),
-      ledgers_(num_replicas) {
+      ledgers_(num_replicas),
+      commit_latency_us_(obs::Registry::Default().GetHistogram(
+          "prever_consensus_commit_latency_us", {{"proto", "raft"}})) {
   consensus::RaftConfig config;
   config.num_replicas = num_replicas;
   cluster_ = std::make_unique<consensus::RaftCluster>(config, net_.get());
@@ -125,7 +133,8 @@ RaftOrdering::RaftOrdering(size_t num_replicas, net::SimNetConfig net_config)
 Status RaftOrdering::Append(const Bytes& payload, SimTime timestamp) {
   (void)timestamp;
   uint64_t target = ledgers_[0].size() + 1;
-  SimTime deadline = net_->Now() + 60 * kSecond;
+  SimTime submit_at = net_->Now();
+  SimTime deadline = submit_at + 60 * kSecond;
   for (;;) {
     Status submitted = cluster_->Submit(payload);
     if (submitted.ok()) break;
@@ -140,6 +149,7 @@ Status RaftOrdering::Append(const Bytes& payload, SimTime timestamp) {
   if (ledgers_[0].size() < target) {
     return Status::Unavailable("Raft did not commit within deadline");
   }
+  commit_latency_us_->Record(net_->Now() - submit_at);
   return Status::Ok();
 }
 

@@ -11,6 +11,7 @@
 #include "consensus/raft.h"
 #include "ledger/ledger_db.h"
 #include "net/sim_net.h"
+#include "obs/registry.h"
 
 namespace prever::core {
 
@@ -56,7 +57,10 @@ class CentralizedOrdering : public OrderingService {
 /// batching lever §4 alludes to for Fabric's overhead).
 class PbftOrdering : public OrderingService {
  public:
-  PbftOrdering(size_t num_replicas, net::SimNetConfig net_config);
+  /// `proto_label` tags this cluster's commit-latency histogram in the
+  /// default registry (sharded deployments use "pbft-sharded").
+  PbftOrdering(size_t num_replicas, net::SimNetConfig net_config,
+               const std::string& proto_label = "pbft");
 
   Status Append(const Bytes& payload, SimTime timestamp) override;
   /// Orders a whole batch through ONE consensus instance; the replica
@@ -76,6 +80,7 @@ class PbftOrdering : public OrderingService {
   std::vector<ledger::LedgerDb> ledgers_;
   uint64_t committed_ = 0;
   uint64_t batch_counter_ = 0;  // Makes identical batches distinct commands.
+  obs::Histogram* commit_latency_us_;  // Sim-time submit -> replica-0 commit.
 };
 
 /// SharPer/Qanaat-style sharded ordering (§4 RC4: "Qanaat further provides
@@ -130,6 +135,7 @@ class RaftOrdering : public OrderingService {
   std::unique_ptr<consensus::RaftCluster> cluster_;
   std::vector<ledger::LedgerDb> ledgers_;
   uint64_t committed_ = 0;
+  obs::Histogram* commit_latency_us_;  // Sim-time submit -> replica-0 commit.
 };
 
 }  // namespace prever::core

@@ -8,32 +8,23 @@ PlaintextEngine::PlaintextEngine(storage::Database* db,
     : db_(db), catalog_(catalog), ordering_(ordering) {}
 
 Status PlaintextEngine::SubmitUpdate(const Update& update) {
-  ++stats_.submitted;
+  metrics_.OnSubmit();
+  PREVER_TRACE_SPAN(metrics_.submit_ns());
   // Step 2 (Fig. 2): verify against every constraint and regulation.
   constraint::EvalContext ctx{db_, &update.fields, update.timestamp};
-  Status verified = catalog_->CheckAll(ctx);
-  if (!verified.ok()) {
-    if (verified.code() == StatusCode::kConstraintViolation) {
-      ++stats_.rejected_constraint;
-    } else {
-      ++stats_.rejected_error;
-    }
-    return verified;
+  Status verified;
+  {
+    PREVER_TRACE_SPAN(metrics_.verify_ns());
+    verified = catalog_->CheckAll(ctx);
   }
-  // Step 3: incorporate into the database…
+  if (!verified.ok()) return metrics_.Finish(verified);
+  // Step 3: incorporate into the database and record on the immutable
+  // integrity layer (RC4).
+  PREVER_TRACE_SPAN(metrics_.ledger_ns());
   Status applied = db_->Apply(update.mutation);
-  if (!applied.ok()) {
-    ++stats_.rejected_error;
-    return applied;
-  }
-  // …and record on the immutable integrity layer (RC4).
+  if (!applied.ok()) return metrics_.Finish(applied);
   Status ordered = ordering_->Append(update.Encode(), update.timestamp);
-  if (!ordered.ok()) {
-    ++stats_.rejected_error;
-    return ordered;
-  }
-  ++stats_.accepted;
-  return Status::Ok();
+  return metrics_.Finish(ordered);
 }
 
 }  // namespace prever::core

@@ -3,6 +3,7 @@
 
 #include "constraint/constraint.h"
 #include "core/engine.h"
+#include "core/engine_metrics.h"
 #include "core/ordering.h"
 #include "storage/database.h"
 
@@ -21,7 +22,7 @@ class PlaintextEngine : public UpdateEngine {
                   OrderingService* ordering);
 
   Status SubmitUpdate(const Update& update) override;
-  const EngineStats& stats() const override { return stats_; }
+  EngineStats stats() const override { return metrics_.Snapshot(); }
   const char* name() const override { return "plaintext"; }
 
   const storage::Database& db() const { return *db_; }
@@ -30,7 +31,7 @@ class PlaintextEngine : public UpdateEngine {
   storage::Database* db_;
   const constraint::ConstraintCatalog* catalog_;
   OrderingService* ordering_;
-  EngineStats stats_;
+  EngineMetrics metrics_{"plaintext"};
 };
 
 }  // namespace prever::core

@@ -43,20 +43,19 @@ Result<PrivateAttestation> PublicDataEngine::Attest(
 }
 
 Status PublicDataEngine::Submit(const Submission& submission) {
-  ++stats_.submitted;
+  metrics_.OnSubmit();
+  PREVER_TRACE_SPAN(metrics_.submit_ns());
   // (a) Public constraints over public data + public update fields.
   constraint::EvalContext ctx{db_, &submission.update.fields,
                               submission.update.timestamp};
-  Status public_ok = public_catalog_->CheckAll(ctx);
-  if (!public_ok.ok()) {
-    if (public_ok.code() == StatusCode::kConstraintViolation) {
-      ++stats_.rejected_constraint;
-    } else {
-      ++stats_.rejected_error;
-    }
-    return public_ok;
+  Status public_ok;
+  {
+    PREVER_TRACE_SPAN(metrics_.verify_ns());
+    public_ok = public_catalog_->CheckAll(ctx);
   }
+  if (!public_ok.ok()) return metrics_.Finish(public_ok);
   // (b) One valid attestation per private requirement.
+  obs::ScopedSpan crypto_span(metrics_.crypto_ns());
   for (const AttestationRequirement& req : requirements_) {
     const PrivateAttestation* found = nullptr;
     for (const PrivateAttestation& att : submission.attestations) {
@@ -66,9 +65,8 @@ Status PublicDataEngine::Submit(const Submission& submission) {
       }
     }
     if (found == nullptr) {
-      ++stats_.rejected_constraint;
-      return Status::ConstraintViolation("missing attestation for '" +
-                                         req.field + "'");
+      return metrics_.Finish(Status::ConstraintViolation(
+          "missing attestation for '" + req.field + "'"));
     }
     bool proof_ok =
         req.direction == constraint::BoundDirection::kLower
@@ -79,18 +77,16 @@ Status PublicDataEngine::Submit(const Submission& submission) {
                                        found->proof, BigInt(req.bound),
                                        req.slack_bits);
     if (!proof_ok) {
-      ++stats_.rejected_constraint;
-      return Status::ConstraintViolation("attestation proof for '" +
-                                         req.field + "' does not verify");
+      return metrics_.Finish(Status::ConstraintViolation(
+          "attestation proof for '" + req.field + "' does not verify"));
     }
   }
+  crypto_span.End();
   // Apply to the public database and ledger the (public) update together
   // with the attestation commitments, so auditors can re-verify later.
+  PREVER_TRACE_SPAN(metrics_.ledger_ns());
   Status applied = db_->Apply(submission.update.mutation);
-  if (!applied.ok()) {
-    ++stats_.rejected_error;
-    return applied;
-  }
+  if (!applied.ok()) return metrics_.Finish(applied);
   BinaryWriter w;
   w.WriteBytes(submission.update.Encode());
   w.WriteU32(static_cast<uint32_t>(submission.attestations.size()));
@@ -99,20 +95,14 @@ Status PublicDataEngine::Submit(const Submission& submission) {
     w.WriteBytes(att.commitment.c.ToBytes());
   }
   Status ordered = ordering_->Append(w.Take(), submission.update.timestamp);
-  if (!ordered.ok()) {
-    ++stats_.rejected_error;
-    return ordered;
-  }
-  ++stats_.accepted;
-  return Status::Ok();
+  return metrics_.Finish(ordered);
 }
 
 Status PublicDataEngine::SubmitUpdate(const Update& update) {
   if (!requirements_.empty()) {
-    ++stats_.submitted;
-    ++stats_.rejected_error;
-    return Status::InvalidArgument(
-        "engine has private requirements; use Submit with attestations");
+    metrics_.OnSubmit();
+    return metrics_.Finish(Status::InvalidArgument(
+        "engine has private requirements; use Submit with attestations"));
   }
   Submission s;
   s.update = update;

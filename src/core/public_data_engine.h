@@ -8,6 +8,7 @@
 #include "constraint/constraint.h"
 #include "constraint/linear.h"
 #include "core/engine.h"
+#include "core/engine_metrics.h"
 #include "core/ordering.h"
 #include "crypto/zkp.h"
 #include "pir/xor_pir.h"
@@ -65,7 +66,7 @@ class PublicDataEngine : public UpdateEngine {
   /// requirements (purely public constraints).
   Status SubmitUpdate(const Update& update) override;
 
-  const EngineStats& stats() const override { return stats_; }
+  EngineStats stats() const override { return metrics_.Snapshot(); }
   const char* name() const override { return "public-data-rc3"; }
 
   /// Builds (or refreshes) a two-server PIR snapshot of `table`; rows are
@@ -90,7 +91,7 @@ class PublicDataEngine : public UpdateEngine {
   std::vector<AttestationRequirement> requirements_;
   OrderingService* ordering_;
   const crypto::PedersenParams* pedersen_;
-  EngineStats stats_;
+  EngineMetrics metrics_{"public-data-rc3"};
 };
 
 }  // namespace prever::core

@@ -54,7 +54,7 @@ class AuthenticatingEngine : public UpdateEngine {
   /// Unsigned submissions are rejected outright.
   Status SubmitUpdate(const Update& update) override;
 
-  const EngineStats& stats() const override { return inner_->stats(); }
+  EngineStats stats() const override { return inner_->stats(); }
   const char* name() const override { return "authenticating"; }
 
   uint64_t rejected_signatures() const { return rejected_signatures_; }

@@ -1,6 +1,38 @@
 #include "net/sim_net.h"
 
+#include "obs/json.h"
+#include "obs/registry.h"
+
 namespace prever::net {
+
+namespace {
+
+/// Process-global mirrors in the default registry so bench JSON blobs report
+/// fabric traffic. Per-instance figures stay in the SimNetwork members.
+struct NetCounters {
+  obs::Counter* sent;
+  obs::Counter* dropped;
+  obs::Counter* delivered;
+  obs::Counter* partitions;
+  obs::Counter* crashes;
+
+  static NetCounters& Get() {
+    static NetCounters c = [] {
+      obs::Registry& r = obs::Registry::Default();
+      return NetCounters{
+          r.GetCounter("prever_net_msgs_total", {{"outcome", "sent"}}),
+          r.GetCounter("prever_net_msgs_total", {{"outcome", "dropped"}}),
+          r.GetCounter("prever_net_msgs_total", {{"outcome", "delivered"}}),
+          r.GetCounter("prever_net_fault_events_total",
+                       {{"kind", "partition"}}),
+          r.GetCounter("prever_net_fault_events_total", {{"kind", "crash"}}),
+      };
+    }();
+    return c;
+  }
+};
+
+}  // namespace
 
 SimNetwork::SimNetwork(SimNetConfig config)
     : config_(config), rng_(config.seed) {}
@@ -31,10 +63,12 @@ SimTime SimNetwork::SampleLatency(NodeId from, NodeId to) {
 void SimNetwork::Send(NodeId from, NodeId to, uint32_t type,
                       const Bytes& payload) {
   ++messages_sent_;
+  NetCounters::Get().sent->Inc();
   bytes_sent_ += payload.size();
   if (to >= handlers_.size()) return;
   if (Blocked(from, to) || rng_.NextBool(config_.drop_rate)) {
     ++messages_dropped_;
+    NetCounters::Get().dropped->Inc();
     return;
   }
   Message msg{from, to, type, payload};
@@ -44,8 +78,11 @@ void SimNetwork::Send(NodeId from, NodeId to, uint32_t type,
                       // the message was in flight.
                       if (crashed_.count(msg.to)) {
                         ++messages_dropped_;
+                        NetCounters::Get().dropped->Inc();
                         return;
                       }
+                      ++messages_delivered_;
+                      NetCounters::Get().delivered->Inc();
                       handlers_[msg.to](msg);
                     }});
 }
@@ -65,21 +102,40 @@ void SimNetwork::ScheduleAfter(SimTime delay, std::function<void()> fn) {
 
 void SimNetwork::Partition(NodeId a, NodeId b) {
   partitions_.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+  ++fault_stats_.partitions;
+  NetCounters::Get().partitions->Inc();
 }
 
 void SimNetwork::Heal(NodeId a, NodeId b) {
   partitions_.erase(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+  ++fault_stats_.heals;
 }
 
-void SimNetwork::HealAll() { partitions_.clear(); }
+void SimNetwork::HealAll() {
+  partitions_.clear();
+  ++fault_stats_.heals;
+}
 
-void SimNetwork::Isolate(NodeId node) { isolated_.insert(node); }
+void SimNetwork::Isolate(NodeId node) {
+  isolated_.insert(node);
+  ++fault_stats_.isolates;
+}
 
-void SimNetwork::Reconnect(NodeId node) { isolated_.erase(node); }
+void SimNetwork::Reconnect(NodeId node) {
+  isolated_.erase(node);
+  ++fault_stats_.reconnects;
+}
 
-void SimNetwork::CrashNode(NodeId node) { crashed_.insert(node); }
+void SimNetwork::CrashNode(NodeId node) {
+  crashed_.insert(node);
+  ++fault_stats_.crashes;
+  NetCounters::Get().crashes->Inc();
+}
 
-void SimNetwork::RestartNode(NodeId node) { crashed_.erase(node); }
+void SimNetwork::RestartNode(NodeId node) {
+  crashed_.erase(node);
+  ++fault_stats_.restarts;
+}
 
 void SimNetwork::SetLinkLatency(NodeId a, NodeId b, SimTime min_latency,
                                 SimTime max_latency) {
@@ -119,6 +175,22 @@ size_t SimNetwork::RunUntilIdle() {
   size_t processed = 0;
   while (Step()) ++processed;
   return processed;
+}
+
+std::string SimNetwork::StatsJson() const {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("msgs_sent", obs::Json::Int(messages_sent_));
+  doc.Set("msgs_dropped", obs::Json::Int(messages_dropped_));
+  doc.Set("msgs_delivered", obs::Json::Int(messages_delivered_));
+  doc.Set("bytes_sent", obs::Json::Int(bytes_sent_));
+  doc.Set("partitions", obs::Json::Int(fault_stats_.partitions));
+  doc.Set("heals", obs::Json::Int(fault_stats_.heals));
+  doc.Set("isolates", obs::Json::Int(fault_stats_.isolates));
+  doc.Set("reconnects", obs::Json::Int(fault_stats_.reconnects));
+  doc.Set("crashes", obs::Json::Int(fault_stats_.crashes));
+  doc.Set("restarts", obs::Json::Int(fault_stats_.restarts));
+  doc.Set("now_us", obs::Json::Int(clock_.Now()));
+  return doc.Dump();
 }
 
 }  // namespace prever::net

@@ -52,6 +52,8 @@ class SimNetwork {
 
   size_t num_nodes() const { return handlers_.size(); }
   SimTime Now() const { return clock_.Now(); }
+  /// The simulated clock, for SimScopedSpan tracing against sim time.
+  const SimClock& clock() const { return clock_; }
 
   /// Queues a message for delivery (subject to drops/partitions).
   void Send(NodeId from, NodeId to, uint32_t type, const Bytes& payload);
@@ -106,7 +108,23 @@ class SimNetwork {
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Fault-schedule event totals (cumulative since construction).
+  struct FaultStats {
+    uint64_t partitions = 0;
+    uint64_t heals = 0;
+    uint64_t isolates = 0;
+    uint64_t reconnects = 0;
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+  };
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// One-line JSON summary of traffic + fault counters, attached to sim-test
+  /// failure output for triage.
+  std::string StatsJson() const;
 
  private:
   struct Event {
@@ -139,7 +157,9 @@ class SimNetwork {
   double timer_scale_ = 1.0;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
+  uint64_t messages_delivered_ = 0;
   uint64_t bytes_sent_ = 0;
+  FaultStats fault_stats_;
 };
 
 }  // namespace prever::net

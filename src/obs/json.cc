@@ -1,0 +1,394 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace prever::obs {
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::Int(uint64_t v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.int_valued_ = true;
+  j.int_ = v;
+  j.num_ = static_cast<double>(v);
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+double Json::AsDouble() const { return int_valued_ ? static_cast<double>(int_) : num_; }
+
+uint64_t Json::AsUint64() const {
+  if (int_valued_) return int_;
+  return num_ < 0 ? 0 : static_cast<uint64_t>(num_);
+}
+
+size_t Json::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  if (kind_ == Kind::kObject) return obj_.size();
+  return 0;
+}
+
+const Json& Json::at(size_t i) const {
+  static const Json kNull;
+  if (kind_ != Kind::kArray || i >= arr_.size()) return kNull;
+  return arr_[i];
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::Append(Json v) {
+  kind_ = Kind::kArray;
+  arr_.push_back(std::move(v));
+}
+
+void Json::Set(const std::string& key, Json v) {
+  kind_ = Kind::kObject;
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+void Json::EscapeTo(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void DumpTo(const Json& j, std::string* out) {
+  switch (j.kind()) {
+    case Json::Kind::kNull:
+      *out += "null";
+      break;
+    case Json::Kind::kBool:
+      *out += j.AsBool() ? "true" : "false";
+      break;
+    case Json::Kind::kNumber: {
+      if (j.is_int()) {
+        // Exact uint64 path: doubles round above 2^53, so Int-constructed
+        // values must never go through AsDouble.
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(j.AsUint64()));
+        *out += buf;
+        break;
+      }
+      double d = j.AsDouble();
+      if (d == std::floor(d) && std::abs(d) < 1e18 && std::isfinite(d)) {
+        // Integer-valued double: no decimal point.
+        if (d >= 0) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(j.AsUint64()));
+          *out += buf;
+        } else {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(d));
+          *out += buf;
+        }
+      } else if (std::isfinite(d)) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        *out += buf;
+      } else {
+        *out += "null";  // JSON has no Inf/NaN.
+      }
+      break;
+    }
+    case Json::Kind::kString:
+      *out += '"';
+      Json::EscapeTo(j.AsString(), out);
+      *out += '"';
+      break;
+    case Json::Kind::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < j.size(); ++i) {
+        if (i > 0) *out += ',';
+        DumpTo(j.at(i), out);
+      }
+      *out += ']';
+      break;
+    }
+    case Json::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, v] : j.members()) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        Json::EscapeTo(k, out);
+        *out += "\":";
+        DumpTo(v, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over a bounds-checked cursor.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<Json> Run() {
+    PREVER_ASSIGN_OR_RETURN(Json v, ParseValue());
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    return Status::Ok();
+  }
+
+  Result<Json> ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return Status::InvalidArgument("unexpected end of JSON");
+    char c = s_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        PREVER_ASSIGN_OR_RETURN(std::string str, ParseString());
+        return Json::Str(std::move(str));
+      }
+      case 't':
+        if (s_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return Json::Bool(true);
+        }
+        break;
+      case 'f':
+        if (s_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return Json::Bool(false);
+        }
+        break;
+      case 'n':
+        if (s_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return Json::Null();
+        }
+        break;
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+          return ParseNumber();
+        }
+    }
+    return Status::InvalidArgument("unexpected character at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    bool integral = true;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string token = s_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return Status::InvalidArgument("malformed number");
+    }
+    if (integral && token[0] != '-') {
+      char* end = nullptr;
+      unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0') return Json::Int(u);
+    }
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("malformed number '" + token + "'");
+    }
+    return Json::Number(d);
+  }
+
+  Result<std::string> ParseString() {
+    PREVER_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status::InvalidArgument("bad \\u escape digit");
+          }
+          // Metric names/labels are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape");
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Result<Json> ParseArray() {
+    PREVER_RETURN_IF_ERROR(Expect('['));
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    for (;;) {
+      PREVER_ASSIGN_OR_RETURN(Json v, ParseValue());
+      arr.Append(std::move(v));
+      if (Consume(']')) return arr;
+      PREVER_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Result<Json> ParseObject() {
+    PREVER_RETURN_IF_ERROR(Expect('{'));
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWs();
+      PREVER_ASSIGN_OR_RETURN(std::string key, ParseString());
+      PREVER_RETURN_IF_ERROR(Expect(':'));
+      PREVER_ASSIGN_OR_RETURN(Json v, ParseValue());
+      obj.Set(key, std::move(v));
+      if (Consume('}')) return obj;
+      PREVER_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(*this, &out);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) { return Parser(text).Run(); }
+
+}  // namespace prever::obs

@@ -1,0 +1,82 @@
+#ifndef PREVER_OBS_JSON_H_
+#define PREVER_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prever::obs {
+
+/// Minimal JSON document model for metric exposition: enough to render
+/// registry snapshots and parse them back (round-trip tests, bench tooling).
+/// Zero external dependencies (repo rule); not a general-purpose library —
+/// objects preserve insertion order and key lookup is a linear scan.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double v);
+  /// Integer-valued number: rendered without a decimal point and preserved
+  /// exactly through Parse (counters are uint64).
+  static Json Int(uint64_t v);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  /// True for Int-constructed (or integral-parsed) numbers, whose uint64
+  /// value survives Dump/Parse exactly even above 2^53.
+  bool is_int() const { return kind_ == Kind::kNumber && int_valued_; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const;
+  uint64_t AsUint64() const;
+  const std::string& AsString() const { return str_; }
+
+  /// Array/object size; 0 for scalars.
+  size_t size() const;
+  /// Array element access (unchecked beyond bounds -> Null reference).
+  const Json& at(size_t i) const;
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Json* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  void Append(Json v);
+  void Set(const std::string& key, Json v);
+
+  /// Compact single-line rendering (valid JSON).
+  std::string Dump() const;
+
+  static Result<Json> Parse(const std::string& text);
+
+  static void EscapeTo(const std::string& s, std::string* out);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool int_valued_ = false;
+  uint64_t int_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace prever::obs
+
+#endif  // PREVER_OBS_JSON_H_

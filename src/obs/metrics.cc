@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace prever::obs {
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  if (count <= earlier.count) return d;  // Nothing recorded in the window.
+  d.count = count - earlier.count;
+  d.sum = sum - earlier.sum;
+  // Exact min/max of just the window are unknowable from cumulative state;
+  // the cumulative extremes are the tightest safe bounds.
+  d.min = min;
+  d.max = max;
+  d.buckets.resize(buckets.size(), 0);
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    uint64_t before = i < earlier.buckets.size() ? earlier.buckets[i] : 0;
+    d.buckets[i] = buckets[i] - before;
+  }
+  return d;
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // 1-based rank of the selected sample under the nearest-rank definition.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank >= count) return max;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      uint64_t lo = Histogram::BucketLower(static_cast<int>(i));
+      uint64_t hi = Histogram::BucketUpper(static_cast<int>(i));
+      uint64_t mid = lo + (hi - lo) / 2;
+      return std::clamp(mid, min, max);
+    }
+  }
+  return max;
+}
+
+Histogram::Histogram() : buckets_(kNumBuckets) {}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kSub) return static_cast<int>(value);
+  int e = std::bit_width(value) - 1;  // Highest set bit; e >= kSubBits here.
+  uint64_t sub = (value >> (e - kSubBits)) & (kSub - 1);
+  return (e - kSubBits) * static_cast<int>(kSub) + static_cast<int>(kSub) +
+         static_cast<int>(sub);
+}
+
+uint64_t Histogram::BucketLower(int i) {
+  if (i < static_cast<int>(kSub)) return static_cast<uint64_t>(i);
+  int e = kSubBits + (i - static_cast<int>(kSub)) / static_cast<int>(kSub);
+  uint64_t sub = static_cast<uint64_t>((i - static_cast<int>(kSub)) %
+                                       static_cast<int>(kSub));
+  return (kSub + sub) << (e - kSubBits);
+}
+
+uint64_t Histogram::BucketUpper(int i) {
+  if (i < static_cast<int>(kSub)) return static_cast<uint64_t>(i);
+  int e = kSubBits + (i - static_cast<int>(kSub)) / static_cast<int>(kSub);
+  uint64_t width = 1ull << (e - kSubBits);
+  return BucketLower(i) + width - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  // Count last: a reader that sees the new count also sees this sample's
+  // bucket under typical schedules; snapshots are statistical, not linearized.
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = (s.count == 0 || mn == ~0ull) ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  s.buckets.resize(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace prever::obs

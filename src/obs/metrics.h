@@ -1,0 +1,103 @@
+#ifndef PREVER_OBS_METRICS_H_
+#define PREVER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prever::obs {
+
+/// Monotonic event counter. All mutation is lock-free (relaxed atomics):
+/// counters are aggregated, never used for cross-thread ordering.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, view numbers, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Atomic add via CAS loop (atomic<double>::fetch_add is C++20 and spotty
+  /// across toolchains; CAS is portable and the gauge path is never hot).
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Immutable copy of a Histogram's state, cheap to merge and diff. Produced
+/// by Histogram::snapshot(); all percentile math happens here so the live
+/// histogram never needs a lock.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< Exact smallest recorded value (0 when count == 0).
+  uint64_t max = 0;  ///< Exact largest recorded value.
+  std::vector<uint64_t> buckets;
+
+  /// Adds `other`'s samples into this snapshot (same bucket layout).
+  void Merge(const HistogramSnapshot& other);
+
+  /// Samples recorded after `earlier` was taken, assuming `earlier` is a
+  /// previous snapshot of the same histogram. Used by benches to isolate one
+  /// repetition's samples from a process-lifetime histogram.
+  HistogramSnapshot Delta(const HistogramSnapshot& earlier) const;
+
+  /// Value at percentile `p` in [0, 100]. Returns 0 when empty; returns the
+  /// exact max for p high enough to select the last sample. Bucketed values
+  /// use the bucket midpoint clamped to [min, max], so relative error is
+  /// bounded by the bucket width (< ~1/32 with 16 sub-buckets per octave).
+  uint64_t Percentile(double p) const;
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Fixed-layout log-linear histogram for non-negative integer samples
+/// (latencies in ns/us, sizes in bytes). Each power-of-two octave is split
+/// into 16 linear sub-buckets, giving <= ~3% relative bucketing error over
+/// the full uint64 range with 976 buckets. Recording is wait-free except for
+/// the min/max CAS, which loops only while new extremes race.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;                 ///< log2(sub-buckets).
+  static constexpr uint64_t kSub = 1ull << kSubBits; ///< 16 sub-buckets/octave.
+  static constexpr int kNumBuckets = 16 + (64 - kSubBits) * static_cast<int>(kSub);
+
+  Histogram();
+
+  void Record(uint64_t value);
+
+  HistogramSnapshot snapshot() const;
+
+  /// Bucket index for `value`; values < 16 map to exact unit buckets.
+  static int BucketIndex(uint64_t value);
+  /// Inclusive lower bound of bucket `i`.
+  static uint64_t BucketLower(int i);
+  /// Inclusive upper bound of bucket `i`.
+  static uint64_t BucketUpper(int i);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ull};
+  std::atomic<uint64_t> max_{0};
+  std::vector<std::atomic<uint64_t>> buckets_;
+};
+
+}  // namespace prever::obs
+
+#endif  // PREVER_OBS_METRICS_H_

@@ -1,0 +1,153 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+
+namespace prever::obs {
+
+namespace {
+
+std::string LabelsToText(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Json LabelsToJson(const Labels& labels) {
+  Json obj = Json::Object();
+  for (const auto& [k, v] : labels) obj.Set(k, Json::Str(v));
+  return obj;
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Registry& Registry::Default() {
+  static Registry* r = new Registry();  // Leaked: outlives static destructors.
+  return *r;
+}
+
+std::string Registry::Key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter* Registry::GetCounter(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Key(name, labels);
+  auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) return counters_[it->second].metric.get();
+  counter_index_[key] = counters_.size();
+  counters_.push_back({name, labels, std::make_unique<Counter>()});
+  return counters_.back().metric.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Key(name, labels);
+  auto it = gauge_index_.find(key);
+  if (it != gauge_index_.end()) return gauges_[it->second].metric.get();
+  gauge_index_[key] = gauges_.size();
+  gauges_.push_back({name, labels, std::make_unique<Gauge>()});
+  return gauges_.back().metric.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Key(name, labels);
+  auto it = histogram_index_.find(key);
+  if (it != histogram_index_.end()) return histograms_[it->second].metric.get();
+  histogram_index_[key] = histograms_.size();
+  histograms_.push_back({name, labels, std::make_unique<Histogram>()});
+  return histograms_.back().metric.get();
+}
+
+std::string Registry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& e : counters_) {
+    out += e.name + LabelsToText(e.labels) + " " +
+           std::to_string(e.metric->value()) + "\n";
+  }
+  for (const auto& e : gauges_) {
+    out += e.name + LabelsToText(e.labels) + " " +
+           FormatDouble(e.metric->value()) + "\n";
+  }
+  for (const auto& e : histograms_) {
+    HistogramSnapshot s = e.metric->snapshot();
+    std::string id = e.name + LabelsToText(e.labels);
+    out += id + "_count " + std::to_string(s.count) + "\n";
+    out += id + "_sum " + std::to_string(s.sum) + "\n";
+    if (s.count > 0) {
+      out += id + "_min " + std::to_string(s.min) + "\n";
+      out += id + "_max " + std::to_string(s.max) + "\n";
+      out += id + "_p50 " + std::to_string(s.Percentile(50)) + "\n";
+      out += id + "_p99 " + std::to_string(s.Percentile(99)) + "\n";
+    }
+  }
+  return out;
+}
+
+Json Registry::RenderJsonDoc() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json doc = Json::Object();
+  Json counters = Json::Array();
+  for (const auto& e : counters_) {
+    Json m = Json::Object();
+    m.Set("name", Json::Str(e.name));
+    m.Set("labels", LabelsToJson(e.labels));
+    m.Set("value", Json::Int(e.metric->value()));
+    counters.Append(std::move(m));
+  }
+  doc.Set("counters", std::move(counters));
+  Json gauges = Json::Array();
+  for (const auto& e : gauges_) {
+    Json m = Json::Object();
+    m.Set("name", Json::Str(e.name));
+    m.Set("labels", LabelsToJson(e.labels));
+    m.Set("value", Json::Number(e.metric->value()));
+    gauges.Append(std::move(m));
+  }
+  doc.Set("gauges", std::move(gauges));
+  Json histograms = Json::Array();
+  for (const auto& e : histograms_) {
+    HistogramSnapshot s = e.metric->snapshot();
+    Json m = Json::Object();
+    m.Set("name", Json::Str(e.name));
+    m.Set("labels", LabelsToJson(e.labels));
+    m.Set("count", Json::Int(s.count));
+    m.Set("sum", Json::Int(s.sum));
+    m.Set("min", Json::Int(s.min));
+    m.Set("max", Json::Int(s.max));
+    m.Set("mean", Json::Number(s.mean()));
+    m.Set("p50", Json::Int(s.Percentile(50)));
+    m.Set("p90", Json::Int(s.Percentile(90)));
+    m.Set("p99", Json::Int(s.Percentile(99)));
+    m.Set("p999", Json::Int(s.Percentile(99.9)));
+    histograms.Append(std::move(m));
+  }
+  doc.Set("histograms", std::move(histograms));
+  return doc;
+}
+
+}  // namespace prever::obs

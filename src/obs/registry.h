@@ -1,0 +1,71 @@
+#ifndef PREVER_OBS_REGISTRY_H_
+#define PREVER_OBS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace prever::obs {
+
+/// Label set attached to one metric instance within a family. std::map keeps
+/// labels sorted, so the dedup key and renderings are order-independent.
+using Labels = std::map<std::string, std::string>;
+
+/// Process-wide home for labeled metric families. Registration takes a mutex
+/// (cold path); the returned pointers are stable for the registry's lifetime,
+/// so hot paths record through them lock-free. Instantiable so tests get
+/// isolated registries; production code shares Default().
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Default();
+
+  /// Returns the metric for (name, labels), creating it on first use.
+  /// Repeated calls with equal name+labels return the same instance.
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  /// Prometheus-style plain-text exposition (one line per metric; histograms
+  /// render count/sum/min/max/percentile lines).
+  std::string RenderText() const;
+
+  /// Structured exposition:
+  /// {"counters":[{"name","labels","value"}],
+  ///  "gauges":[...],
+  ///  "histograms":[{"name","labels","count","sum","min","max","mean",
+  ///                 "p50","p90","p99","p999"}]}
+  Json RenderJsonDoc() const;
+  std::string RenderJson() const { return RenderJsonDoc().Dump(); }
+
+ private:
+  template <typename M>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<M> metric;
+  };
+
+  static std::string Key(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  // Insertion-ordered storage (stable rendering) + key index for dedup.
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+  std::map<std::string, size_t> counter_index_;
+  std::map<std::string, size_t> gauge_index_;
+  std::map<std::string, size_t> histogram_index_;
+};
+
+}  // namespace prever::obs
+
+#endif  // PREVER_OBS_REGISTRY_H_

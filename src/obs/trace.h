@@ -1,0 +1,84 @@
+#ifndef PREVER_OBS_TRACE_H_
+#define PREVER_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/sim_clock.h"
+#include "obs/metrics.h"
+
+namespace prever::obs {
+
+/// Wall-clock monotonic nanoseconds (steady_clock, immune to NTP steps).
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII span: records elapsed wall-clock nanoseconds into `hist` at scope
+/// exit. A null histogram disables the span (zero-cost guard for optional
+/// instrumentation).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Histogram* hist)
+      : hist_(hist), start_(hist != nullptr ? MonotonicNanos() : 0) {}
+  ~ScopedSpan() { End(); }
+
+  /// Records and disarms early, for spans that end before scope exit.
+  void End() {
+    if (hist_ != nullptr) {
+      hist_->Record(MonotonicNanos() - start_);
+      hist_ = nullptr;
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+/// RAII span against simulated time: records elapsed SimTime microseconds.
+/// Useful inside discrete-event runs where wall time is meaningless — e.g.
+/// commit latency of a consensus round driven by SimNetwork.
+class SimScopedSpan {
+ public:
+  SimScopedSpan(Histogram* hist, const SimClock* clock)
+      : hist_(hist), clock_(clock),
+        start_(clock != nullptr ? clock->Now() : 0) {}
+  ~SimScopedSpan() { End(); }
+
+  void End() {
+    if (hist_ != nullptr && clock_ != nullptr) {
+      hist_->Record(clock_->Now() - start_);
+    }
+    hist_ = nullptr;
+  }
+  SimScopedSpan(const SimScopedSpan&) = delete;
+  SimScopedSpan& operator=(const SimScopedSpan&) = delete;
+
+ private:
+  Histogram* hist_;
+  const SimClock* clock_;
+  uint64_t start_;
+};
+
+}  // namespace prever::obs
+
+#define PREVER_TRACE_CONCAT_IMPL_(a, b) a##b
+#define PREVER_TRACE_CONCAT_(a, b) PREVER_TRACE_CONCAT_IMPL_(a, b)
+
+/// Times the rest of the enclosing scope into `hist_ptr` (wall clock, ns).
+#define PREVER_TRACE_SPAN(hist_ptr) \
+  ::prever::obs::ScopedSpan PREVER_TRACE_CONCAT_(_span_, __LINE__)(hist_ptr)
+
+/// Times the rest of the enclosing scope into `hist_ptr` (sim time, us).
+#define PREVER_TRACE_SIM_SPAN(hist_ptr, clock_ptr)                  \
+  ::prever::obs::SimScopedSpan PREVER_TRACE_CONCAT_(_simspan_,      \
+                                                    __LINE__)(hist_ptr, \
+                                                              clock_ptr)
+
+#endif  // PREVER_OBS_TRACE_H_

@@ -12,6 +12,7 @@
 #include "core/ordering.h"
 #include "core/plaintext_engine.h"
 #include "crypto/pedersen.h"
+#include "obs/registry.h"
 
 namespace prever::simtest {
 
@@ -85,6 +86,20 @@ std::string EngineDiffReport::Summary() const {
                   std::to_string(seed) + "\n  divergence: " + divergence +
                   "\n  replay: PREVER_SIM_SEED=" + std::to_string(seed) +
                   " ./tests/sim_engine_diff_test\n";
+  // Process-lifetime engine counters from the default registry: which
+  // engine family diverged is usually visible from the accept/reject mix.
+  std::string metrics = obs::Registry::Default().RenderText();
+  std::string engine_lines;
+  size_t start = 0;
+  while (start < metrics.size()) {
+    size_t end = metrics.find('\n', start);
+    if (end == std::string::npos) end = metrics.size();
+    if (metrics.compare(start, 27, "prever_engine_updates_total") == 0) {
+      engine_lines += "    " + metrics.substr(start, end - start) + "\n";
+    }
+    start = end + 1;
+  }
+  if (!engine_lines.empty()) s += "  engine counters:\n" + engine_lines;
   if (!trace.empty()) s += "  trace:\n" + trace;
   return s;
 }

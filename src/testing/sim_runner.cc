@@ -26,6 +26,7 @@ struct RunOutcome {
   size_t events = 0;
   uint64_t committed = 0;
   std::string trace;
+  std::string net_stats;
 };
 
 ScenarioOptions ScenarioOptionsFor(const ConsensusSimOptions& o) {
@@ -176,6 +177,7 @@ RunOutcome RunRaftOnce(uint64_t seed, const FaultSchedule& schedule,
            " sent=" + std::to_string(net.messages_sent()) +
            " dropped=" + std::to_string(net.messages_dropped()) + "\n";
   }
+  out.net_stats = net.StatsJson();
   return out;
 }
 
@@ -305,6 +307,7 @@ RunOutcome RunPbftOnce(uint64_t seed, const FaultSchedule& schedule,
            " sent=" + std::to_string(net.messages_sent()) +
            " dropped=" + std::to_string(net.messages_dropped()) + "\n";
   }
+  out.net_stats = net.StatsJson();
   return out;
 }
 
@@ -326,6 +329,7 @@ SimReport RunWithShrink(uint64_t seed, const ConsensusSimOptions& o,
   report.trace = out.trace;
   report.events = out.events;
   report.committed = out.committed;
+  report.net_stats = out.net_stats;
   if (out.ok || !o.shrink_on_failure) return report;
 
   // Greedy delta-debugging: drop one action at a time while the violation
@@ -360,6 +364,7 @@ std::string SimReport::Summary(const char* protocol) const {
   std::string s = std::string(protocol) + " scenario FAILED\n";
   s += "  seed: " + std::to_string(seed) + "\n";
   s += "  violation: " + violation + "\n";
+  if (!net_stats.empty()) s += "  net: " + net_stats + "\n";
   s += "  reduced schedule (" + std::to_string(reduced.actions.size()) +
        " of " + std::to_string(schedule.actions.size()) + " actions):\n";
   for (const FaultAction& a : reduced.actions) {

@@ -38,6 +38,9 @@ struct SimReport {
   std::string trace;        ///< Deterministic event trace.
   size_t events = 0;        ///< Drained simulation events.
   uint64_t committed = 0;   ///< Committed/executed entries observed.
+  /// SimNetwork::StatsJson() at run end: traffic totals plus fault-event
+  /// counts (drops, partitions, crashes, ...) for failure triage.
+  std::string net_stats;
 
   /// Human-readable failure report: seed, violation, reduced schedule, and
   /// the one-command repro line.

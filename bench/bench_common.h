@@ -7,6 +7,8 @@
 // harness that wants structured results instead of scraping counters).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "obs/json.h"
@@ -24,6 +26,31 @@ inline obs::Histogram* OpHistogram(const std::string& bench,
                                    const std::string& bench_case) {
   return obs::Registry::Default().GetHistogram(
       "prever_bench_op_ns", {{"bench", bench}, {"case", bench_case}});
+}
+
+/// Worker budget for benches with parallel verification paths, set by a
+/// `--threads=N` argument. Defaults to 1 (serial) so results on shared or
+/// single-core machines are not skewed by silent oversubscription.
+inline size_t& ThreadsFlag() {
+  static size_t threads = 1;
+  return threads;
+}
+inline size_t Threads() { return ThreadsFlag(); }
+
+/// Parses and REMOVES `--threads=N` from argv. Call before
+/// benchmark::Initialize, which rejects flags it does not recognize.
+inline void ParseThreadsFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* prefix = "--threads=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      long v = std::atol(argv[i] + std::strlen(prefix));
+      if (v > 0) ThreadsFlag() = static_cast<size_t>(v);
+      continue;  // Strip the flag.
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
 }
 
 /// Prints the uniform end-of-run metrics line:

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Runs the crypto-heavy benches (E1 YCSB engines, E3 verification costs,
+# E5 PIR) and appends one labeled record to BENCH_crypto.json capturing
+#   - every benchmark case's wall time and rate counters (ops/s etc.), and
+#   - the p50/p99 phase latencies from each bench's PREVER_METRICS_JSON blob
+# so before/after comparisons for crypto changes live in-repo, next to the
+# code they measure.
+#
+# Usage: scripts/bench_perf.sh <label> [build-dir]   (default: build)
+#   e.g. scripts/bench_perf.sh "after-montgomery-64bit"
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+LABEL="${1:?usage: scripts/bench_perf.sh <label> [build-dir]}"
+BUILD_DIR="${2:-build}"
+OUT=BENCH_crypto.json
+
+BENCHES=(
+  bench_e1_ycsb_private_vs_plain
+  bench_e3_constraint_verification
+  bench_e5_pir
+)
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "bench_perf: $bin not found (build first)" >&2
+    exit 1
+  fi
+  echo "bench_perf: running $bench ..." >&2
+  "$bin" --benchmark_out="$TMP/$bench.json" --benchmark_out_format=json \
+      > "$TMP/$bench.out" 2>/dev/null
+done
+
+python3 - "$LABEL" "$OUT" "$TMP" "${BENCHES[@]}" <<'EOF'
+import json, os, subprocess, sys
+
+label, out_path, tmp = sys.argv[1], sys.argv[2], sys.argv[3]
+benches = sys.argv[4:]
+
+record = {"label": label, "benches": {}}
+record["date"] = subprocess.run(
+    ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], capture_output=True,
+    text=True).stdout.strip()
+try:
+    record["git"] = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
+        text=True).stdout.strip()
+except OSError:
+    pass
+
+for bench in benches:
+    with open(os.path.join(tmp, bench + ".json")) as f:
+        bm = json.load(f)
+    cases = {}
+    for b in bm.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "real_time_ms": round(
+                b["real_time"] * {"ns": 1e-6, "us": 1e-3, "ms": 1.0,
+                                  "s": 1e3}[b["time_unit"]], 4),
+            "iterations": b["iterations"],
+        }
+        for key, value in b.items():
+            # Rate counters (ops/s, updates/s) and plain counters surface
+            # as extra numeric fields in the per-benchmark object.
+            if key.endswith("/s") or key in ("accepted", "threads",
+                                             "mpc_msgs", "tokens"):
+                entry[key] = round(value, 2)
+        cases[b["name"]] = entry
+
+    phases = []
+    with open(os.path.join(tmp, bench + ".out")) as f:
+        metrics_line = None
+        for line in f:
+            if line.startswith("PREVER_METRICS_JSON "):
+                metrics_line = line[len("PREVER_METRICS_JSON "):]
+    if metrics_line:
+        doc = json.loads(metrics_line)
+        for h in doc["metrics"]["histograms"]:
+            if h["count"] == 0:
+                continue
+            phases.append({
+                "name": h["name"],
+                "labels": h.get("labels", {}),
+                "count": h["count"],
+                "p50_us": round(h["p50"] / 1e3, 1),
+                "p99_us": round(h["p99"] / 1e3, 1),
+            })
+
+    bench_id = bench.split("_")[1]  # bench_e1_... -> e1
+    record["benches"][bench_id] = {"cases": cases, "phases": phases}
+
+records = []
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        records = json.load(f)
+records.append(record)
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=2)
+    f.write("\n")
+print(f"bench_perf: appended record '{label}' to {out_path} "
+      f"({len(records)} records total)")
+EOF

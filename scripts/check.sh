@@ -10,4 +10,9 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DPREVER_SANITIZE=address,undefined
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+# The crypto kernel differential tests are the gate for the accelerated
+# Montgomery / fixed-base / CRT paths: run the binary explicitly so a ctest
+# filter or discovery hiccup can never silently skip them in the sanitizer
+# configuration.
+"$BUILD_DIR"/tests/crypto_diff_test
 scripts/bench_smoke.sh "$BUILD_DIR"

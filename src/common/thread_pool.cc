@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+namespace prever::common {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  // The caller counts as worker #0; spawn the rest.
+  size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  threads_.reserve(extra);
+  for (size_t i = 0; i < extra; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Drain(Batch* batch) {
+  const std::function<void(size_t)>& fn = *batch->fn;
+  for (;;) {
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->end) break;
+    fn(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (current_ != nullptr && generation_ != seen);
+      });
+      if (shutdown_) return;
+      seen = generation_;
+      batch = current_;
+    }
+    Drain(batch);
+    {
+      // The exit count is written under mu_ so the batch owner cannot miss
+      // the final notification (and cannot destroy the batch while a worker
+      // still holds the pointer).
+      std::lock_guard<std::mutex> lock(mu_);
+      ++batch->exited;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Batch batch;
+  batch.fn = &fn;
+  batch.end = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread pulls its share of iterations too.
+  Drain(&batch);
+  // Every spawned worker visits each batch exactly once (the generation
+  // counter makes the wakeup edge-triggered), so waiting for them all to
+  // exit guarantees every claimed iteration has finished.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return batch.exited == threads_.size(); });
+  current_ = nullptr;
+}
+
+}  // namespace prever::common

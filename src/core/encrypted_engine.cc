@@ -134,19 +134,70 @@ Status EncryptedEngine::SubmitUpdate(const Update& update) {
   return SubmitSealed(*sealed);
 }
 
+bool EncryptedEngine::VerifyProducerRange(
+    const SealedSubmission& submission) const {
+  return crypto::VerifyRange(owner_->pedersen(), submission.sealed.commitment,
+                             submission.sealed.range_proof, value_bits_);
+}
+
 Status EncryptedEngine::SubmitSealed(const SealedSubmission& submission) {
   metrics_.OnSubmit();
   PREVER_TRACE_SPAN(metrics_.submit_ns());
-  const auto& pedersen = owner_->pedersen();
-  const auto& pub = owner_->paillier_pub();
-
   // Manager-side check 1: the producer proved its hidden value is in range.
   bool range_ok;
   {
     PREVER_TRACE_SPAN(metrics_.crypto_ns());
-    range_ok = crypto::VerifyRange(pedersen, submission.sealed.commitment,
-                                   submission.sealed.range_proof, value_bits_);
+    range_ok = VerifyProducerRange(submission);
   }
+  return FinishSealed(submission, range_ok);
+}
+
+Result<std::vector<EncryptedEngine::SealedSubmission>>
+EncryptedEngine::SealBatch(const std::vector<Update>& updates) {
+  std::vector<SealedSubmission> out;
+  out.reserve(updates.size());
+  for (const Update& update : updates) {
+    PREVER_ASSIGN_OR_RETURN(SealedSubmission sealed, Seal(update));
+    out.push_back(std::move(sealed));
+  }
+  return out;
+}
+
+Status EncryptedEngine::SubmitSealedBatch(
+    const std::vector<SealedSubmission>& batch) {
+  // Phase 1: all producer range proofs, fanned out across the pool. Each
+  // check only reads immutable submission data and the (internally
+  // synchronized) crypto caches, so iterations are independent.
+  std::vector<char> range_ok(batch.size(), 0);
+  {
+    PREVER_TRACE_SPAN(metrics_.crypto_ns());
+    auto verify_one = [&](size_t i) {
+      range_ok[i] = VerifyProducerRange(batch[i]) ? 1 : 0;
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(batch.size(), verify_one);
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) verify_one(i);
+    }
+  }
+  // Phase 2: attestation + store, serial and in batch order — the running
+  // aggregates and the ledger are order-sensitive shared state.
+  Status first = Status::Ok();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    metrics_.OnSubmit();
+    Status s = [&] {
+      PREVER_TRACE_SPAN(metrics_.submit_ns());
+      return FinishSealed(batch[i], range_ok[i] != 0);
+    }();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+Status EncryptedEngine::FinishSealed(const SealedSubmission& submission,
+                                     bool range_ok) {
+  const auto& pedersen = owner_->pedersen();
+  const auto& pub = owner_->paillier_pub();
   if (!range_ok) {
     return metrics_.Finish(
         Status::IntegrityViolation("producer range proof invalid"));

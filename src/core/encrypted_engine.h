@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "constraint/linear.h"
 #include "core/engine.h"
 #include "core/engine_metrics.h"
@@ -134,9 +135,30 @@ class EncryptedEngine : public UpdateEngine {
   /// bound) then store + ledger.
   Status SubmitSealed(const SealedSubmission& submission);
 
+  /// Producer side for a whole batch; stops at the first sealing failure.
+  Result<std::vector<SealedSubmission>> SealBatch(
+      const std::vector<Update>& updates);
+
+  /// Manager side for a whole batch. The producers' range proofs are
+  /// independent read-only checks, so when a thread pool is set they are
+  /// verified concurrently; aggregation, owner attestation and ledgering
+  /// then proceed serially in batch order (they mutate engine state).
+  /// Every submission is judged individually — a rejected update does not
+  /// abort the batch — and the first non-OK status is returned.
+  Status SubmitSealedBatch(const std::vector<SealedSubmission>& batch);
+
+  /// Optional worker pool (not owned; may be null) for batch verification.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+
   size_t NumRows(const std::string& group) const;
 
  private:
+  /// Range-proof check shared by the serial and batch paths (thread-safe).
+  bool VerifyProducerRange(const SealedSubmission& submission) const;
+  /// Everything after the range check: per-bound attestations + store +
+  /// ledger. Calls metrics_.Finish on every path.
+  Status FinishSealed(const SealedSubmission& submission, bool range_ok);
+
   DataOwner* owner_;
   OrderingService* ordering_;
   std::string group_field_;
@@ -144,6 +166,7 @@ class EncryptedEngine : public UpdateEngine {
   std::vector<RegulatedBound> bounds_;
   size_t value_bits_;
   crypto::Drbg producer_drbg_;
+  common::ThreadPool* pool_ = nullptr;
   std::map<std::string, std::vector<SealedRow>> rows_;
   EngineMetrics metrics_{"encrypted-rc1"};
 };

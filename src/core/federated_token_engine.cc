@@ -60,22 +60,38 @@ Status FederatedTokenEngine::SubmitVia(size_t platform_index,
   }
 
   // Platform side: verify and spend each token against the shared ledger
-  // state (signature check + double-spend check).
+  // state. Wallet draws mutate the wallet, so they run serially up front;
+  // the signature checks are independent pure computations and fan out
+  // across the pool when one is set. Double-spend checks read the shared
+  // spent-set and stay serial.
   std::vector<token::Token> to_spend;
   to_spend.reserve(need);
   for (size_t i = 0; i < need; ++i) {
     auto t = wallet.Take();
     if (!t.ok()) return metrics_.Finish(t.status());
-    if (!crypto::RsaVerify(authority_->public_key(), t->serial,
-                           t->signature)) {
+    to_spend.push_back(std::move(*t));
+  }
+  std::vector<char> sig_ok(need, 0);
+  auto verify_one = [&](size_t i) {
+    sig_ok[i] = crypto::RsaVerify(authority_->public_key(),
+                                  to_spend[i].serial, to_spend[i].signature)
+                    ? 1
+                    : 0;
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(need, verify_one);
+  } else {
+    for (size_t i = 0; i < need; ++i) verify_one(i);
+  }
+  for (size_t i = 0; i < need; ++i) {
+    if (!sig_ok[i]) {
       return metrics_.Finish(
           Status::IntegrityViolation("token signature invalid"));
     }
-    if (spent_.count(t->serial)) {
+    if (spent_.count(to_spend[i].serial)) {
       return metrics_.Finish(
           Status::AlreadyExists("token double spend detected"));
     }
-    to_spend.push_back(std::move(*t));
   }
   token_span.End();
 

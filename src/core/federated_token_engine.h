@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/engine_metrics.h"
 #include "core/federated_mpc_engine.h"  // FederatedPlatform.
@@ -48,11 +49,17 @@ class FederatedTokenEngine : public UpdateEngine {
 
   uint64_t tokens_spent() const { return tokens_spent_; }
 
+  /// Optional worker pool (not owned; may be null): token signatures within
+  /// one update are independent RSA verifications, checked concurrently
+  /// when a pool is set. Wallet draws and ledger writes stay serial.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+
  private:
   std::vector<FederatedPlatform*> platforms_;
   token::TokenAuthority* authority_;
   OrderingService* ordering_;
   std::string cost_field_;
+  common::ThreadPool* pool_ = nullptr;
   /// Shared spent-serial set, rebuilt from the ordering ledger as needed.
   std::map<std::string, std::unique_ptr<token::TokenWallet>> wallets_;
   std::set<Bytes> spent_;

@@ -510,10 +510,12 @@ BigInt BigInt::PowMod(const BigInt& e, const BigInt& m) const {
   BigInt result(1);
   if (m == BigInt(1)) return BigInt();
   // Fast path: Montgomery exponentiation for odd multi-limb moduli with
-  // non-trivial exponents (the context costs one division to set up).
+  // non-trivial exponents. The per-modulus context is cached process-wide,
+  // so repeated exponentiations mod the same value (Paillier n^2, Pedersen
+  // p, RSA n) skip the R^2-division setup entirely.
   if (m.IsOdd() && m.limbs_.size() >= 2 && e.BitLength() > 16) {
-    auto ctx = MontgomeryContext::Create(m);
-    if (ctx.ok()) return ctx->PowMod(*this, e);
+    auto ctx = MontgomeryContext::Shared(m);
+    if (ctx.ok()) return (*ctx)->PowMod(*this, e);
   }
   size_t bits = e.BitLength();
   for (size_t i = bits; i-- > 0;) {

@@ -42,6 +42,8 @@ Bytes Drbg::Generate(size_t n) {
 
 void Drbg::Reseed(const Bytes& entropy) { Update(entropy); }
 
+Drbg Drbg::Fork() { return Drbg(Generate(32)); }
+
 BigInt Drbg::RandomBits(size_t bits) {
   if (bits == 0) return BigInt();
   size_t bytes = (bits + 7) / 8;

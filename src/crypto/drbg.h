@@ -10,6 +10,14 @@ namespace prever::crypto {
 /// (SP 800-90A, simplified: no personalization/reseed counters). All key and
 /// nonce generation in PReVer draws from a Drbg so experiments are seeded
 /// and reproducible.
+///
+/// THREADING CONTRACT: a Drbg is single-threaded state — every Generate
+/// advances (key, V), and concurrent calls would both corrupt the state and
+/// destroy the determinism the simulations rely on. Never share an instance
+/// across threads; give each worker its own child via Fork(). Forking draws
+/// 32 bytes from the parent, so child streams are independent of each other
+/// and of the parent's subsequent output, and the fork order (not thread
+/// scheduling) determines every stream.
 class Drbg {
  public:
   /// Seeds from arbitrary entropy bytes.
@@ -22,6 +30,11 @@ class Drbg {
 
   /// Mixes additional entropy into the state.
   void Reseed(const Bytes& entropy);
+
+  /// Derives an independent child generator (seeded from 32 bytes of this
+  /// generator's output). The deterministic way to hand randomness to a
+  /// worker thread — see the threading contract above.
+  Drbg Fork();
 
   /// Uniform BigInt with exactly `bits` bits (top bit set) — used for prime
   /// candidate generation.

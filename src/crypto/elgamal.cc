@@ -9,15 +9,24 @@ namespace prever::crypto {
 namespace {
 
 Result<ElGamalCiphertext> EncryptWithKey(const PedersenParams& params,
-                                         const BigInt& y, int64_t m,
-                                         Drbg& drbg) {
+                                         const FixedBaseTable& y_table,
+                                         int64_t m, Drbg& drbg) {
   if (m < 0) return Status::InvalidArgument("plaintext must be >= 0");
+  const PedersenAccel& accel = GetPedersenAccel(params);
   BigInt r = drbg.RandomBelow(params.q);
   ElGamalCiphertext ct;
-  ct.a = params.g.PowMod(r, params.p);
-  ct.b = params.g.PowMod(BigInt(m), params.p)
-             .MulMod(y.PowMod(r, params.p), params.p);
+  ct.a = accel.g.PowMod(r);
+  // b = g^m * y^r, composed in the Montgomery domain.
+  MontgomeryContext::Limbs b = accel.g.PowMont(BigInt(m));
+  accel.ctx->MulMontLimbs(b, y_table.PowMont(r), &b);
+  ct.b = accel.ctx->UnpackMont(b);
   return ct;
+}
+
+std::unique_ptr<FixedBaseTable> MakeKeyTable(const PedersenParams& params,
+                                             const BigInt& y) {
+  return std::make_unique<FixedBaseTable>(
+      MontgomeryContext::Shared(params.p).value(), y, params.q.BitLength());
 }
 
 ElGamalCiphertext AddImpl(const PedersenParams& params,
@@ -32,8 +41,9 @@ ElGamalCiphertext AddImpl(const PedersenParams& params,
 Result<int64_t> RecoverDiscreteLog(const PedersenParams& params,
                                    const BigInt& target, int64_t max) {
   if (max < 0) return Status::InvalidArgument("max must be >= 0");
-  auto ctx = MontgomeryContext::Create(params.p);
-  if (!ctx.ok()) return ctx.status();
+  auto shared = MontgomeryContext::Shared(params.p);
+  if (!shared.ok()) return shared.status();
+  const MontgomeryContext* ctx = shared->get();
   BigInt g_mont = ctx->ToMontgomery(params.g.Mod(params.p));
   BigInt target_mont = ctx->ToMontgomery(target.Mod(params.p));
 
@@ -78,11 +88,12 @@ Result<int64_t> RecoverDiscreteLog(const PedersenParams& params,
 ElGamal::ElGamal(const PedersenParams& params, Drbg& drbg)
     : params_(&params) {
   x_ = drbg.RandomNonZeroBelow(params.q);
-  y_ = params.g.PowMod(x_, params.p);
+  y_ = GetPedersenAccel(params).g.PowMod(x_);
+  y_table_ = MakeKeyTable(params, y_);
 }
 
 Result<ElGamalCiphertext> ElGamal::Encrypt(int64_t m, Drbg& drbg) const {
-  return EncryptWithKey(*params_, y_, m, drbg);
+  return EncryptWithKey(*params_, *y_table_, m, drbg);
 }
 
 Result<int64_t> ElGamal::Decrypt(const ElGamalCiphertext& ct,
@@ -106,19 +117,21 @@ ThresholdElGamal::ThresholdElGamal(const PedersenParams& params,
   // Simulated DKG: each party samples x_i and publishes g^{x_i}; the joint
   // key is the product. (A real deployment adds knowledge proofs per party;
   // semi-honest model here, consistent with the MPC engine.)
+  const PedersenAccel& accel = GetPedersenAccel(params);
   BigInt y(1);
   shares_.reserve(num_parties);
   for (size_t i = 0; i < num_parties; ++i) {
     BigInt x_i = drbg.RandomNonZeroBelow(params.q);
-    y = y.MulMod(params.g.PowMod(x_i, params.p), params.p);
+    y = y.MulMod(accel.g.PowMod(x_i), params.p);
     shares_.push_back(std::move(x_i));
   }
   y_ = std::move(y);
+  y_table_ = MakeKeyTable(params, y_);
 }
 
 Result<ElGamalCiphertext> ThresholdElGamal::Encrypt(int64_t m,
                                                     Drbg& drbg) const {
-  return EncryptWithKey(*params_, y_, m, drbg);
+  return EncryptWithKey(*params_, *y_table_, m, drbg);
 }
 
 Result<BigInt> ThresholdElGamal::PartialDecrypt(

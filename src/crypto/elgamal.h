@@ -1,6 +1,7 @@
 #ifndef PREVER_CRYPTO_ELGAMAL_H_
 #define PREVER_CRYPTO_ELGAMAL_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -50,6 +51,8 @@ class ElGamal {
   const PedersenParams* params_;
   BigInt x_;  ///< Secret key.
   BigInt y_;  ///< Public key g^x.
+  /// Fixed-base table for y: y^r dominates every Encrypt.
+  std::unique_ptr<FixedBaseTable> y_table_;
 };
 
 /// n-of-n threshold ElGamal: the secret key is additively shared across
@@ -88,6 +91,7 @@ class ThresholdElGamal {
   const PedersenParams* params_;
   std::vector<BigInt> shares_;  ///< x_i per party (held by party i).
   BigInt y_;                    ///< Joint public key.
+  std::unique_ptr<FixedBaseTable> y_table_;
 };
 
 /// Shared dlog recovery: finds m in [0, max] with g^m == target, or error.

@@ -1,16 +1,32 @@
 #include "crypto/montgomery.h"
 
+#include <map>
+#include <mutex>
+#include <utility>
+
 namespace prever::crypto {
 
 namespace {
-/// -n0^{-1} mod 2^32 by Newton iteration (n0 odd).
-uint32_t NegInverse32(uint32_t n0) {
-  uint32_t x = 1;
-  // Each iteration doubles the number of correct low bits: 5 iterations
-  // reach 32 bits.
-  for (int i = 0; i < 5; ++i) x *= 2 - n0 * x;
-  return ~x + 1;  // -x mod 2^32.
+
+/// -n0^{-1} mod 2^64 by Newton iteration (n0 odd). Each iteration doubles
+/// the number of correct low bits: 6 iterations reach 64 bits.
+uint64_t NegInverse64(uint64_t n0) {
+  uint64_t x = 1;
+  for (int i = 0; i < 6; ++i) x *= 2 - n0 * x;
+  return ~x + 1;  // -x mod 2^64.
 }
+
+/// Sliding-window width for an exponent of `bits` bits: the usual
+/// precompute-vs-savings balance (2^(w-1) table entries against ~bits/(w+1)
+/// saved multiplications).
+size_t WindowBits(size_t bits) {
+  if (bits >= 512) return 5;
+  if (bits >= 128) return 4;
+  if (bits >= 24) return 3;
+  if (bits >= 8) return 2;
+  return 1;
+}
+
 }  // namespace
 
 Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
@@ -19,56 +35,97 @@ Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
   }
   MontgomeryContext ctx;
   ctx.n_ = modulus;
-  ctx.n_limbs_ = modulus.Limbs();
-  ctx.k_ = ctx.n_limbs_.size();
-  ctx.n_prime_ = NegInverse32(ctx.n_limbs_[0]);
-  // R = 2^(32k); R^2 mod n and R mod n via one-time divisions.
-  ctx.r2_ = (BigInt(1) << (64 * ctx.k_)).Mod(modulus);
-  ctx.one_mont_ = (BigInt(1) << (32 * ctx.k_)).Mod(modulus);
+  const std::vector<uint32_t>& limbs32 = modulus.Limbs();
+  ctx.k_ = (limbs32.size() + 1) / 2;
+  ctx.n64_.assign(ctx.k_, 0);
+  for (size_t i = 0; i < limbs32.size(); ++i) {
+    ctx.n64_[i / 2] |= static_cast<uint64_t>(limbs32[i]) << (32 * (i % 2));
+  }
+  ctx.n_prime_ = NegInverse64(ctx.n64_[0]);
+  // R = 2^(64k); R^2 mod n and R mod n via one-time divisions.
+  ctx.r2_ = ctx.Pack((BigInt(1) << (128 * ctx.k_)).Mod(modulus));
+  ctx.one_ = ctx.Pack((BigInt(1) << (64 * ctx.k_)).Mod(modulus));
+  ctx.unit_.assign(ctx.k_, 0);
+  ctx.unit_[0] = 1;
   return ctx;
 }
 
-std::vector<uint32_t> MontgomeryContext::PadLimbs(const BigInt& v) const {
-  std::vector<uint32_t> out = v.Limbs();
-  out.resize(k_, 0);
+Result<std::shared_ptr<const MontgomeryContext>> MontgomeryContext::Shared(
+    const BigInt& modulus) {
+  static std::mutex mu;
+  static auto* cache =
+      new std::map<std::vector<uint32_t>,
+                   std::shared_ptr<const MontgomeryContext>>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(modulus.Limbs());
+    if (it != cache->end()) return it->second;
+  }
+  // Build outside the lock: construction costs a division and may race with
+  // other threads building the same context, in which case last-in wins
+  // (both are equivalent immutable values).
+  PREVER_ASSIGN_OR_RETURN(MontgomeryContext ctx, Create(modulus));
+  auto shared = std::make_shared<const MontgomeryContext>(std::move(ctx));
+  std::lock_guard<std::mutex> lock(mu);
+  // Transient moduli (e.g. Miller–Rabin candidates during keygen) would
+  // otherwise grow the cache without bound; a flush is cheap because live
+  // users hold shared_ptrs.
+  if (cache->size() >= 256) cache->clear();
+  (*cache)[modulus.Limbs()] = shared;
+  return shared;
+}
+
+MontgomeryContext::Limbs MontgomeryContext::Pack(const BigInt& v) const {
+  const std::vector<uint32_t>& limbs32 = v.Limbs();
+  Limbs out(k_, 0);
+  for (size_t i = 0; i < limbs32.size() && i / 2 < k_; ++i) {
+    out[i / 2] |= static_cast<uint64_t>(limbs32[i]) << (32 * (i % 2));
+  }
   return out;
 }
 
-BigInt MontgomeryContext::FromPadded(std::vector<uint32_t> limbs) const {
-  return BigInt::FromLimbs(std::move(limbs));
+BigInt MontgomeryContext::Unpack(const Limbs& v) const {
+  std::vector<uint32_t> limbs32(v.size() * 2);
+  for (size_t i = 0; i < v.size(); ++i) {
+    limbs32[2 * i] = static_cast<uint32_t>(v[i]);
+    limbs32[2 * i + 1] = static_cast<uint32_t>(v[i] >> 32);
+  }
+  return BigInt::FromLimbs(std::move(limbs32));
 }
 
-void MontgomeryContext::MontMulLimbs(const std::vector<uint32_t>& a,
-                                     const std::vector<uint32_t>& b,
-                                     std::vector<uint32_t>* out) const {
-  // CIOS (coarsely integrated operand scanning), Koç et al.
+void MontgomeryContext::MontMulRaw(const uint64_t* a, const uint64_t* b,
+                                   uint64_t* t) const {
+  // CIOS (coarsely integrated operand scanning), Koç et al., on 64-bit
+  // limbs with 128-bit accumulation.
   const size_t k = k_;
-  std::vector<uint32_t> t(k + 2, 0);
+  const uint64_t* n = n64_.data();
+  for (size_t j = 0; j < k + 2; ++j) t[j] = 0;
   for (size_t i = 0; i < k; ++i) {
     // t += a[i] * b.
-    uint64_t carry = 0;
-    uint64_t ai = a[i];
+    unsigned __int128 carry = 0;
+    const uint64_t ai = a[i];
     for (size_t j = 0; j < k; ++j) {
-      uint64_t cur = t[j] + ai * b[j] + carry;
-      t[j] = static_cast<uint32_t>(cur);
-      carry = cur >> 32;
+      unsigned __int128 cur =
+          t[j] + static_cast<unsigned __int128>(ai) * b[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
     }
-    uint64_t cur = t[k] + carry;
-    t[k] = static_cast<uint32_t>(cur);
-    t[k + 1] = static_cast<uint32_t>(cur >> 32);
+    unsigned __int128 cur = t[k] + carry;
+    t[k] = static_cast<uint64_t>(cur);
+    t[k + 1] = static_cast<uint64_t>(cur >> 64);
 
-    // Eliminate the lowest limb: m = t[0] * n' mod 2^32; t = (t + m*n) / 2^32.
-    uint32_t m = t[0] * n_prime_;
-    cur = t[0] + static_cast<uint64_t>(m) * n_limbs_[0];
-    carry = cur >> 32;
+    // Eliminate the lowest limb: m = t[0] * n' mod 2^64; t = (t + m*n)/2^64.
+    const uint64_t m = t[0] * n_prime_;
+    cur = t[0] + static_cast<unsigned __int128>(m) * n[0];
+    carry = cur >> 64;
     for (size_t j = 1; j < k; ++j) {
-      cur = t[j] + static_cast<uint64_t>(m) * n_limbs_[j] + carry;
-      t[j - 1] = static_cast<uint32_t>(cur);
-      carry = cur >> 32;
+      cur = t[j] + static_cast<unsigned __int128>(m) * n[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
     }
-    cur = static_cast<uint64_t>(t[k]) + carry;
-    t[k - 1] = static_cast<uint32_t>(cur);
-    t[k] = t[k + 1] + static_cast<uint32_t>(cur >> 32);
+    cur = static_cast<unsigned __int128>(t[k]) + carry;
+    t[k - 1] = static_cast<uint64_t>(cur);
+    t[k] = t[k + 1] + static_cast<uint64_t>(cur >> 64);
     t[k + 1] = 0;
   }
   // Conditional subtraction: result may be in [0, 2n).
@@ -76,60 +133,167 @@ void MontgomeryContext::MontMulLimbs(const std::vector<uint32_t>& a,
   if (!ge) {
     ge = true;
     for (size_t j = k; j-- > 0;) {
-      if (t[j] != n_limbs_[j]) {
-        ge = t[j] > n_limbs_[j];
+      if (t[j] != n[j]) {
+        ge = t[j] > n[j];
         break;
       }
     }
   }
   if (ge) {
-    int64_t borrow = 0;
+    unsigned __int128 borrow = 0;
     for (size_t j = 0; j < k; ++j) {
-      int64_t diff = static_cast<int64_t>(t[j]) - n_limbs_[j] - borrow;
-      if (diff < 0) {
-        diff += 1LL << 32;
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      t[j] = static_cast<uint32_t>(diff);
+      unsigned __int128 diff =
+          static_cast<unsigned __int128>(t[j]) - n[j] - borrow;
+      t[j] = static_cast<uint64_t>(diff);
+      borrow = (diff >> 64) ? 1 : 0;
     }
   }
-  t.resize(k);
-  *out = std::move(t);
 }
+
+void MontgomeryContext::MulMontLimbs(const Limbs& a, const Limbs& b,
+                                     Limbs* out) const {
+  // Thread-local scratch: the kernel runs tens of thousands of times per
+  // engine operation, so a malloc per product would rival the multiply
+  // itself. Writing through scratch also makes aliasing (`out` == `a`/`b`)
+  // safe.
+  static thread_local Limbs scratch;
+  scratch.resize(k_ + 2);
+  MontMulRaw(a.data(), b.data(), scratch.data());
+  out->assign(scratch.begin(), scratch.begin() + k_);
+}
+
+MontgomeryContext::Limbs MontgomeryContext::PackMont(const BigInt& a) const {
+  Limbs out;
+  MulMontLimbs(Pack(a), r2_, &out);
+  return out;
+}
+
+BigInt MontgomeryContext::UnpackMont(const Limbs& a) const {
+  Limbs out;
+  MulMontLimbs(a, unit_, &out);
+  return Unpack(out);
+}
+
+MontgomeryContext::Limbs MontgomeryContext::OneMont() const { return one_; }
 
 BigInt MontgomeryContext::MulMont(const BigInt& a_mont,
                                   const BigInt& b_mont) const {
-  std::vector<uint32_t> out;
-  MontMulLimbs(PadLimbs(a_mont), PadLimbs(b_mont), &out);
-  return FromPadded(std::move(out));
+  Limbs out;
+  MulMontLimbs(Pack(a_mont), Pack(b_mont), &out);
+  return Unpack(out);
 }
 
 BigInt MontgomeryContext::ToMontgomery(const BigInt& a) const {
-  return MulMont(a, r2_);
+  return Unpack(PackMont(a));
 }
 
 BigInt MontgomeryContext::FromMontgomery(const BigInt& a_mont) const {
-  return MulMont(a_mont, BigInt(1));
+  return UnpackMont(Pack(a_mont));
+}
+
+MontgomeryContext::Limbs MontgomeryContext::PowMont(const Limbs& base_mont,
+                                                    const BigInt& exp) const {
+  const size_t bits = exp.BitLength();
+  if (bits == 0) return one_;
+
+  // Sliding window over precomputed odd powers base^1, base^3, ...,
+  // base^(2^w - 1).
+  const size_t w = WindowBits(bits);
+  std::vector<Limbs> odd(size_t{1} << (w - 1));
+  odd[0] = base_mont;
+  if (w > 1) {
+    Limbs sq;
+    MulMontLimbs(base_mont, base_mont, &sq);
+    for (size_t i = 1; i < odd.size(); ++i) {
+      MulMontLimbs(odd[i - 1], sq, &odd[i]);
+    }
+  }
+
+  Limbs acc = one_;
+  Limbs scratch(k_ + 2);
+  uint64_t* t = scratch.data();
+  auto square = [&] {
+    MontMulRaw(acc.data(), acc.data(), t);
+    std::copy(t, t + k_, acc.begin());
+  };
+  auto mul_by = [&](const Limbs& v) {
+    MontMulRaw(acc.data(), v.data(), t);
+    std::copy(t, t + k_, acc.begin());
+  };
+
+  size_t i = bits;
+  while (i > 0) {
+    if (!exp.Bit(i - 1)) {
+      square();
+      --i;
+      continue;
+    }
+    // Greedy window [l, i): starts at a set bit, ends at a set bit.
+    size_t l = i >= w ? i - w : 0;
+    while (!exp.Bit(l)) ++l;
+    uint64_t digit = 0;
+    for (size_t j = i; j-- > l;) digit = (digit << 1) | (exp.Bit(j) ? 1 : 0);
+    for (size_t j = 0; j < i - l; ++j) square();
+    mul_by(odd[(digit - 1) >> 1]);
+    i = l;
+  }
+  return acc;
 }
 
 BigInt MontgomeryContext::PowMod(const BigInt& base, const BigInt& exp) const {
-  BigInt b = base.Mod(n_);
-  if (n_ == BigInt(1)) return BigInt();
-  std::vector<uint32_t> acc = PadLimbs(one_mont_);
-  std::vector<uint32_t> b_mont = PadLimbs(ToMontgomery(b));
-  std::vector<uint32_t> tmp;
-  size_t bits = exp.BitLength();
-  for (size_t i = bits; i-- > 0;) {
-    MontMulLimbs(acc, acc, &tmp);
-    acc.swap(tmp);
-    if (exp.Bit(i)) {
-      MontMulLimbs(acc, b_mont, &tmp);
-      acc.swap(tmp);
+  return UnpackMont(PowMont(PackMont(base.Mod(n_)), exp));
+}
+
+FixedBaseTable::FixedBaseTable(std::shared_ptr<const MontgomeryContext> ctx,
+                               const BigInt& base, size_t max_exp_bits,
+                               size_t window_bits)
+    : ctx_(std::move(ctx)),
+      base_(base.Mod(ctx_->modulus())),
+      window_bits_(window_bits == 0 ? 1 : window_bits),
+      max_exp_bits_(max_exp_bits == 0 ? 1 : max_exp_bits) {
+  windows_ = (max_exp_bits_ + window_bits_ - 1) / window_bits_;
+  const size_t digits = (size_t{1} << window_bits_) - 1;
+  table_.resize(windows_ * digits);
+  // Entry (i, d) = base^(d * 2^(w*i)): within a window the entries are a
+  // multiplication chain by `stride` = base^(2^(w*i)); the next window's
+  // stride is this window's last entry times `stride` once more.
+  MontgomeryContext::Limbs stride = ctx_->PackMont(base_);
+  for (size_t i = 0; i < windows_; ++i) {
+    table_[i * digits] = stride;
+    for (size_t d = 1; d < digits; ++d) {
+      ctx_->MulMontLimbs(table_[i * digits + d - 1], stride,
+                         &table_[i * digits + d]);
+    }
+    if (i + 1 < windows_) {
+      ctx_->MulMontLimbs(table_[i * digits + digits - 1], stride, &stride);
     }
   }
-  return FromMontgomery(FromPadded(std::move(acc)));
+}
+
+MontgomeryContext::Limbs FixedBaseTable::PowMont(const BigInt& exp) const {
+  const size_t bits = exp.BitLength();
+  if (bits == 0) return ctx_->OneMont();
+  if (exp.IsNegative() || bits > max_exp_bits_) {
+    // Out of the table's domain: generic path.
+    return ctx_->PowMont(ctx_->PackMont(base_), exp);
+  }
+  const size_t digits = (size_t{1} << window_bits_) - 1;
+  MontgomeryContext::Limbs acc = ctx_->OneMont();
+  const size_t used_windows = (bits + window_bits_ - 1) / window_bits_;
+  for (size_t i = 0; i < used_windows; ++i) {
+    uint64_t d = 0;
+    for (size_t j = window_bits_; j-- > 0;) {
+      d = (d << 1) | (exp.Bit(i * window_bits_ + j) ? 1 : 0);
+    }
+    if (d != 0) {
+      ctx_->MulMontLimbs(acc, table_[i * digits + (d - 1)], &acc);
+    }
+  }
+  return acc;
+}
+
+BigInt FixedBaseTable::PowMod(const BigInt& exp) const {
+  return ctx_->UnpackMont(PowMont(exp));
 }
 
 }  // namespace prever::crypto

@@ -25,12 +25,28 @@ Result<PaillierKeyPair> PaillierGenerateKey(size_t modulus_bits, Drbg& drbg) {
     BigInt lambda = BigInt::Lcm(p - BigInt(1), q - BigInt(1));
     auto mu = lambda.InvMod(n);
     if (!mu.ok()) continue;
+    // CRT precomputation. With g = 1 + n: g^(p-1) = 1 + (p-1)*n (mod p^2),
+    // so L_p of it is (p-1)*q mod p — invertible since p is prime and
+    // divides neither p-1 nor q.
+    BigInt p2 = p * p;
+    BigInt q2 = q * q;
+    auto hp = ((p - BigInt(1)) * q).Mod(p).InvMod(p);
+    auto hq = ((q - BigInt(1)) * p).Mod(q).InvMod(q);
+    auto q_inv_p = q.InvMod(p);
+    if (!hp.ok() || !hq.ok() || !q_inv_p.ok()) continue;  // Unreachable.
     PaillierKeyPair kp;
     kp.pub.n = n;
     kp.pub.n2 = n * n;
     kp.pub.g = n + BigInt(1);
     kp.priv.lambda = std::move(lambda);
     kp.priv.mu = std::move(mu).value();
+    kp.priv.p = std::move(p);
+    kp.priv.q = std::move(q);
+    kp.priv.p2 = std::move(p2);
+    kp.priv.q2 = std::move(q2);
+    kp.priv.hp = std::move(hp).value();
+    kp.priv.hq = std::move(hq).value();
+    kp.priv.q_inv_p = std::move(q_inv_p).value();
     return kp;
   }
 }
@@ -54,8 +70,8 @@ Result<PaillierCiphertext> PaillierEncryptSigned(const PaillierPublicKey& pub,
   return PaillierEncrypt(pub, pt, drbg);
 }
 
-Result<BigInt> PaillierDecrypt(const PaillierKeyPair& key,
-                               const PaillierCiphertext& ct) {
+Result<BigInt> PaillierDecryptNoCrt(const PaillierKeyPair& key,
+                                    const PaillierCiphertext& ct) {
   const auto& pub = key.pub;
   if (ct.c.IsNegative() || ct.c >= pub.n2 || ct.c.IsZero()) {
     return Status::InvalidArgument("ciphertext out of range");
@@ -63,6 +79,30 @@ Result<BigInt> PaillierDecrypt(const PaillierKeyPair& key,
   BigInt u = ct.c.PowMod(key.priv.lambda, pub.n2);
   BigInt m = LFunction(u, pub.n).MulMod(key.priv.mu, pub.n);
   return m;
+}
+
+Result<BigInt> PaillierDecrypt(const PaillierKeyPair& key,
+                               const PaillierCiphertext& ct) {
+  const auto& priv = key.priv;
+  if (!priv.HasCrt()) return PaillierDecryptNoCrt(key, ct);
+  const auto& pub = key.pub;
+  if (ct.c.IsNegative() || ct.c >= pub.n2 || ct.c.IsZero()) {
+    return Status::InvalidArgument("ciphertext out of range");
+  }
+  // Per prime factor: c^(p-1) mod p^2 kills the r^n component (its order
+  // divides p-1 ... more precisely r^(n(p-1)) = 1 mod p^2), leaving
+  // 1 + m*(p-1)*n, whose L_p is m*(p-1)*q mod p; multiply by hp to get
+  // m mod p. Half-width moduli and exponents make each half ~8x cheaper
+  // than the full c^lambda mod n^2.
+  BigInt mp = LFunction(ct.c.Mod(priv.p2).PowMod(priv.p - BigInt(1), priv.p2),
+                        priv.p)
+                  .MulMod(priv.hp, priv.p);
+  BigInt mq = LFunction(ct.c.Mod(priv.q2).PowMod(priv.q - BigInt(1), priv.q2),
+                        priv.q)
+                  .MulMod(priv.hq, priv.q);
+  // Garner: m = mq + q * ((mp - mq) * q^{-1} mod p), in [0, n).
+  BigInt h = mp.SubMod(mq.Mod(priv.p), priv.p).MulMod(priv.q_inv_p, priv.p);
+  return mq + priv.q * h;
 }
 
 Result<int64_t> PaillierDecryptSigned(const PaillierKeyPair& key,

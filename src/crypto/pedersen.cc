@@ -1,5 +1,8 @@
 #include "crypto/pedersen.h"
 
+#include <map>
+#include <mutex>
+
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 
@@ -69,11 +72,38 @@ const PedersenParams& PedersenParams::Test256() {
   return params;
 }
 
+BigInt PedersenAccel::PowGH(const BigInt& a, const BigInt& b) const {
+  MontgomeryContext::Limbs ga = g.PowMont(a);
+  ctx->MulMontLimbs(ga, h.PowMont(b), &ga);
+  return ctx->UnpackMont(ga);
+}
+
+const PedersenAccel& GetPedersenAccel(const PedersenParams& params) {
+  static std::mutex mu;
+  static auto* cache = new std::map<Bytes, std::unique_ptr<PedersenAccel>>();
+  // Key on (p, g, h): p alone does not pin the generators in principle.
+  Bytes key = params.p.ToBytes();
+  Append(key, params.g.ToBytes());
+  Append(key, params.h.ToBytes());
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    auto ctx = MontgomeryContext::Shared(params.p).value();
+    size_t exp_bits = params.q.BitLength();
+    auto accel = std::unique_ptr<PedersenAccel>(
+        new PedersenAccel{ctx, FixedBaseTable(ctx, params.g, exp_bits),
+                          FixedBaseTable(ctx, params.h, exp_bits),
+                          params.g.InvMod(params.p).value()});
+    it = cache->emplace(std::move(key), std::move(accel)).first;
+  }
+  return *it->second;
+}
+
 PedersenCommitment PedersenCommit(const PedersenParams& params,
                                   const BigInt& m, const BigInt& r) {
-  BigInt gm = params.g.PowMod(m.Mod(params.q), params.p);
-  BigInt hr = params.h.PowMod(r.Mod(params.q), params.p);
-  return PedersenCommitment{gm.MulMod(hr, params.p)};
+  const PedersenAccel& accel = GetPedersenAccel(params);
+  return PedersenCommitment{
+      accel.PowGH(m.Mod(params.q), r.Mod(params.q))};
 }
 
 PedersenOpening PedersenCommitFresh(const PedersenParams& params,

@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "crypto/bigint.h"
 #include "crypto/drbg.h"
+#include "crypto/montgomery.h"
 
 namespace prever::crypto {
 
@@ -23,6 +24,26 @@ struct PedersenParams {
   /// 256-bit group for fast unit tests. NOT secure.
   static const PedersenParams& Test256();
 };
+
+/// Per-group acceleration state: the cached Montgomery context for p plus
+/// fixed-base tables for g and h sized for exponents in [0, q). Every
+/// commitment / Σ-protocol exponentiation on a fixed generator goes through
+/// these tables instead of generic square-and-multiply.
+struct PedersenAccel {
+  std::shared_ptr<const MontgomeryContext> ctx;
+  FixedBaseTable g;
+  FixedBaseTable h;
+  BigInt g_inv;  ///< g^{-1} mod p, cached for the bit-proof OR branches.
+
+  /// g^a * h^b mod p in one pass (two table walks, one MontMul, one exit
+  /// from the Montgomery domain) — the Σ-protocol workhorse.
+  BigInt PowGH(const BigInt& a, const BigInt& b) const;
+};
+
+/// Process-wide accel cache for a group (thread-safe; built on first use).
+/// The three standard groups are long-lived statics, so their tables are
+/// built exactly once per process.
+const PedersenAccel& GetPedersenAccel(const PedersenParams& params);
 
 /// A Pedersen commitment C = g^m h^r mod p. Perfectly hiding,
 /// computationally binding; additively homomorphic:

@@ -34,8 +34,7 @@ OpeningProof ProveOpening(const PedersenParams& params,
   BigInt a = drbg.RandomBelow(params.q);
   BigInt b = drbg.RandomBelow(params.q);
   OpeningProof proof;
-  proof.t = params.g.PowMod(a, params.p)
-                .MulMod(params.h.PowMod(b, params.p), params.p);
+  proof.t = GetPedersenAccel(params).PowGH(a, b);
   BigInt e = Challenge(params, "prever-zkp-opening", {&commitment.c, &proof.t});
   proof.z1 = (a + e * m.Mod(params.q)).Mod(params.q);
   proof.z2 = (b + e * r.Mod(params.q)).Mod(params.q);
@@ -46,8 +45,7 @@ bool VerifyOpening(const PedersenParams& params,
                    const PedersenCommitment& commitment,
                    const OpeningProof& proof) {
   BigInt e = Challenge(params, "prever-zkp-opening", {&commitment.c, &proof.t});
-  BigInt lhs = params.g.PowMod(proof.z1, params.p)
-                   .MulMod(params.h.PowMod(proof.z2, params.p), params.p);
+  BigInt lhs = GetPedersenAccel(params).PowGH(proof.z1, proof.z2);
   BigInt rhs = proof.t.MulMod(commitment.c.PowMod(e, params.p), params.p);
   return lhs == rhs;
 }
@@ -61,32 +59,37 @@ Result<BitProof> ProveBit(const PedersenParams& params,
   // Statements (Schnorr w.r.t. base h):
   //   branch 0: y0 = C       = h^r   (i.e., committed value is 0)
   //   branch 1: y1 = C * g^-1 = h^r  (i.e., committed value is 1)
-  PREVER_ASSIGN_OR_RETURN(BigInt g_inv, params.g.InvMod(params.p));
+  const PedersenAccel& accel = GetPedersenAccel(params);
   BigInt y0 = commitment.c;
-  BigInt y1 = commitment.c.MulMod(g_inv, params.p);
+  BigInt y1 = commitment.c.MulMod(accel.g_inv, params.p);
+
+  // The simulated branch needs y^{-e}; y0/y1 live in the order-q subgroup
+  // (products of g/h powers), so y^{-e} = y^{q-e} — one exponentiation
+  // instead of an extended-gcd inverse plus one.
+  auto pow_neg = [&](const BigInt& y, const BigInt& e) {
+    return y.PowMod(e.IsZero() ? BigInt(0) : params.q - e, params.p);
+  };
 
   BitProof proof;
   BigInt w = drbg.RandomBelow(params.q);
   if (bit == 0) {
     // Real proof on branch 0; simulate branch 1.
-    proof.t0 = params.h.PowMod(w, params.p);
+    proof.t0 = accel.h.PowMod(w);
     proof.e1 = drbg.RandomBelow(params.q);
     proof.z1 = drbg.RandomBelow(params.q);
-    PREVER_ASSIGN_OR_RETURN(BigInt y1_inv, y1.InvMod(params.p));
-    proof.t1 = params.h.PowMod(proof.z1, params.p)
-                   .MulMod(y1_inv.PowMod(proof.e1, params.p), params.p);
+    proof.t1 = accel.h.PowMod(proof.z1)
+                   .MulMod(pow_neg(y1, proof.e1), params.p);
     BigInt e = Challenge(params, "prever-zkp-bit",
                          {&commitment.c, &proof.t0, &proof.t1});
     proof.e0 = e.SubMod(proof.e1, params.q);
     proof.z0 = (w + proof.e0 * r.Mod(params.q)).Mod(params.q);
   } else {
     // Real proof on branch 1; simulate branch 0.
-    proof.t1 = params.h.PowMod(w, params.p);
+    proof.t1 = accel.h.PowMod(w);
     proof.e0 = drbg.RandomBelow(params.q);
     proof.z0 = drbg.RandomBelow(params.q);
-    PREVER_ASSIGN_OR_RETURN(BigInt y0_inv, y0.InvMod(params.p));
-    proof.t0 = params.h.PowMod(proof.z0, params.p)
-                   .MulMod(y0_inv.PowMod(proof.e0, params.p), params.p);
+    proof.t0 = accel.h.PowMod(proof.z0)
+                   .MulMod(pow_neg(y0, proof.e0), params.p);
     BigInt e = Challenge(params, "prever-zkp-bit",
                          {&commitment.c, &proof.t0, &proof.t1});
     proof.e1 = e.SubMod(proof.e0, params.q);
@@ -100,16 +103,15 @@ bool VerifyBit(const PedersenParams& params,
   BigInt e = Challenge(params, "prever-zkp-bit",
                        {&commitment.c, &proof.t0, &proof.t1});
   if (proof.e0.AddMod(proof.e1, params.q) != e) return false;
-  auto g_inv = params.g.InvMod(params.p);
-  if (!g_inv.ok()) return false;
+  const PedersenAccel& accel = GetPedersenAccel(params);
   BigInt y0 = commitment.c;
-  BigInt y1 = commitment.c.MulMod(g_inv.value(), params.p);
+  BigInt y1 = commitment.c.MulMod(accel.g_inv, params.p);
   // h^z0 == t0 * y0^e0
-  BigInt lhs0 = params.h.PowMod(proof.z0, params.p);
+  BigInt lhs0 = accel.h.PowMod(proof.z0);
   BigInt rhs0 = proof.t0.MulMod(y0.PowMod(proof.e0, params.p), params.p);
   if (lhs0 != rhs0) return false;
   // h^z1 == t1 * y1^e1
-  BigInt lhs1 = params.h.PowMod(proof.z1, params.p);
+  BigInt lhs1 = accel.h.PowMod(proof.z1);
   BigInt rhs1 = proof.t1.MulMod(y1.PowMod(proof.e1, params.p), params.p);
   return lhs1 == rhs1;
 }
@@ -165,14 +167,20 @@ bool VerifyRange(const PedersenParams& params,
       return false;
     }
   }
-  // Weighted product must reconstruct the original commitment.
-  BigInt product(1);
-  for (size_t i = 0; i < num_bits; ++i) {
-    BigInt weighted =
-        proof.bit_commitments[i].c.PowMod(BigInt(1) << i, params.p);
-    product = product.MulMod(weighted, params.p);
+  // Weighted product must reconstruct the original commitment:
+  // prod c_i^(2^i) evaluated Horner-style from the top bit down
+  // (acc = acc^2 * c_i), which is 2*num_bits MontMuls instead of num_bits
+  // full exponentiations.
+  auto ctx = MontgomeryContext::Shared(params.p);
+  if (!ctx.ok()) return false;
+  MontgomeryContext::Limbs acc = (*ctx)->OneMont();
+  for (size_t i = num_bits; i-- > 0;) {
+    (*ctx)->MulMontLimbs(acc, acc, &acc);
+    (*ctx)->MulMontLimbs(
+        acc, (*ctx)->PackMont(proof.bit_commitments[i].c.Mod(params.p)),
+        &acc);
   }
-  return product == commitment.c;
+  return (*ctx)->UnpackMont(acc) == commitment.c;
 }
 
 Result<RangeProof> ProveUpperBound(const PedersenParams& params,
@@ -201,7 +209,7 @@ bool VerifyUpperBound(const PedersenParams& params,
   auto c_inv = commitment.c.InvMod(params.p);
   if (!c_inv.ok()) return false;
   PedersenCommitment slack_commitment{
-      params.g.PowMod(bound.Mod(params.q), params.p)
+      GetPedersenAccel(params).g.PowMod(bound.Mod(params.q))
           .MulMod(c_inv.value(), params.p)};
   return VerifyRange(params, slack_commitment, proof, num_bits);
 }
@@ -226,7 +234,7 @@ bool VerifyLowerBound(const PedersenParams& params,
                       size_t num_bits) {
   // Derive Commit(m - bound, r) = C * g^{-bound}.
   auto g_pow_bound_inv =
-      params.g.PowMod(bound.Mod(params.q), params.p).InvMod(params.p);
+      GetPedersenAccel(params).g.PowMod(bound.Mod(params.q)).InvMod(params.p);
   if (!g_pow_bound_inv.ok()) return false;
   PedersenCommitment slack_commitment{
       commitment.c.MulMod(g_pow_bound_inv.value(), params.p)};

@@ -1,0 +1,145 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/prever.h"
+#include "crypto/drbg.h"
+#include "storage/value.h"
+
+namespace prever {
+namespace {
+
+TEST(ThreadPoolTest, SerialPoolRunsAllIndicesInline) {
+  common::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, [&](size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneElementBatches) {
+  common::ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "no work expected"; });
+  int hits = 0;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ThreadPoolTest, EachIndexClaimedExactlyOnce) {
+  common::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  common::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(17, [&](size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 17u * 16u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, WorkRunsOnMultipleThreads) {
+  common::ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  // Enough slow-ish iterations that every worker gets a chance to claim one.
+  pool.ParallelFor(64, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(DrbgForkTest, ChildStreamsAreDeterministicAndDistinct) {
+  crypto::Drbg parent1(uint64_t{42});
+  crypto::Drbg parent2(uint64_t{42});
+  crypto::Drbg child1a = parent1.Fork();
+  crypto::Drbg child1b = parent1.Fork();
+  crypto::Drbg child2a = parent2.Fork();
+  // Same parent seed + same fork order => identical child streams.
+  EXPECT_EQ(child1a.Generate(64), child2a.Generate(64));
+  // Siblings differ from each other and from the parent's next output.
+  Bytes a = child1a.Generate(64);
+  EXPECT_NE(a, child1b.Generate(64));
+  EXPECT_NE(a, parent1.Generate(64));
+}
+
+TEST(EncryptedBatchTest, BatchSubmitAcceptsAndStoresAllRows) {
+  core::DataOwner owner(256, crypto::PedersenParams::Test256(), 7);
+  core::CentralizedOrdering ordering;
+  std::vector<core::RegulatedBound> bounds = {
+      {constraint::BoundDirection::kUpper, 1000, 0, 12}};
+  core::EncryptedEngine engine(&owner, &ordering, "owner", "amount", bounds,
+                               /*value_bits=*/7, /*seed=*/3);
+  common::ThreadPool pool(3);
+  engine.set_thread_pool(&pool);
+
+  std::vector<core::Update> updates;
+  for (int i = 0; i < 4; ++i) {
+    core::Update u;
+    u.id = "u" + std::to_string(i);
+    u.producer = "producer";
+    u.timestamp = 10 + i;
+    u.fields["owner"] = storage::Value::String("alice");
+    u.fields["amount"] = storage::Value::Int64(5 + i);
+    updates.push_back(std::move(u));
+  }
+  auto sealed = engine.SealBatch(updates);
+  ASSERT_TRUE(sealed.ok()) << sealed.status().message();
+  ASSERT_EQ(sealed->size(), 4u);
+  EXPECT_TRUE(engine.SubmitSealedBatch(*sealed).ok());
+  EXPECT_EQ(engine.NumRows("alice"), 4u);
+}
+
+TEST(EncryptedBatchTest, TamperedProofRejectsOnlyThatSubmission) {
+  core::DataOwner owner(256, crypto::PedersenParams::Test256(), 7);
+  core::CentralizedOrdering ordering;
+  std::vector<core::RegulatedBound> bounds = {
+      {constraint::BoundDirection::kUpper, 1000, 0, 12}};
+  core::EncryptedEngine engine(&owner, &ordering, "owner", "amount", bounds,
+                               /*value_bits=*/7, /*seed=*/3);
+  common::ThreadPool pool(2);
+  engine.set_thread_pool(&pool);
+
+  std::vector<core::Update> updates;
+  for (int i = 0; i < 3; ++i) {
+    core::Update u;
+    u.id = "u" + std::to_string(i);
+    u.producer = "producer";
+    u.timestamp = 10 + i;
+    u.fields["owner"] = storage::Value::String("bob");
+    u.fields["amount"] = storage::Value::Int64(7);
+    updates.push_back(std::move(u));
+  }
+  auto sealed = engine.SealBatch(updates);
+  ASSERT_TRUE(sealed.ok());
+  // Corrupt the middle submission's range proof.
+  ASSERT_FALSE((*sealed)[1].sealed.range_proof.bit_proofs.empty());
+  (*sealed)[1].sealed.range_proof.bit_proofs[0].z0 =
+      (*sealed)[1].sealed.range_proof.bit_proofs[0].z0 + crypto::BigInt(1);
+  Status status = engine.SubmitSealedBatch(*sealed);
+  EXPECT_FALSE(status.ok());
+  // The two honest submissions still landed.
+  EXPECT_EQ(engine.NumRows("bob"), 2u);
+}
+
+}  // namespace
+}  // namespace prever

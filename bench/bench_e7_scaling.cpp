@@ -131,6 +131,67 @@ void BM_PlaintextBurst(benchmark::State& state) {
 BENCHMARK(BM_PlaintextBurst)->Arg(500)->Arg(2000)->Arg(8000)
     ->Unit(benchmark::kMillisecond)->Iterations(2);
 
+// ------------------------------- rate sweep (ordered-burst, consensus) ---
+//
+// Update-frequency scaling of the durable path itself: a burst of payloads
+// ordered through replicated Raft, blocking Append (stop-and-wait: one
+// consensus round per payload) vs SubmitAsync + one Flush (adaptive
+// batching, multi-in-flight window). sim_payloads_per_s is the simulated-
+// network throughput; the gap is the pipeline's claw-back (cf. E2).
+
+void RunOrderedBurst(benchmark::State& state, bool pipelined) {
+  int64_t burst = state.range(0);
+  core::OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 64;
+  pipeline.max_inflight = 4;
+  core::RaftOrdering ordering(5, net::SimNetConfig{},
+                              pipelined ? pipeline
+                                        : core::OrderingPipelineConfig{});
+  SimTime start = ordering.network().Now();
+  uint64_t total = 0;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < burst; ++i) {
+      Bytes payload = ToBytes("burst-" + std::to_string(total + i));
+      Status s;
+      if (pipelined) {
+        s = ordering.SubmitAsync(payload, total + i).status();
+      } else {
+        s = ordering.Append(payload, total + i);
+      }
+      if (!s.ok()) {
+        state.SkipWithError(s.ToString().c_str());
+        return;
+      }
+    }
+    if (pipelined) {
+      Status s = ordering.Flush();
+      if (!s.ok()) {
+        state.SkipWithError(s.ToString().c_str());
+        return;
+      }
+    }
+    total += static_cast<uint64_t>(burst);
+  }
+  SimTime elapsed = ordering.network().Now() - start;
+  if (total > 0 && elapsed > 0) {
+    state.counters["sim_payloads_per_s"] =
+        static_cast<double>(total) * kSecond / static_cast<double>(elapsed);
+  }
+  state.counters["burst"] = static_cast<double>(burst);
+}
+
+void BM_OrderedBurstBlocking(benchmark::State& state) {
+  RunOrderedBurst(state, /*pipelined=*/false);
+}
+BENCHMARK(BM_OrderedBurstBlocking)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void BM_OrderedBurstPipelined(benchmark::State& state) {
+  RunOrderedBurst(state, /*pipelined=*/true);
+}
+BENCHMARK(BM_OrderedBurstPipelined)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -106,3 +106,94 @@ with open(out_path, "w") as f:
 print(f"bench_perf: appended record '{label}' to {out_path} "
       f"({len(records)} records total)")
 EOF
+
+# ---------------------------------------------------------------- consensus
+# E2 (stop-and-wait baselines + pipelined batch x window x replica sweeps)
+# and the E7 ordered-burst pair feed BENCH_consensus.json. Each pipelined
+# case records committed payloads per simulated second plus p50/p99
+# per-payload commit latency; speedup_vs_stop_and_wait is derived against
+# the blocking BM_Raft/BM_Pbft row with the same replica count.
+CONS_OUT=BENCH_consensus.json
+
+echo "bench_perf: running bench_e2_consensus ..." >&2
+"$BUILD_DIR/bench/bench_e2_consensus" \
+    --benchmark_out="$TMP/e2.json" --benchmark_out_format=json \
+    > "$TMP/e2.out" 2>/dev/null
+echo "bench_perf: running bench_e7_scaling (ordered-burst) ..." >&2
+"$BUILD_DIR/bench/bench_e7_scaling" --benchmark_filter='OrderedBurst' \
+    --benchmark_out="$TMP/e7.json" --benchmark_out_format=json \
+    > "$TMP/e7.out" 2>/dev/null
+
+python3 - "$LABEL" "$CONS_OUT" "$TMP" <<'EOF'
+import json, os, subprocess, sys
+
+label, out_path, tmp = sys.argv[1], sys.argv[2], sys.argv[3]
+
+KEEP = ("sim_commits_per_s", "agg_sim_commits_per_s", "sim_payloads_per_s",
+        "sim_latency_p50_ms", "sim_latency_p90_ms", "sim_latency_p99_ms",
+        "sim_latency_p999_ms", "batch", "window", "replicas", "burst",
+        "net_msgs")
+
+def load_cases(path):
+    with open(path) as f:
+        bm = json.load(f)
+    cases = {}
+    for b in bm.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {"iterations": b["iterations"]}
+        for key in KEEP:
+            if key in b:
+                entry[key] = round(b[key], 3)
+        cases[b["name"]] = entry
+    return cases
+
+record = {"label": label}
+record["date"] = subprocess.run(
+    ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], capture_output=True,
+    text=True).stdout.strip()
+try:
+    record["git"] = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
+        text=True).stdout.strip()
+except OSError:
+    pass
+
+cases = load_cases(os.path.join(tmp, "e2.json"))
+cases.update(load_cases(os.path.join(tmp, "e7.json")))
+
+# Stop-and-wait throughput per (proto, replicas) from the blocking rows.
+baselines = {}
+for name, c in cases.items():
+    for proto, prefix in (("raft", "BM_Raft/"), ("pbft", "BM_Pbft/")):
+        if name.startswith(prefix) and "sim_commits_per_s" in c:
+            n = int(name[len(prefix):].split("/")[0])
+            baselines[(proto, n)] = c["sim_commits_per_s"]
+for name, c in cases.items():
+    proto = ("raft" if name.startswith("BM_RaftPipelined/")
+             else "pbft" if name.startswith("BM_PbftPipelined/") else None)
+    if proto is None or "sim_commits_per_s" not in c:
+        continue
+    base = baselines.get((proto, int(c.get("replicas", 0))))
+    if base:
+        c["speedup_vs_stop_and_wait"] = round(c["sim_commits_per_s"] / base, 2)
+
+record["cases"] = cases
+
+records = []
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        records = json.load(f)
+records.append(record)
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=2)
+    f.write("\n")
+
+claw = [f"{n}: {c['speedup_vs_stop_and_wait']}x"
+        for n, c in sorted(cases.items())
+        if "speedup_vs_stop_and_wait" in c]
+print(f"bench_perf: appended record '{label}' to {out_path} "
+      f"({len(records)} records total)")
+for line in claw:
+    print("  " + line)
+EOF

@@ -74,4 +74,58 @@ for h in hists:
   echo "bench_smoke: OK $bench"
 done
 
+# Pipelined-ordering sweep counters: one cheap pipelined case must report
+# the batch/window/replica point it measured plus simulated throughput and
+# per-payload latency percentiles (what bench_perf.sh aggregates into
+# BENCH_consensus.json).
+out_json="$(mktemp)"
+if "$BENCH_DIR/bench_e2_consensus" \
+      --benchmark_filter='BM_RaftPipelined/16/4/5' \
+      --benchmark_out="$out_json" --benchmark_out_format=json \
+      >/dev/null 2>&1 && "$PYTHON" - "$out_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cases = [b for b in doc.get("benchmarks", [])
+         if b.get("run_type") != "aggregate"]
+assert cases, "no pipelined case ran"
+for b in cases:
+    for key in ("sim_commits_per_s", "sim_latency_p50_ms",
+                "sim_latency_p99_ms", "batch", "window", "replicas"):
+        assert key in b, f"{b['name']} missing counter {key}"
+    assert b["sim_commits_per_s"] > 0, "no simulated throughput measured"
+EOF
+then
+  echo "bench_smoke: OK pipelined sweep counters"
+else
+  echo "bench_smoke: FAIL pipelined sweep counters" >&2
+  fail=1
+fi
+rm -f "$out_json"
+
+# BENCH_consensus.json (written by bench_perf.sh) must stay parseable, and
+# every pipelined case in it must carry throughput + latency + the derived
+# stop-and-wait speedup.
+if [ -f BENCH_consensus.json ]; then
+  if "$PYTHON" - <<'EOF'
+import json
+records = json.load(open("BENCH_consensus.json"))
+assert isinstance(records, list) and records, "no records"
+for r in records:
+    assert r.get("label") and "cases" in r, "record missing label/cases"
+    for name, c in r["cases"].items():
+        if name.startswith(("BM_RaftPipelined/", "BM_PbftPipelined/")):
+            for key in ("sim_commits_per_s", "sim_latency_p50_ms",
+                        "sim_latency_p99_ms", "speedup_vs_stop_and_wait"):
+                assert key in c, f"{name} missing {key}"
+        elif name.startswith("BM_OrderedBurst"):
+            assert "sim_payloads_per_s" in c, f"{name} missing throughput"
+EOF
+  then
+    echo "bench_smoke: OK BENCH_consensus.json"
+  else
+    echo "bench_smoke: FAIL BENCH_consensus.json invalid" >&2
+    fail=1
+  fi
+fi
+
 exit "$fail"

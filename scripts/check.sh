@@ -16,3 +16,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # configuration.
 "$BUILD_DIR"/tests/crypto_diff_test
 scripts/bench_smoke.sh "$BUILD_DIR"
+
+# ThreadSanitizer pass over the components that actually share state across
+# threads (the thread pool, the lock-based observability registry, and the
+# ordering layer whose histograms are recorded from pool workers in the
+# engine batch paths). TSan is incompatible with ASan, hence its own tree.
+TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+cmake -B "$TSAN_DIR" -S . -DPREVER_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target prever_tests
+"$TSAN_DIR"/tests/prever_tests \
+    --gtest_filter='ThreadPool*:Obs*:*Ordering*:*GroupCommit*:*Pipelined*'

@@ -108,10 +108,18 @@ void PbftReplica::OnClientRequest(const Bytes& command) {
   if (executed_digests_.count(digest)) return;
   pending_requests_[digest] = command;
   if (IsPrimary() && !view_changing_) {
-    if (!seen_requests_.count(digest)) {
-      seen_requests_.insert(digest);
-      Propose(command);
+    if (seen_requests_.count(digest)) return;
+    if (next_seq_ > last_executed_ + config_.high_watermark_window) {
+      // Window full: defer until execution advances the low watermark.
+      // Backups armed timers when this request was broadcast, so liveness
+      // does not depend on the drain happening.
+      if (deferred_digests_.insert(digest).second) {
+        deferred_.push_back(command);
+      }
+      return;
     }
+    seen_requests_.insert(digest);
+    Propose(command);
   } else {
     ArmRequestTimer(digest);
   }
@@ -157,6 +165,10 @@ void PbftReplica::HandlePrePrepare(const net::Message& msg) {
   }
   if (*view != view_ || view_changing_) return;
   if (msg.from != view_ % config_.num_replicas) return;  // Not the primary.
+  // Watermark bound: refuse proposals far past our execution point (2x the
+  // primary's window — our low watermark may lag its). Caps log_ growth under
+  // a Byzantine primary spraying arbitrary sequence numbers.
+  if (*seq > last_executed_ + 2 * config_.high_watermark_window) return;
 
   SlotState& slot = Slot(*seq);
   Bytes digest = DigestOf(*command);
@@ -220,6 +232,29 @@ void PbftReplica::HandleCommit(const net::Message& msg) {
 }
 
 void PbftReplica::TryExecute() {
+  ExecuteLoop();
+  // Execution moved the low watermark; the primary can propose deferred
+  // requests that now fit the window.
+  DrainDeferred();
+}
+
+void PbftReplica::DrainDeferred() {
+  if (!IsPrimary() || view_changing_) return;
+  while (!deferred_.empty() &&
+         next_seq_ <= last_executed_ + config_.high_watermark_window) {
+    Bytes command = std::move(deferred_.front());
+    deferred_.pop_front();
+    Bytes digest = DigestOf(command);
+    deferred_digests_.erase(digest);
+    if (executed_digests_.count(digest) || seen_requests_.count(digest)) {
+      continue;
+    }
+    seen_requests_.insert(digest);
+    Propose(command);
+  }
+}
+
+void PbftReplica::ExecuteLoop() {
   for (;;) {
     auto it = log_.find(last_executed_ + 1);
     if (it == log_.end()) return;
@@ -358,6 +393,10 @@ void PbftReplica::InstallNewView(uint64_t new_view,
                                  const std::vector<PreparedEntry>& entries) {
   view_ = new_view;
   view_changing_ = false;
+  // Deferred requests are still in pending_requests_; the new primary
+  // re-proposes them below, so drop the stale per-view queue.
+  deferred_.clear();
+  deferred_digests_.clear();
   // Re-run the protocol for carried-over prepared entries in the new view.
   for (const PreparedEntry& e : entries) {
     SlotState& slot = Slot(e.seq);

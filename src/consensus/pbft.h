@@ -1,6 +1,7 @@
 #ifndef PREVER_CONSENSUS_PBFT_H_
 #define PREVER_CONSENSUS_PBFT_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -32,6 +33,14 @@ enum class PbftFaultMode {
 struct PbftConfig {
   size_t num_replicas = 4;
   SimTime view_change_timeout = 200 * kMillisecond;
+  /// High-watermark window (PBFT §4.2's [h, H]): the primary keeps at most
+  /// this many sequence numbers beyond the last executed one in flight, so
+  /// up to `high_watermark_window` instances run the three phases
+  /// concurrently. Requests beyond the window are deferred and proposed as
+  /// execution advances the low watermark. Backups accept pre-prepares up to
+  /// 2x the window past their own execution point (their view of the low
+  /// watermark may lag the primary's).
+  uint64_t high_watermark_window = 128;
 };
 
 /// One PBFT replica (Castro–Liskov three-phase protocol over the simulated
@@ -98,6 +107,8 @@ class PbftReplica {
   void Propose(const Bytes& command);
   void MaybeSendCommit(uint64_t seq);
   void TryExecute();
+  void ExecuteLoop();
+  void DrainDeferred();
   void ArmRequestTimer(const Bytes& digest);
   void Stash(const net::Message& msg);
   void StartViewChange(uint64_t new_view);
@@ -121,6 +132,12 @@ class PbftReplica {
   uint64_t num_executed_ = 0;
   std::map<uint64_t, SlotState> log_;
   std::set<Bytes> seen_requests_;    // Digests proposed (primary dedup).
+  /// Requests this primary received while its watermark window was full,
+  /// in arrival order; drained after each execution. Cleared on view change
+  /// (the commands stay in pending_requests_, so the new primary re-proposes
+  /// them).
+  std::deque<Bytes> deferred_;
+  std::set<Bytes> deferred_digests_;  // Dedup for deferred_.
   std::set<Bytes> executed_digests_; // For timer cancellation.
   std::map<Bytes, bool> pending_timers_;  // digest -> armed.
   std::map<Bytes, Bytes> pending_requests_;  // digest -> command.

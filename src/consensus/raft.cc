@@ -1,5 +1,7 @@
 #include "consensus/raft.h"
 
+#include <algorithm>
+
 #include "common/serial.h"
 
 namespace prever::consensus {
@@ -126,6 +128,11 @@ void RaftReplica::SendAppendEntries(net::NodeId to) {
     w.WriteBytes(log_[i].command);
   }
   net_->Send(id_, to, kAppendEntries, w.bytes());
+  // Pipelining: optimistically advance next_index so entries submitted
+  // before the reply arrives stream in follow-up AppendEntries instead of
+  // waiting a full round trip. The reply's conflict hint walks it back if
+  // the follower's log diverged.
+  next_index_[to] = log_.size() + 1;
 }
 
 void RaftReplica::OnMessage(const net::Message& msg) {
@@ -235,6 +242,11 @@ void RaftReplica::HandleAppendEntries(const net::Message& msg) {
   w.WriteU64(term_);
   w.WriteBool(success);
   w.WriteU64(success ? *prev_index + *count : 0);  // New match index.
+  // Conflict hint: on rejection the leader can rewind next_index straight
+  // to our log end instead of decrementing one entry per round trip.
+  uint64_t hint =
+      std::min<uint64_t>(log_.size(), *prev_index > 0 ? *prev_index - 1 : 0);
+  w.WriteU64(hint);
   net_->Send(id_, msg.from, kAppendReply, w.bytes());
 }
 
@@ -243,6 +255,7 @@ void RaftReplica::HandleAppendReply(const net::Message& msg) {
   auto term = r.ReadU64();
   auto success = r.ReadBool();
   auto match = r.ReadU64();
+  auto hint = r.ReadU64();  // Absent in old-format replies; optional.
   if (!term.ok() || !success.ok() || !match.ok()) return;
   if (*term > term_) {
     BecomeFollower(*term);
@@ -251,10 +264,15 @@ void RaftReplica::HandleAppendReply(const net::Message& msg) {
   if (role_ != Role::kLeader || *term != term_) return;
   if (*success) {
     match_index_[msg.from] = std::max(match_index_[msg.from], *match);
-    next_index_[msg.from] = match_index_[msg.from] + 1;
+    // next_index was optimistically advanced at send time; never move it
+    // backwards on a stale success reply.
+    next_index_[msg.from] =
+        std::max(next_index_[msg.from], match_index_[msg.from] + 1);
     AdvanceCommitIndex();
   } else {
-    if (next_index_[msg.from] > 1) --next_index_[msg.from];
+    uint64_t next = next_index_[msg.from] > 1 ? next_index_[msg.from] - 1 : 1;
+    if (hint.ok()) next = *hint + 1;
+    next_index_[msg.from] = std::max(match_index_[msg.from] + 1, next);
     SendAppendEntries(msg.from);
   }
 }

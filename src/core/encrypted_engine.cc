@@ -181,21 +181,25 @@ Status EncryptedEngine::SubmitSealedBatch(
     }
   }
   // Phase 2: attestation + store, serial and in batch order — the running
-  // aggregates and the ledger are order-sensitive shared state.
+  // aggregates and the ledger are order-sensitive shared state. Ledger
+  // appends ride the ordering pipeline's async window (group commit across
+  // the batch) and the final Flush waits for quorum on all of them.
   Status first = Status::Ok();
   for (size_t i = 0; i < batch.size(); ++i) {
     metrics_.OnSubmit();
     Status s = [&] {
       PREVER_TRACE_SPAN(metrics_.submit_ns());
-      return FinishSealed(batch[i], range_ok[i] != 0);
+      return FinishSealed(batch[i], range_ok[i] != 0, /*async_ledger=*/true);
     }();
     if (!s.ok() && first.ok()) first = s;
   }
+  Status flushed = ordering_->Flush();
+  if (!flushed.ok() && first.ok()) first = flushed;
   return first;
 }
 
 Status EncryptedEngine::FinishSealed(const SealedSubmission& submission,
-                                     bool range_ok) {
+                                     bool range_ok, bool async_ledger) {
   const auto& pedersen = owner_->pedersen();
   const auto& pub = owner_->paillier_pub();
   if (!range_ok) {
@@ -259,7 +263,10 @@ Status EncryptedEngine::FinishSealed(const SealedSubmission& submission,
   w.WriteString(submission.group);
   w.WriteBytes(crypto::Sha256::Hash(submission.sealed.value_ct.c.ToBytes()));
   w.WriteBytes(crypto::Sha256::Hash(submission.sealed.commitment.c.ToBytes()));
-  Status ordered = ordering_->Append(w.Take(), submission.timestamp);
+  Status ordered =
+      async_ledger
+          ? ordering_->SubmitAsync(w.Take(), submission.timestamp).status()
+          : ordering_->Append(w.Take(), submission.timestamp);
   return metrics_.Finish(ordered);
 }
 

@@ -156,8 +156,11 @@ class EncryptedEngine : public UpdateEngine {
   /// Range-proof check shared by the serial and batch paths (thread-safe).
   bool VerifyProducerRange(const SealedSubmission& submission) const;
   /// Everything after the range check: per-bound attestations + store +
-  /// ledger. Calls metrics_.Finish on every path.
-  Status FinishSealed(const SealedSubmission& submission, bool range_ok);
+  /// ledger. Calls metrics_.Finish on every path. With `async_ledger` the
+  /// ledger append goes through the ordering pipeline's window (the caller
+  /// must Flush); otherwise it blocks until quorum-committed.
+  Status FinishSealed(const SealedSubmission& submission, bool range_ok,
+                      bool async_ledger = false);
 
   DataOwner* owner_;
   OrderingService* ordering_;

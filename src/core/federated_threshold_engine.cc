@@ -84,6 +84,24 @@ Status FederatedThresholdEngine::CheckRegulation(
 
 Status FederatedThresholdEngine::SubmitVia(size_t platform_index,
                                            const Update& update) {
+  return SubmitViaInternal(platform_index, update, /*async_ledger=*/false);
+}
+
+Status FederatedThresholdEngine::SubmitBatchVia(
+    size_t platform_index, const std::vector<Update>& updates) {
+  Status first = Status::Ok();
+  for (const Update& update : updates) {
+    Status s = SubmitViaInternal(platform_index, update, /*async_ledger=*/true);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  Status flushed = ordering_->Flush();
+  if (!flushed.ok() && first.ok()) first = flushed;
+  return first;
+}
+
+Status FederatedThresholdEngine::SubmitViaInternal(size_t platform_index,
+                                                   const Update& update,
+                                                   bool async_ledger) {
   metrics_.OnSubmit();
   PREVER_TRACE_SPAN(metrics_.submit_ns());
   if (platform_index >= platforms_.size()) {
@@ -112,7 +130,10 @@ Status FederatedThresholdEngine::SubmitVia(size_t platform_index,
   BinaryWriter w;
   w.WriteString(home->id);
   w.WriteBytes(crypto::Sha256::Hash(update.Encode()));
-  Status ordered = ordering_->Append(w.Take(), update.timestamp);
+  Status ordered =
+      async_ledger
+          ? ordering_->SubmitAsync(w.Take(), update.timestamp).status()
+          : ordering_->Append(w.Take(), update.timestamp);
   return metrics_.Finish(ordered);
 }
 

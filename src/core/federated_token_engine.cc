@@ -26,6 +26,24 @@ token::TokenWallet& FederatedTokenEngine::WalletOf(
 
 Status FederatedTokenEngine::SubmitVia(size_t platform_index,
                                        const Update& update) {
+  return SubmitViaInternal(platform_index, update, /*async_ledger=*/false);
+}
+
+Status FederatedTokenEngine::SubmitBatchVia(size_t platform_index,
+                                            const std::vector<Update>& updates) {
+  Status first = Status::Ok();
+  for (const Update& update : updates) {
+    Status s = SubmitViaInternal(platform_index, update, /*async_ledger=*/true);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  Status flushed = ordering_->Flush();
+  if (!flushed.ok() && first.ok()) first = flushed;
+  return first;
+}
+
+Status FederatedTokenEngine::SubmitViaInternal(size_t platform_index,
+                                               const Update& update,
+                                               bool async_ledger) {
   metrics_.OnSubmit();
   PREVER_TRACE_SPAN(metrics_.submit_ns());
   if (platform_index >= platforms_.size()) {
@@ -103,7 +121,10 @@ Status FederatedTokenEngine::SubmitVia(size_t platform_index,
   if (!applied.ok()) return metrics_.Finish(applied);
   for (const token::Token& t : to_spend) {
     spent_.insert(t.serial);
-    Status ordered = ordering_->Append(t.serial, update.timestamp);
+    Status ordered =
+        async_ledger
+            ? ordering_->SubmitAsync(t.serial, update.timestamp).status()
+            : ordering_->Append(t.serial, update.timestamp);
     if (!ordered.ok()) return metrics_.Finish(ordered);
     ++tokens_spent_;
   }

@@ -1,23 +1,202 @@
 #include "core/ordering.h"
 
+#include <algorithm>
+
 #include "common/serial.h"
 
 namespace prever::core {
+
+namespace {
+
+/// Shared Flush driver: seal the open batch, then step the simulated
+/// network until the owner's committed counter (updated by its commit
+/// callback) covers every issued ticket. Uncommitted envelopes are
+/// re-submitted periodically — the recovery path for batches lost to
+/// crashes, drops, or leader changes (commit-side dedup keeps this
+/// idempotent).
+Status DriveFlush(net::SimNetwork* net, GroupCommitPipeline* pipeline,
+                  const uint64_t& committed, const char* proto) {
+  pipeline->CloseOpenBatch();
+  const uint64_t target = pipeline->TicketCount();
+  const OrderingPipelineConfig& cfg = pipeline->config();
+  const SimTime deadline = net->Now() + cfg.flush_timeout;
+  SimTime next_retry = net->Now() + cfg.retry_interval;
+  while (committed < target && net->Now() < deadline) {
+    if (!net->Step()) {
+      // Idle network: re-submission is the only way forward. If that also
+      // generates no events, fail honestly instead of spinning.
+      pipeline->ResubmitUncommitted();
+      if (!net->Step()) break;
+    }
+    if (net->Now() >= next_retry) {
+      pipeline->ResubmitUncommitted();
+      next_retry = net->Now() + cfg.retry_interval;
+    }
+  }
+  pipeline->OnProgress(committed);
+  if (committed < target) {
+    return Status::Unavailable(std::string(proto) +
+                               " ordering did not commit within the flush "
+                               "deadline");
+  }
+  return Status::Ok();
+}
+
+Status CheckBatch(const std::vector<Bytes>& payloads) {
+  if (payloads.empty()) return Status::InvalidArgument("empty batch");
+  if (payloads.size() >= kMaxOrderingBatch) {
+    return Status::InvalidArgument("batch exceeds 2^24 payloads");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- OrderingService
+
+Result<OrderingService::Ticket> OrderingService::SubmitAsync(
+    const Bytes& payload, SimTime timestamp) {
+  // Degraded mode for services without a pipeline: commit synchronously.
+  PREVER_RETURN_IF_ERROR(Append(payload, timestamp));
+  return CommittedCount() - 1;
+}
+
+Status OrderingService::Flush() { return Status::Ok(); }
+
+// ------------------------------------------------------ GroupCommitPipeline
+
+GroupCommitPipeline::GroupCommitPipeline(net::SimNetwork* net,
+                                         OrderingPipelineConfig config,
+                                         const std::string& proto_label,
+                                         SubmitFn submit)
+    : net_(net),
+      config_(config),
+      submit_(std::move(submit)),
+      batch_size_(obs::Registry::Default().GetHistogram(
+          "prever_ordering_batch_size", {{"proto", proto_label}})),
+      inflight_depth_(obs::Registry::Default().GetHistogram(
+          "prever_ordering_inflight_depth", {{"proto", proto_label}})),
+      commit_latency_us_(obs::Registry::Default().GetHistogram(
+          "prever_consensus_commit_latency_us", {{"proto", proto_label}})) {
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.max_batch > kMaxOrderingBatch - 1) {
+    config_.max_batch = kMaxOrderingBatch - 1;
+  }
+  if (config_.max_inflight == 0) config_.max_inflight = 1;
+}
+
+OrderingService::Ticket GroupCommitPipeline::Enqueue(const Bytes& payload) {
+  if (open_payloads_.empty() && config_.max_batch > 1 &&
+      config_.max_delay > 0) {
+    // First payload of a new batch: arm the adaptive-close timer. The epoch
+    // guard voids it if the batch seals early (size limit or Flush).
+    uint64_t epoch = open_epoch_;
+    net_->ScheduleAfter(config_.max_delay, [this, epoch] {
+      if (epoch != open_epoch_) return;
+      SealOpen();
+      PumpSubmissions();
+    });
+  }
+  open_payloads_.push_back(payload);
+  open_times_.push_back(net_->Now());
+  OrderingService::Ticket ticket = next_ticket_++;
+  if (open_payloads_.size() >= config_.max_batch) SealOpen();
+  PumpSubmissions();
+  return ticket;
+}
+
+OrderingService::Ticket GroupCommitPipeline::EnqueueSealed(
+    const std::vector<Bytes>& payloads) {
+  SealOpen();  // Preserve submission order across the two paths.
+  std::vector<SimTime> times(payloads.size(), net_->Now());
+  next_ticket_ += payloads.size();
+  Seal(payloads, times);
+  PumpSubmissions();
+  return next_ticket_ - 1;
+}
+
+void GroupCommitPipeline::SealOpen() {
+  ++open_epoch_;
+  if (open_payloads_.empty()) return;
+  std::vector<Bytes> payloads = std::move(open_payloads_);
+  std::vector<SimTime> times = std::move(open_times_);
+  open_payloads_.clear();
+  open_times_.clear();
+  Seal(payloads, times);
+}
+
+void GroupCommitPipeline::Seal(const std::vector<Bytes>& payloads,
+                               const std::vector<SimTime>& times) {
+  if (payloads.empty()) return;
+  BinaryWriter w;
+  w.WriteU64(batch_counter_++);
+  w.WriteU32(static_cast<uint32_t>(payloads.size()));
+  for (const Bytes& p : payloads) w.WriteBytes(p);
+  Batch batch;
+  batch.envelope = w.Take();
+  sealed_tickets_ += payloads.size();
+  batch.end_ticket = sealed_tickets_;
+  batch.submit_times = times;
+  batch_size_->Record(payloads.size());
+  queued_.push_back(std::move(batch));
+}
+
+void GroupCommitPipeline::PumpSubmissions() {
+  while (!queued_.empty() && inflight_.size() < config_.max_inflight) {
+    if (!submit_(queued_.front().envelope).ok()) return;  // Retry later.
+    inflight_.push_back(std::move(queued_.front()));
+    queued_.pop_front();
+    inflight_depth_->Record(inflight_.size());
+  }
+}
+
+void GroupCommitPipeline::CloseOpenBatch() {
+  SealOpen();
+  PumpSubmissions();
+}
+
+void GroupCommitPipeline::OnProgress(uint64_t committed) {
+  SimTime now = net_->Now();
+  while (!inflight_.empty() && inflight_.front().end_ticket <= committed) {
+    for (SimTime t : inflight_.front().submit_times) {
+      commit_latency_us_->Record(now - t);
+    }
+    inflight_.pop_front();
+  }
+  PumpSubmissions();
+}
+
+void GroupCommitPipeline::ResubmitUncommitted() {
+  for (const Batch& batch : inflight_) (void)submit_(batch.envelope);
+  PumpSubmissions();
+}
+
+// ------------------------------------------------------ CentralizedOrdering
 
 Status CentralizedOrdering::Append(const Bytes& payload, SimTime timestamp) {
   ledger_.Append(payload, timestamp);
   return Status::Ok();
 }
 
+// ------------------------------------------------------------ PbftOrdering
+
 PbftOrdering::PbftOrdering(size_t num_replicas, net::SimNetConfig net_config,
-                           const std::string& proto_label)
+                           const std::string& proto_label,
+                           OrderingPipelineConfig pipeline)
     : net_(std::make_unique<net::SimNetwork>(net_config)),
-      ledgers_(num_replicas),
-      commit_latency_us_(obs::Registry::Default().GetHistogram(
-          "prever_consensus_commit_latency_us", {{"proto", proto_label}})) {
+      ledgers_(num_replicas) {
   consensus::PbftConfig config;
   config.num_replicas = num_replicas;
+  // Protocol window >= pipeline window, so W instances can run the three
+  // phases concurrently without the primary deferring our own submissions.
+  config.high_watermark_window =
+      std::max<uint64_t>(pipeline.max_inflight, 1);
   cluster_ = std::make_unique<consensus::PbftCluster>(config, net_.get());
+  pipeline_ = std::make_unique<GroupCommitPipeline>(
+      net_.get(), pipeline, proto_label, [this](const Bytes& envelope) {
+        cluster_->Submit(envelope);
+        return Status::Ok();
+      });
   // Commands are batch envelopes; each committed envelope is unpacked into
   // one ledger entry per payload. Entries are stamped with (seq, index) —
   // deterministic across replicas so replica agreement is auditable by
@@ -28,68 +207,100 @@ PbftOrdering::PbftOrdering(size_t num_replicas, net::SimNetConfig net_config,
         auto batch_id = r.ReadU64();
         auto count = r.ReadU32();
         if (!batch_id.ok() || !count.ok()) return;  // Corrupt: skip.
+        std::vector<Bytes> payloads;
+        std::vector<SimTime> stamps;
+        payloads.reserve(*count);
+        stamps.reserve(*count);
         for (uint32_t i = 0; i < *count; ++i) {
           auto payload = r.ReadBytes();
           if (!payload.ok()) return;
-          ledgers_[replica].Append(*payload, seq * 1000 + i);
-          if (replica == 0) ++committed_;
+          payloads.push_back(std::move(*payload));
+          stamps.push_back(BatchEntryStamp(seq, i));
+        }
+        (void)ledgers_[replica].AppendBatch(payloads, stamps);
+        if (replica == 0) {
+          committed_ += payloads.size();
+          pipeline_->OnProgress(committed_);
         }
       });
 }
 
 Status PbftOrdering::Append(const Bytes& payload, SimTime timestamp) {
-  return AppendBatch({payload}, timestamp);
+  PREVER_RETURN_IF_ERROR(SubmitAsync(payload, timestamp).status());
+  return Flush();
 }
 
 Status PbftOrdering::AppendBatch(const std::vector<Bytes>& payloads,
                                  SimTime timestamp) {
-  (void)timestamp;  // The simulated network clock stamps commits.
-  if (payloads.empty()) return Status::InvalidArgument("empty batch");
-  uint64_t target = ledgers_[0].size() + payloads.size();
-  BinaryWriter w;
-  w.WriteU64(batch_counter_++);
-  w.WriteU32(static_cast<uint32_t>(payloads.size()));
-  for (const Bytes& p : payloads) w.WriteBytes(p);
-  SimTime submit_at = net_->Now();
-  cluster_->Submit(w.Take());
-  // Drive the simulation until replica 0 commits (bounded by a generous
-  // deadline to surface liveness bugs as errors instead of hangs).
-  SimTime deadline = submit_at + 60 * kSecond;
-  while (ledgers_[0].size() < target && net_->Now() < deadline) {
-    if (!net_->Step()) break;
-  }
-  if (ledgers_[0].size() < target) {
-    return Status::Unavailable("PBFT did not commit within deadline");
-  }
-  commit_latency_us_->Record(net_->Now() - submit_at);
-  return Status::Ok();
+  (void)timestamp;  // The consensus sequence stamps commits.
+  PREVER_RETURN_IF_ERROR(CheckBatch(payloads));
+  pipeline_->EnqueueSealed(payloads);
+  return Flush();
 }
+
+Result<OrderingService::Ticket> PbftOrdering::SubmitAsync(const Bytes& payload,
+                                                          SimTime timestamp) {
+  (void)timestamp;
+  return pipeline_->Enqueue(payload);
+}
+
+Status PbftOrdering::Flush() {
+  return DriveFlush(net_.get(), pipeline_.get(), committed_, "PBFT");
+}
+
+// ----------------------------------------------------- ShardedPbftOrdering
 
 ShardedPbftOrdering::ShardedPbftOrdering(size_t num_shards,
                                          size_t replicas_per_shard,
-                                         net::SimNetConfig net_config) {
+                                         net::SimNetConfig net_config,
+                                         OrderingPipelineConfig pipeline) {
   for (size_t i = 0; i < num_shards; ++i) {
     net::SimNetConfig cfg = net_config;
     cfg.seed = net_config.seed + i;  // Independent shard networks.
-    shards_.push_back(std::make_unique<PbftOrdering>(replicas_per_shard, cfg,
-                                                     "pbft-sharded"));
+    shards_.push_back(std::make_unique<PbftOrdering>(
+        replicas_per_shard, cfg, "pbft-sharded", pipeline));
   }
 }
 
-Status ShardedPbftOrdering::AppendRouted(const std::string& routing_key,
-                                         const Bytes& payload,
-                                         SimTime timestamp) {
+size_t ShardedPbftOrdering::ShardOf(const std::string& routing_key) const {
   // FNV-1a over the routing key.
   uint64_t h = 1469598103934665603ULL;
   for (char c : routing_key) {
     h ^= static_cast<uint8_t>(c);
     h *= 1099511628211ULL;
   }
-  return shards_[h % shards_.size()]->Append(payload, timestamp);
+  return h % shards_.size();
+}
+
+Status ShardedPbftOrdering::AppendRouted(const std::string& routing_key,
+                                         const Bytes& payload,
+                                         SimTime timestamp) {
+  return shards_[ShardOf(routing_key)]->Append(payload, timestamp);
 }
 
 Status ShardedPbftOrdering::Append(const Bytes& payload, SimTime timestamp) {
   return AppendRouted(ToString(payload), payload, timestamp);
+}
+
+Result<OrderingService::Ticket> ShardedPbftOrdering::SubmitRoutedAsync(
+    const std::string& routing_key, const Bytes& payload, SimTime timestamp) {
+  PREVER_RETURN_IF_ERROR(
+      shards_[ShardOf(routing_key)]->SubmitAsync(payload, timestamp).status());
+  return next_ticket_++;
+}
+
+Result<OrderingService::Ticket> ShardedPbftOrdering::SubmitAsync(
+    const Bytes& payload, SimTime timestamp) {
+  return SubmitRoutedAsync(ToString(payload), payload, timestamp);
+}
+
+Status ShardedPbftOrdering::Flush() {
+  Status first = Status::Ok();
+  for (auto& shard : shards_) {
+    Status s = shard->Flush();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
 }
 
 uint64_t ShardedPbftOrdering::CommittedCount() const {
@@ -101,26 +312,50 @@ uint64_t ShardedPbftOrdering::CommittedCount() const {
 SimTime ShardedPbftOrdering::MaxShardTime() const {
   SimTime max_time = 0;
   for (const auto& shard : shards_) {
-    // network() is non-const; shards are owned, safe to cast for a read.
-    SimTime t = const_cast<PbftOrdering*>(shard.get())->network().Now();
-    if (t > max_time) max_time = t;
+    max_time = std::max(max_time, shard->network().Now());
   }
   return max_time;
 }
 
-RaftOrdering::RaftOrdering(size_t num_replicas, net::SimNetConfig net_config)
+// ------------------------------------------------------------ RaftOrdering
+
+RaftOrdering::RaftOrdering(size_t num_replicas, net::SimNetConfig net_config,
+                           OrderingPipelineConfig pipeline)
     : net_(std::make_unique<net::SimNetwork>(net_config)),
       ledgers_(num_replicas),
-      commit_latency_us_(obs::Registry::Default().GetHistogram(
-          "prever_consensus_commit_latency_us", {{"proto", "raft"}})) {
+      applied_batches_(num_replicas) {
   consensus::RaftConfig config;
   config.num_replicas = num_replicas;
   cluster_ = std::make_unique<consensus::RaftCluster>(config, net_.get());
+  pipeline_ = std::make_unique<GroupCommitPipeline>(
+      net_.get(), pipeline, "raft",
+      [this](const Bytes& envelope) { return cluster_->Submit(envelope); });
   for (size_t i = 0; i < num_replicas; ++i) {
     cluster_->replica(i).SetApplyCallback(
         [this, i](uint64_t index, const Bytes& cmd) {
-          ledgers_[i].Append(cmd, index);  // Deterministic across replicas.
-          if (i == 0) ++committed_;
+          BinaryReader r(cmd);
+          auto batch_id = r.ReadU64();
+          auto count = r.ReadU32();
+          if (!batch_id.ok() || !count.ok()) return;  // Not an envelope: skip.
+          // A batch re-submitted after a leader change can land at a second
+          // log index; every replica applies the same log, so skipping by
+          // batch id keeps the ledgers identical AND duplicate-free.
+          if (!applied_batches_[i].insert(*batch_id).second) return;
+          std::vector<Bytes> payloads;
+          std::vector<SimTime> stamps;
+          payloads.reserve(*count);
+          stamps.reserve(*count);
+          for (uint32_t j = 0; j < *count; ++j) {
+            auto payload = r.ReadBytes();
+            if (!payload.ok()) return;
+            payloads.push_back(std::move(*payload));
+            stamps.push_back(BatchEntryStamp(index, j));
+          }
+          (void)ledgers_[i].AppendBatch(payloads, stamps);
+          if (i == 0) {
+            committed_ += payloads.size();
+            pipeline_->OnProgress(committed_);
+          }
         });
   }
   // Elect an initial leader.
@@ -131,26 +366,26 @@ RaftOrdering::RaftOrdering(size_t num_replicas, net::SimNetConfig net_config)
 }
 
 Status RaftOrdering::Append(const Bytes& payload, SimTime timestamp) {
+  PREVER_RETURN_IF_ERROR(SubmitAsync(payload, timestamp).status());
+  return Flush();
+}
+
+Status RaftOrdering::AppendBatch(const std::vector<Bytes>& payloads,
+                                 SimTime timestamp) {
   (void)timestamp;
-  uint64_t target = ledgers_[0].size() + 1;
-  SimTime submit_at = net_->Now();
-  SimTime deadline = submit_at + 60 * kSecond;
-  for (;;) {
-    Status submitted = cluster_->Submit(payload);
-    if (submitted.ok()) break;
-    if (net_->Now() >= deadline) return submitted;
-    if (!net_->Step()) {
-      return Status::Unavailable("no Raft leader and network idle");
-    }
-  }
-  while (ledgers_[0].size() < target && net_->Now() < deadline) {
-    if (!net_->Step()) break;
-  }
-  if (ledgers_[0].size() < target) {
-    return Status::Unavailable("Raft did not commit within deadline");
-  }
-  commit_latency_us_->Record(net_->Now() - submit_at);
-  return Status::Ok();
+  PREVER_RETURN_IF_ERROR(CheckBatch(payloads));
+  pipeline_->EnqueueSealed(payloads);
+  return Flush();
+}
+
+Result<OrderingService::Ticket> RaftOrdering::SubmitAsync(const Bytes& payload,
+                                                          SimTime timestamp) {
+  (void)timestamp;
+  return pipeline_->Enqueue(payload);
+}
+
+Status RaftOrdering::Flush() {
+  return DriveFlush(net_.get(), pipeline_.get(), committed_, "Raft");
 }
 
 }  // namespace prever::core

@@ -1,7 +1,10 @@
 #ifndef PREVER_CORE_ORDERING_H_
 #define PREVER_CORE_ORDERING_H_
 
+#include <deque>
+#include <functional>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/bytes.h"
@@ -15,17 +18,62 @@
 
 namespace prever::core {
 
+/// Knobs of the pipelined group-commit window used by the consensus-backed
+/// ordering services (see DESIGN.md "Pipelined ordering"). An open batch is
+/// closed when it holds `max_batch` payloads or `max_delay` sim-time after
+/// its first payload, whichever comes first; up to `max_inflight` closed
+/// batches run consensus concurrently.
+struct OrderingPipelineConfig {
+  size_t max_batch = 64;
+  SimTime max_delay = 2 * kMillisecond;
+  size_t max_inflight = 4;
+  /// Flush gives up (Unavailable) after this much sim-time without full
+  /// commitment — liveness bugs surface as errors instead of hangs.
+  SimTime flush_timeout = 60 * kSecond;
+  /// Flush re-submits not-yet-committed batches at this period, recovering
+  /// envelopes lost to crashes, drops, or leader changes (commit-side dedup
+  /// makes re-submission idempotent).
+  SimTime retry_interval = 500 * kMillisecond;
+};
+
+/// Ledger timestamps for batch envelopes encode (consensus position,
+/// intra-batch index) so they are deterministic across replicas and
+/// collision-free: the low `kBatchStampIndexBits` bits hold the index, the
+/// rest the position. 2^24 bounds the batch size; 40 bits remain for
+/// consensus positions (~10^12 instances).
+inline constexpr uint32_t kBatchStampIndexBits = 24;
+inline constexpr size_t kMaxOrderingBatch = size_t{1} << kBatchStampIndexBits;
+
+inline constexpr SimTime BatchEntryStamp(uint64_t position, uint32_t index) {
+  return (position << kBatchStampIndexBits) | index;
+}
+
 /// How verified updates reach the immutable store (§4 RC4): a centralized
 /// ledger database for the single-manager setting, or consensus-replicated
 /// ledgers (PBFT for mutually distrustful managers, Raft as the §6 CFT
 /// comparator). Engines order through this interface and stay agnostic.
 class OrderingService {
  public:
+  /// Completion handle from SubmitAsync: the payload's zero-based submission
+  /// index. A ticket is committed once CommittedCount() exceeds it (after a
+  /// successful Flush, every issued ticket is).
+  using Ticket = uint64_t;
+
   virtual ~OrderingService() = default;
 
   /// Durably appends `payload`; returns only after the payload is committed
   /// on a quorum (consensus impls drive the simulated network to completion).
   virtual Status Append(const Bytes& payload, SimTime timestamp) = 0;
+
+  /// Asynchronous window: enqueues `payload` for ordering and returns
+  /// immediately with its ticket. Commitment happens as the caller (or a
+  /// later blocking call) drives the network; call Flush() to wait for every
+  /// outstanding ticket. The base implementation degrades to the blocking
+  /// Append for services without a pipeline.
+  virtual Result<Ticket> SubmitAsync(const Bytes& payload, SimTime timestamp);
+
+  /// Blocks until every ticket issued so far is committed.
+  virtual Status Flush();
 
   /// A ledger reflecting the committed order (for consensus impls, the
   /// first correct replica's ledger).
@@ -33,6 +81,77 @@ class OrderingService {
 
   /// Committed entries so far.
   virtual uint64_t CommittedCount() const = 0;
+};
+
+/// Adaptive batcher + in-flight window shared by the consensus-backed
+/// ordering services. Payloads accumulate in an open batch; closed batches
+/// are sealed into batch envelopes ([u64 batch id][u32 count][payloads]) and
+/// handed to `submit` while fewer than `max_inflight` envelopes await
+/// commitment. The owner reports commit progress via OnProgress, which
+/// retires completed envelopes (recording per-payload commit latency) and
+/// submits queued ones — so the window refills from inside the event loop,
+/// not just from Flush.
+class GroupCommitPipeline {
+ public:
+  /// `submit` hands one sealed envelope to consensus; a failure (e.g. no
+  /// Raft leader) leaves the batch queued for a later retry.
+  using SubmitFn = std::function<Status(const Bytes& envelope)>;
+
+  GroupCommitPipeline(net::SimNetwork* net, OrderingPipelineConfig config,
+                      const std::string& proto_label, SubmitFn submit);
+
+  /// Adds one payload to the open batch; may seal and submit. Returns the
+  /// payload's ticket.
+  OrderingService::Ticket Enqueue(const Bytes& payload);
+
+  /// Seals `payloads` as ONE envelope regardless of `max_batch` (the
+  /// explicit AppendBatch path), after first sealing any open batch so
+  /// submission order is preserved. Size must be < kMaxOrderingBatch.
+  OrderingService::Ticket EnqueueSealed(const std::vector<Bytes>& payloads);
+
+  /// Seals the open batch (no-op when empty) and submits as the window
+  /// allows.
+  void CloseOpenBatch();
+
+  /// Commit progress: `committed` is the total payloads the owner has
+  /// applied. Retires fully committed envelopes and refills the window.
+  void OnProgress(uint64_t committed);
+
+  /// Re-submits every submitted-but-uncommitted envelope (fault recovery;
+  /// the consensus layers dedup), then refills the window.
+  void ResubmitUncommitted();
+
+  /// Tickets issued so far == payloads a full Flush must see committed.
+  uint64_t TicketCount() const { return next_ticket_; }
+
+  const OrderingPipelineConfig& config() const { return config_; }
+
+ private:
+  struct Batch {
+    Bytes envelope;
+    uint64_t end_ticket = 0;  ///< Cumulative payload count through this batch.
+    std::vector<SimTime> submit_times;  ///< Enqueue sim-time per payload.
+  };
+
+  void SealOpen();
+  void Seal(const std::vector<Bytes>& payloads,
+            const std::vector<SimTime>& times);
+  void PumpSubmissions();
+
+  net::SimNetwork* net_;
+  OrderingPipelineConfig config_;
+  SubmitFn submit_;
+  uint64_t next_ticket_ = 0;
+  uint64_t sealed_tickets_ = 0;  // Payloads sealed so far (end_ticket source).
+  uint64_t batch_counter_ = 0;  // Makes identical batches distinct commands.
+  uint64_t open_epoch_ = 0;     // Invalidates stale max_delay close timers.
+  std::vector<Bytes> open_payloads_;
+  std::vector<SimTime> open_times_;
+  std::deque<Batch> queued_;    // Sealed, awaiting a window slot.
+  std::deque<Batch> inflight_;  // Submitted, awaiting commitment.
+  obs::Histogram* batch_size_;      // Payloads per sealed envelope.
+  obs::Histogram* inflight_depth_;  // Window occupancy after each submit.
+  obs::Histogram* commit_latency_us_;  // Sim-time enqueue -> commit.
 };
 
 /// Centralized ledger database ordering (Amazon QLDB / LedgerDB style).
@@ -54,23 +173,30 @@ class CentralizedOrdering : public OrderingService {
 /// submits to the cluster and drains the simulated network until a quorum
 /// has executed the command. Payloads travel in batch envelopes, so one
 /// consensus instance can carry many updates (the StreamChain/FastFabric
-/// batching lever §4 alludes to for Fabric's overhead).
+/// batching lever §4 alludes to for Fabric's overhead), and SubmitAsync
+/// keeps up to `max_inflight` instances running the three phases at once.
 class PbftOrdering : public OrderingService {
  public:
-  /// `proto_label` tags this cluster's commit-latency histogram in the
-  /// default registry (sharded deployments use "pbft-sharded").
+  /// `proto_label` tags this cluster's pipeline histograms in the default
+  /// registry (sharded deployments use "pbft-sharded").
   PbftOrdering(size_t num_replicas, net::SimNetConfig net_config,
-               const std::string& proto_label = "pbft");
+               const std::string& proto_label = "pbft",
+               OrderingPipelineConfig pipeline = OrderingPipelineConfig());
 
   Status Append(const Bytes& payload, SimTime timestamp) override;
   /// Orders a whole batch through ONE consensus instance; the replica
   /// ledgers still record one entry per payload.
   Status AppendBatch(const std::vector<Bytes>& payloads, SimTime timestamp);
 
+  Result<Ticket> SubmitAsync(const Bytes& payload, SimTime timestamp) override;
+  Status Flush() override;
+
   const ledger::LedgerDb& Ledger() const override { return ledgers_[0]; }
   uint64_t CommittedCount() const override { return committed_; }
 
   net::SimNetwork& network() { return *net_; }
+  const net::SimNetwork& network() const { return *net_; }
+  consensus::PbftCluster& cluster() { return *cluster_; }
   const ledger::LedgerDb& ReplicaLedger(size_t i) const { return ledgers_[i]; }
   size_t num_replicas() const { return ledgers_.size(); }
 
@@ -79,8 +205,7 @@ class PbftOrdering : public OrderingService {
   std::unique_ptr<consensus::PbftCluster> cluster_;
   std::vector<ledger::LedgerDb> ledgers_;
   uint64_t committed_ = 0;
-  uint64_t batch_counter_ = 0;  // Makes identical batches distinct commands.
-  obs::Histogram* commit_latency_us_;  // Sim-time submit -> replica-0 commit.
+  std::unique_ptr<GroupCommitPipeline> pipeline_;
 };
 
 /// SharPer/Qanaat-style sharded ordering (§4 RC4: "Qanaat further provides
@@ -93,13 +218,22 @@ class PbftOrdering : public OrderingService {
 class ShardedPbftOrdering : public OrderingService {
  public:
   ShardedPbftOrdering(size_t num_shards, size_t replicas_per_shard,
-                      net::SimNetConfig net_config);
+                      net::SimNetConfig net_config,
+                      OrderingPipelineConfig pipeline =
+                          OrderingPipelineConfig());
 
   /// Routes by FNV hash of `routing_key`.
   Status AppendRouted(const std::string& routing_key, const Bytes& payload,
                       SimTime timestamp);
   /// OrderingService::Append routes by hashing the payload itself.
   Status Append(const Bytes& payload, SimTime timestamp) override;
+
+  /// Async window across shards: routes like AppendRouted but through the
+  /// target shard's pipeline. Flush drains every shard.
+  Result<Ticket> SubmitRoutedAsync(const std::string& routing_key,
+                                   const Bytes& payload, SimTime timestamp);
+  Result<Ticket> SubmitAsync(const Bytes& payload, SimTime timestamp) override;
+  Status Flush() override;
 
   /// Shard 0's replica-0 ledger (use Shard(i) for the rest).
   const ledger::LedgerDb& Ledger() const override {
@@ -115,19 +249,31 @@ class ShardedPbftOrdering : public OrderingService {
   SimTime MaxShardTime() const;
 
  private:
+  size_t ShardOf(const std::string& routing_key) const;
+
   std::vector<std::unique_ptr<PbftOrdering>> shards_;
+  uint64_t next_ticket_ = 0;
 };
 
 /// Raft-replicated ordering (crash-fault baseline).
 class RaftOrdering : public OrderingService {
  public:
-  RaftOrdering(size_t num_replicas, net::SimNetConfig net_config);
+  RaftOrdering(size_t num_replicas, net::SimNetConfig net_config,
+               OrderingPipelineConfig pipeline = OrderingPipelineConfig());
 
   Status Append(const Bytes& payload, SimTime timestamp) override;
+  /// One consensus instance (log entry) for the whole batch.
+  Status AppendBatch(const std::vector<Bytes>& payloads, SimTime timestamp);
+
+  Result<Ticket> SubmitAsync(const Bytes& payload, SimTime timestamp) override;
+  Status Flush() override;
+
   const ledger::LedgerDb& Ledger() const override { return ledgers_[0]; }
   uint64_t CommittedCount() const override { return committed_; }
 
   net::SimNetwork& network() { return *net_; }
+  const net::SimNetwork& network() const { return *net_; }
+  consensus::RaftCluster& cluster() { return *cluster_; }
   const ledger::LedgerDb& ReplicaLedger(size_t i) const { return ledgers_[i]; }
 
  private:
@@ -135,7 +281,10 @@ class RaftOrdering : public OrderingService {
   std::unique_ptr<consensus::RaftCluster> cluster_;
   std::vector<ledger::LedgerDb> ledgers_;
   uint64_t committed_ = 0;
-  obs::Histogram* commit_latency_us_;  // Sim-time submit -> replica-0 commit.
+  /// Batch ids applied per replica: Raft has no digest-level dedup, so the
+  /// apply callback must make Flush's re-submissions idempotent itself.
+  std::vector<std::set<uint64_t>> applied_batches_;
+  std::unique_ptr<GroupCommitPipeline> pipeline_;
 };
 
 }  // namespace prever::core

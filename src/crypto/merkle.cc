@@ -47,6 +47,31 @@ size_t MerkleTree::Append(const Bytes& leaf) {
   return leaves_.size() - 1;
 }
 
+void MerkleTree::AppendBatch(const std::vector<Bytes>& batch) {
+  if (batch.empty()) return;
+  if (levels_.empty()) levels_.emplace_back();
+  leaves_.reserve(leaves_.size() + batch.size());
+  levels_[0].reserve(levels_[0].size() + batch.size());
+  for (const Bytes& leaf : batch) {
+    leaves_.push_back(HashLeaf(leaf));
+    levels_[0].push_back(leaves_.back());
+  }
+  // Fold once per level: every complete pair without a parent yet gains one.
+  // Stops at the first level with nothing new (upper levels are untouched by
+  // construction of the invariant levels_[h+1].size() == levels_[h].size()/2).
+  for (size_t h = 0; h < levels_.size(); ++h) {
+    size_t pairs = levels_[h].size() / 2;
+    size_t parents = h + 1 < levels_.size() ? levels_[h + 1].size() : 0;
+    if (pairs <= parents) break;
+    if (h + 1 >= levels_.size()) levels_.emplace_back();
+    levels_[h + 1].reserve(pairs);
+    for (size_t i = parents; i < pairs; ++i) {
+      levels_[h + 1].push_back(
+          HashNode(levels_[h][2 * i], levels_[h][2 * i + 1]));
+    }
+  }
+}
+
 Bytes MerkleTree::SubtreeRoot(size_t begin, size_t end) const {
   size_t n = end - begin;
   if (n == 0) return EmptyRoot();

@@ -20,6 +20,11 @@ class MerkleTree {
   /// Appends a leaf (raw entry bytes, hashed internally). Returns its index.
   size_t Append(const Bytes& leaf);
 
+  /// Appends many leaves at once: hashes every leaf first, then folds each
+  /// cache level a single time instead of walking the carry chain per leaf.
+  /// Result is identical to appending the leaves one by one.
+  void AppendBatch(const std::vector<Bytes>& batch);
+
   size_t LeafCount() const { return leaves_.size(); }
 
   /// Root hash over the current leaves. Empty tree hashes to SHA-256("").

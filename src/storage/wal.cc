@@ -31,6 +31,31 @@ Status WriteAheadLog::Append(const Bytes& payload) {
   return Status::Ok();
 }
 
+Status WriteAheadLog::AppendBatch(const std::vector<Bytes>& payloads) {
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  size_t total = 0;
+  for (const Bytes& p : payloads) total += 8 + p.size();
+  Bytes buffer;
+  buffer.reserve(total);
+  for (const Bytes& p : payloads) {
+    uint32_t len = static_cast<uint32_t>(p.size());
+    uint32_t crc = Crc32(p);
+    for (int i = 0; i < 4; ++i) {
+      buffer.push_back(static_cast<uint8_t>(len >> (8 * i)));
+    }
+    for (int i = 0; i < 4; ++i) {
+      buffer.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+    }
+    buffer.insert(buffer.end(), p.begin(), p.end());
+  }
+  if (!buffer.empty() &&
+      std::fwrite(buffer.data(), 1, buffer.size(), file_) != buffer.size()) {
+    return Status::Internal("WAL batch write failed");
+  }
+  if (std::fflush(file_) != 0) return Status::Internal("WAL flush failed");
+  return Status::Ok();
+}
+
 void WriteAheadLog::Close() {
   if (file_ != nullptr) {
     std::fclose(file_);

@@ -1,8 +1,11 @@
 #include "testing/sim_runner.h"
 
+#include <algorithm>
 #include <functional>
+#include <map>
 #include <set>
 
+#include "core/ordering.h"
 #include "testing/invariants.h"
 
 namespace prever::simtest {
@@ -311,6 +314,240 @@ RunOutcome RunPbftOnce(uint64_t seed, const FaultSchedule& schedule,
   return out;
 }
 
+// ------------------------------------------- Pipelined ordering scenarios
+
+ScenarioOptions ScenarioOptionsFor(const OrderingSimOptions& o) {
+  ScenarioOptions s;
+  s.num_nodes = o.num_replicas;
+  s.horizon = o.horizon;
+  s.max_actions = o.max_actions;
+  s.max_concurrent_crashed = o.max_concurrent_crashed;
+  s.base_drop_rate = o.base_drop_rate;
+  return s;
+}
+
+Bytes PayloadBytes(size_t i) { return ToBytes("pay-" + std::to_string(i)); }
+
+/// Seed-derived pipeline knobs: the sweep explores batch x window x delay.
+core::OrderingPipelineConfig PipelineFor(uint64_t seed) {
+  static constexpr size_t kBatches[] = {1, 4, 16, 64};
+  static constexpr size_t kWindows[] = {1, 2, 4, 8};
+  static constexpr SimTime kDelays[] = {1 * kMillisecond, 3 * kMillisecond,
+                                        10 * kMillisecond};
+  core::OrderingPipelineConfig p;
+  p.max_batch = kBatches[seed % 4];
+  p.max_inflight = kWindows[(seed / 4) % 4];
+  p.max_delay = kDelays[(seed / 16) % 3];
+  return p;
+}
+
+/// Post-Flush ledger invariants shared by the Raft and PBFT ordering runs:
+/// every submitted payload exactly once in the replica-0 ledger, no
+/// duplicates in any replica ledger, and digest-identical common prefixes.
+template <typename LedgerAt>
+Status CheckOrderingLedgers(size_t num_replicas, size_t num_payloads,
+                            uint64_t committed, const LedgerAt& ledger_at) {
+  if (committed != num_payloads) {
+    return Status::Internal("committed " + std::to_string(committed) +
+                            " != submitted " + std::to_string(num_payloads));
+  }
+  const ledger::LedgerDb& first = ledger_at(0);
+  if (first.size() != num_payloads) {
+    return Status::Internal("replica-0 ledger has " +
+                            std::to_string(first.size()) + " entries, want " +
+                            std::to_string(num_payloads));
+  }
+  std::map<Bytes, size_t> counts;
+  for (uint64_t i = 0; i < first.size(); ++i) {
+    PREVER_ASSIGN_OR_RETURN(ledger::LedgerEntry e, first.GetEntry(i));
+    ++counts[e.payload];
+  }
+  for (size_t i = 0; i < num_payloads; ++i) {
+    auto it = counts.find(PayloadBytes(i));
+    size_t n = it == counts.end() ? 0 : it->second;
+    if (n != 1) {
+      return Status::Internal("payload " + std::to_string(i) + " appears " +
+                              std::to_string(n) + " times in replica-0 "
+                              "ledger (double execution or loss)");
+    }
+  }
+  uint64_t prefix = first.size();
+  for (size_t r = 1; r < num_replicas; ++r) {
+    prefix = std::min<uint64_t>(prefix, ledger_at(r).size());
+  }
+  PREVER_ASSIGN_OR_RETURN(ledger::LedgerDigest want, first.DigestAt(prefix));
+  for (size_t r = 1; r < num_replicas; ++r) {
+    const ledger::LedgerDb& db = ledger_at(r);
+    std::set<Bytes> seen;
+    for (uint64_t i = 0; i < db.size(); ++i) {
+      PREVER_ASSIGN_OR_RETURN(ledger::LedgerEntry e, db.GetEntry(i));
+      if (!seen.insert(e.payload).second) {
+        return Status::Internal("replica " + std::to_string(r) +
+                                " ledger holds a duplicate payload");
+      }
+    }
+    PREVER_ASSIGN_OR_RETURN(ledger::LedgerDigest got, db.DigestAt(prefix));
+    if (!(got == want)) {
+      return Status::Internal(
+          "replica " + std::to_string(r) +
+          " ledger digest diverges from replica 0 at prefix " +
+          std::to_string(prefix));
+    }
+  }
+  return Status::Ok();
+}
+
+/// Drives one ordering service through a fault schedule: paced SubmitAsync
+/// submissions over the horizon, then full repair, then Flush + invariants.
+template <typename Ordering, typename LedgerAt>
+RunOutcome RunOrderingOnce(Ordering& ordering, net::SimNetwork& net,
+                           const FaultSchedule& schedule,
+                           const FaultHooks& hooks,
+                           const OrderingSimOptions& o,
+                           const std::set<net::NodeId>* crashed,
+                           const std::function<void(net::NodeId)>& revive,
+                           const LedgerAt& ledger_at, bool record_trace) {
+  RunOutcome out;
+  std::string* tr = record_trace ? &out.trace : nullptr;
+  InstallSchedule(&net, schedule, hooks, tr);
+
+  const SimTime start = net.Now();
+  size_t sent = 0;
+  std::function<void()> pump = [&] {
+    if (sent >= o.num_payloads || net.Now() > start + o.horizon) return;
+    (void)ordering.SubmitAsync(PayloadBytes(sent), net.Now());
+    if (tr != nullptr) {
+      *tr += "t=" + T(net.Now()) + " submit pay-" + std::to_string(sent) +
+             "\n";
+    }
+    ++sent;
+    net.ScheduleAfter(o.submit_interval, pump);
+  };
+  net.ScheduleAfter(o.submit_interval, pump);
+
+  while (net.Step()) {
+    if (net.Now() > start + o.horizon) break;
+    ++out.events;
+  }
+  // Submit any payloads the horizon cut off, then repair the world so Flush
+  // measures recovery, not a dead cluster (shrinking can orphan an opening
+  // fault from its closing action).
+  for (; sent < o.num_payloads; ++sent) {
+    (void)ordering.SubmitAsync(PayloadBytes(sent), net.Now());
+  }
+  net.HealAll();
+  net.ClearLinkLatencies();
+  net.set_drop_rate(o.base_drop_rate);
+  net.SetTimerScale(1.0);
+  for (net::NodeId id : *crashed) {
+    net.RestartNode(id);
+    revive(id);
+  }
+  Status flushed = ordering.Flush();
+  if (!flushed.ok()) {
+    out.ok = false;
+    out.violation = "Flush failed: " + flushed.message();
+  } else {
+    Status s = CheckOrderingLedgers(o.num_replicas, o.num_payloads,
+                                    ordering.CommittedCount(), ledger_at);
+    if (!s.ok()) {
+      out.ok = false;
+      out.violation = s.message();
+    }
+  }
+  out.committed = ordering.CommittedCount();
+  if (tr != nullptr) {
+    *tr += "final committed=" + std::to_string(out.committed) +
+           " events=" + std::to_string(out.events) + "\n";
+    if (!out.ok) *tr += "VIOLATION " + out.violation + "\n";
+  }
+  out.net_stats = net.StatsJson();
+  return out;
+}
+
+RunOutcome RunRaftOrderingOnce(uint64_t seed, const FaultSchedule& schedule,
+                               const OrderingSimOptions& o,
+                               bool record_trace) {
+  net::SimNetConfig ncfg;
+  ncfg.drop_rate = o.base_drop_rate;
+  ncfg.seed = seed ^ 0xC0FFEEULL;
+  core::RaftOrdering ordering(o.num_replicas, ncfg, PipelineFor(seed));
+
+  std::set<net::NodeId> crashed;
+  FaultHooks hooks;
+  hooks.crash = [&](net::NodeId id) {
+    ordering.cluster().replica(id).Crash();
+    crashed.insert(id);
+  };
+  hooks.restart = [&](net::NodeId id) {
+    ordering.cluster().replica(id).Restart();
+    crashed.erase(id);
+  };
+  auto revive = [&](net::NodeId id) {
+    ordering.cluster().replica(id).Restart();
+  };
+  auto ledger_at = [&](size_t r) -> const ledger::LedgerDb& {
+    return ordering.ReplicaLedger(r);
+  };
+  return RunOrderingOnce(ordering, ordering.network(), schedule, hooks, o,
+                         &crashed, revive, ledger_at, record_trace);
+}
+
+RunOutcome RunPbftOrderingOnce(uint64_t seed, const FaultSchedule& schedule,
+                               const OrderingSimOptions& o,
+                               bool record_trace) {
+  net::SimNetConfig ncfg;
+  ncfg.drop_rate = 0.0;  // No retransmission layer: see header comment.
+  ncfg.seed = seed ^ 0xFACADEULL;
+  core::PbftOrdering ordering(o.num_replicas, ncfg, "pbft-sim",
+                              PipelineFor(seed));
+
+  // Replica 0 is the commit counter Flush waits on; without state transfer
+  // it must see every instance, so faults touching it are filtered.
+  FaultSchedule filtered = schedule;
+  filtered.actions.erase(
+      std::remove_if(filtered.actions.begin(), filtered.actions.end(),
+                     [](const FaultAction& a) {
+                       switch (a.kind) {
+                         case FaultKind::kCrash:
+                         case FaultKind::kRestart:
+                           return a.a == 0;
+                         case FaultKind::kPartition:
+                         case FaultKind::kHeal:
+                         case FaultKind::kLatencySpike:
+                         case FaultKind::kLatencyClear:
+                           return a.a == 0 || a.b == 0;
+                         case FaultKind::kDropSpike:
+                           return true;  // Drops hit replica 0 like any other.
+                         default:
+                           return false;
+                       }
+                     }),
+      filtered.actions.end());
+
+  std::set<net::NodeId> crashed;
+  FaultHooks hooks;
+  hooks.crash = [&](net::NodeId id) {
+    ordering.cluster().replica(id).SetFaultMode(
+        consensus::PbftFaultMode::kSilent);
+    crashed.insert(id);
+  };
+  hooks.restart = [&](net::NodeId id) {
+    ordering.cluster().replica(id).SetFaultMode(
+        consensus::PbftFaultMode::kHonest);
+    crashed.erase(id);
+  };
+  auto revive = [&](net::NodeId id) {
+    ordering.cluster().replica(id).SetFaultMode(
+        consensus::PbftFaultMode::kHonest);
+  };
+  auto ledger_at = [&](size_t r) -> const ledger::LedgerDb& {
+    return ordering.ReplicaLedger(r);
+  };
+  return RunOrderingOnce(ordering, ordering.network(), filtered, hooks, o,
+                         &crashed, revive, ledger_at, record_trace);
+}
+
 // ------------------------------------------------------- Shrink + report
 
 using RunFn = std::function<RunOutcome(const FaultSchedule&, bool record)>;
@@ -373,6 +610,62 @@ std::string SimReport::Summary(const char* protocol) const {
   s += "  replay: PREVER_SIM_SEED=" + std::to_string(seed) +
        " ./tests/sim_consensus_test --gtest_filter='*" + protocol + "*'\n";
   return s;
+}
+
+namespace {
+
+SimReport RunOrderingWithShrink(uint64_t seed, const OrderingSimOptions& o,
+                                const RunFn& run_once) {
+  ScenarioGenerator generator(ScenarioOptionsFor(o));
+  SimReport report;
+  report.seed = seed;
+  report.schedule = generator.Generate(seed);
+  report.reduced = report.schedule;
+
+  RunOutcome out = run_once(report.schedule, o.record_trace);
+  report.ok = out.ok;
+  report.violation = out.violation;
+  report.trace = out.trace;
+  report.events = out.events;
+  report.committed = out.committed;
+  report.net_stats = out.net_stats;
+  if (out.ok || !o.shrink_on_failure) return report;
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (size_t i = 0; i < report.reduced.actions.size(); ++i) {
+      FaultSchedule candidate = report.reduced;
+      candidate.actions.erase(candidate.actions.begin() +
+                              static_cast<ptrdiff_t>(i));
+      RunOutcome r = run_once(candidate, false);
+      if (!r.ok) {
+        report.reduced = candidate;
+        report.violation = r.violation;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+SimReport RunRaftOrderingScenario(uint64_t seed,
+                                  const OrderingSimOptions& options) {
+  return RunOrderingWithShrink(
+      seed, options, [&](const FaultSchedule& schedule, bool record) {
+        return RunRaftOrderingOnce(seed, schedule, options, record);
+      });
+}
+
+SimReport RunPbftOrderingScenario(uint64_t seed,
+                                  const OrderingSimOptions& options) {
+  return RunOrderingWithShrink(
+      seed, options, [&](const FaultSchedule& schedule, bool record) {
+        return RunPbftOrderingOnce(seed, schedule, options, record);
+      });
 }
 
 SimReport RunRaftScenario(uint64_t seed, const ConsensusSimOptions& options) {

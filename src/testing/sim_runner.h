@@ -56,6 +56,44 @@ SimReport RunRaftScenario(uint64_t seed, const ConsensusSimOptions& options);
 /// change safety via the commit stream, with optional primary equivocation.
 SimReport RunPbftScenario(uint64_t seed, const ConsensusSimOptions& options);
 
+/// Configuration for one randomized PIPELINED-ORDERING scenario: payloads
+/// flow through core::RaftOrdering / core::PbftOrdering (SubmitAsync +
+/// adaptive batching + the in-flight window) while faults fire, then a
+/// final Flush must commit everything. The pipeline knobs (batch size,
+/// window depth, close delay) are themselves seed-derived, so a sweep
+/// explores the batch x window x delay space.
+struct OrderingSimOptions {
+  size_t num_replicas = 5;
+  size_t num_payloads = 40;
+  SimTime submit_interval = 25 * kMillisecond;
+  /// Fault + submission phase length (measured from scenario start, which
+  /// is after initial leader election for Raft); Flush then gets the
+  /// pipeline's own flush_timeout on a fully healed network.
+  SimTime horizon = 15 * kSecond;
+  size_t max_actions = 8;
+  size_t max_concurrent_crashed = 1;
+  double base_drop_rate = 0.0;
+  bool shrink_on_failure = true;
+  bool record_trace = true;
+};
+
+/// Raft ordering under faults (crashes, partitions, latency/drop spikes,
+/// timer skew). Checks: Flush commits every submitted payload; the
+/// replica-0 ledger holds each payload exactly once (no double-execution
+/// from Flush's re-submissions); all replica ledgers are digest-identical
+/// on their common prefix.
+SimReport RunRaftOrderingScenario(uint64_t seed,
+                                  const OrderingSimOptions& options);
+
+/// PBFT ordering under faults. Same invariants. Faults touching replica 0
+/// are filtered from the schedule and the base drop rate is forced to zero:
+/// this PBFT has no state transfer, so a replica cut off while others
+/// execute can lag forever — acceptable for backups (the prefix-digest
+/// check still covers them) but replica 0 is the commit counter Flush
+/// waits on. See DESIGN.md "Simulation testing".
+SimReport RunPbftOrderingScenario(uint64_t seed,
+                                  const OrderingSimOptions& options);
+
 }  // namespace prever::simtest
 
 #endif  // PREVER_TESTING_SIM_RUNNER_H_

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 
 #include "constraint/parser.h"
 #include "core/prever.h"
@@ -217,6 +218,136 @@ TEST(ShardedOrderingTest, RoutesDeterministicallyAndCommits) {
   }
   EXPECT_EQ(grown, 1);
   EXPECT_GT(ordering.MaxShardTime(), 0u);
+}
+
+// --------------------------------------------------- Pipelined ordering --
+
+// Regression: the old commit stamp (seq * 1000 + i) collided once a batch
+// held >= 1000 payloads — entry 1000 of batch seq stamped identically to
+// entry 0 of batch seq+1. BatchEntryStamp packs (position, index) into
+// disjoint bit ranges, so every entry of a 1100-payload batch plus a
+// follow-up batch must carry a distinct stamp on every replica.
+TEST(PipelinedOrderingTest, LargeBatchStampsAreUniqueAcrossBatches) {
+  PbftOrdering ordering(4, net::SimNetConfig{}, "pbft-stamp-test");
+  std::vector<Bytes> big;
+  for (int i = 0; i < 1100; ++i) big.push_back(ToBytes("p" + std::to_string(i)));
+  ASSERT_TRUE(ordering.AppendBatch(big, 0).ok());
+  ASSERT_TRUE(ordering.AppendBatch({ToBytes("q0"), ToBytes("q1")}, 0).ok());
+  ordering.network().RunUntilIdle();
+  ASSERT_EQ(ordering.CommittedCount(), 1102u);
+
+  for (size_t r = 0; r < ordering.num_replicas(); ++r) {
+    const ledger::LedgerDb& db = ordering.ReplicaLedger(r);
+    ASSERT_EQ(db.size(), 1102u) << r;
+    std::set<SimTime> stamps;
+    for (uint64_t i = 0; i < db.size(); ++i) {
+      stamps.insert(db.GetEntry(i)->timestamp);
+    }
+    EXPECT_EQ(stamps.size(), 1102u) << "stamp collision on replica " << r;
+  }
+  std::vector<const ledger::LedgerDb*> replicas;
+  for (size_t i = 0; i < ordering.num_replicas(); ++i) {
+    replicas.push_back(&ordering.ReplicaLedger(i));
+  }
+  EXPECT_TRUE(IntegrityAuditor::CheckReplicaAgreement(replicas).ok());
+}
+
+TEST(PipelinedOrderingTest, SubmitAsyncFlushCommitsEverything) {
+  OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 8;
+  pipeline.max_inflight = 4;
+  PbftOrdering ordering(4, net::SimNetConfig{}, "pbft-async-test", pipeline);
+  for (int i = 0; i < 30; ++i) {
+    auto ticket = ordering.SubmitAsync(ToBytes("a" + std::to_string(i)), i);
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_EQ(*ticket, static_cast<OrderingService::Ticket>(i));
+  }
+  ASSERT_TRUE(ordering.Flush().ok());
+  EXPECT_EQ(ordering.CommittedCount(), 30u);
+  // Ledger order matches submission order: batching must not reorder.
+  for (uint64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(ToString(ordering.Ledger().GetEntry(i)->payload),
+              "a" + std::to_string(i));
+  }
+  // Flush with nothing pending is a no-op.
+  EXPECT_TRUE(ordering.Flush().ok());
+}
+
+TEST(PipelinedOrderingTest, AdaptiveDelayClosesPartialBatch) {
+  OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 64;  // Never filled by this test.
+  pipeline.max_delay = 2 * kMillisecond;
+  PbftOrdering ordering(4, net::SimNetConfig{}, "pbft-delay-test", pipeline);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ordering.SubmitAsync(ToBytes("d" + std::to_string(i)), i).ok());
+  }
+  // No Flush: the max_delay timer alone must seal and commit the batch.
+  ordering.network().RunUntilIdle();
+  EXPECT_EQ(ordering.CommittedCount(), 3u);
+}
+
+TEST(PipelinedOrderingTest, RaftPipelineCommitsAndReplicasAgree) {
+  OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 4;
+  pipeline.max_inflight = 8;
+  RaftOrdering ordering(3, net::SimNetConfig{}, pipeline);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(ordering.SubmitAsync(ToBytes("r" + std::to_string(i)), i).ok());
+  }
+  ASSERT_TRUE(ordering.Flush().ok());
+  EXPECT_EQ(ordering.CommittedCount(), 25u);
+  // Followers catch up on subsequent heartbeats; Raft timers re-arm forever,
+  // so step a bounded number of events rather than draining to idle.
+  auto all_caught_up = [&] {
+    for (size_t i = 0; i < 3; ++i) {
+      if (ordering.ReplicaLedger(i).size() < 25) return false;
+    }
+    return true;
+  };
+  for (int i = 0; i < 20000 && !all_caught_up() && ordering.network().Step();
+       ++i) {
+  }
+  std::vector<const ledger::LedgerDb*> replicas;
+  for (size_t i = 0; i < 3; ++i) replicas.push_back(&ordering.ReplicaLedger(i));
+  EXPECT_TRUE(IntegrityAuditor::CheckReplicaAgreement(replicas).ok());
+}
+
+TEST(PipelinedOrderingTest, RaftAppendBatchCommitsInOrder) {
+  RaftOrdering ordering(3, net::SimNetConfig{});
+  ASSERT_TRUE(
+      ordering.AppendBatch({ToBytes("x"), ToBytes("y"), ToBytes("z")}, 5).ok());
+  EXPECT_EQ(ordering.CommittedCount(), 3u);
+  EXPECT_EQ(ToString(ordering.Ledger().GetEntry(0)->payload), "x");
+  EXPECT_EQ(ToString(ordering.Ledger().GetEntry(2)->payload), "z");
+  EXPECT_FALSE(ordering.AppendBatch({}, 0).ok());
+}
+
+TEST(PipelinedOrderingTest, BlockingAppendIsStopAndWait) {
+  // Append through a deep pipeline config still commits before returning —
+  // the blocking API keeps its semantics for the seven engines.
+  OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 64;
+  pipeline.max_inflight = 8;
+  PbftOrdering ordering(4, net::SimNetConfig{}, "pbft-blocking-test", pipeline);
+  ASSERT_TRUE(ordering.Append(ToBytes("first"), 1).ok());
+  EXPECT_EQ(ordering.CommittedCount(), 1u);
+  ASSERT_TRUE(ordering.Append(ToBytes("second"), 2).ok());
+  EXPECT_EQ(ordering.CommittedCount(), 2u);
+}
+
+TEST(PipelinedOrderingTest, ShardedAsyncRoutesAndFlushes) {
+  OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 4;
+  pipeline.max_inflight = 2;
+  ShardedPbftOrdering ordering(3, 4, net::SimNetConfig{}, pipeline);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ordering
+                    .SubmitRoutedAsync("key" + std::to_string(i),
+                                       ToBytes("v" + std::to_string(i)), i)
+                    .ok());
+  }
+  ASSERT_TRUE(ordering.Flush().ok());
+  EXPECT_EQ(ordering.CommittedCount(), 20u);
 }
 
 // ------------------------------------------------ String escape round trip

@@ -53,6 +53,63 @@ TEST(MerkleTest, RootAtMatchesIncrementalRoots) {
   }
 }
 
+// AppendBatch is a pure optimization: any split of a leaf sequence into
+// batches must yield the same tree as one Append per leaf — same roots
+// (current and historic) and same inclusion proofs.
+TEST(MerkleTest, AppendBatchMatchesSerialAppends) {
+  for (size_t total : {1u, 2u, 3u, 7u, 16u, 33u, 100u}) {
+    std::vector<Bytes> leaves;
+    for (size_t i = 0; i < total; ++i) leaves.push_back(Leaf(static_cast<int>(i)));
+
+    MerkleTree serial;
+    for (const Bytes& l : leaves) serial.Append(l);
+    MerkleTree batched;
+    batched.AppendBatch(leaves);
+
+    ASSERT_EQ(batched.LeafCount(), serial.LeafCount()) << total;
+    EXPECT_EQ(batched.Root(), serial.Root()) << total;
+    for (size_t n = 1; n <= total; ++n) {
+      EXPECT_EQ(*batched.RootAt(n), *serial.RootAt(n)) << total << "@" << n;
+    }
+    for (size_t i = 0; i < total; ++i) {
+      auto a = batched.InclusionProof(i, total);
+      auto b = serial.InclusionProof(i, total);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << total << "#" << i;
+    }
+  }
+}
+
+TEST(MerkleTest, AppendBatchComposesWithSingleAppends) {
+  MerkleTree serial;
+  MerkleTree mixed;
+  int next = 0;
+  auto feed_serial = [&](int n) {
+    for (int i = 0; i < n; ++i) serial.Append(Leaf(next + i));
+  };
+  // Odd-sized batches landing on odd tree sizes stress the level-fold logic.
+  for (int n : {3, 1, 5, 2, 8, 1, 13}) {
+    feed_serial(n);
+    std::vector<Bytes> batch;
+    for (int i = 0; i < n; ++i) batch.push_back(Leaf(next + i));
+    if (n == 1) {
+      mixed.Append(batch[0]);
+    } else {
+      mixed.AppendBatch(batch);
+    }
+    next += n;
+    ASSERT_EQ(mixed.Root(), serial.Root()) << "after +" << n;
+  }
+}
+
+TEST(MerkleTest, AppendBatchEmptyIsNoOp) {
+  MerkleTree tree = BuildTree(5);
+  Bytes before = tree.Root();
+  tree.AppendBatch({});
+  EXPECT_EQ(tree.LeafCount(), 5u);
+  EXPECT_EQ(tree.Root(), before);
+}
+
 TEST(MerkleTest, RootAtRejectsOversize) {
   MerkleTree tree = BuildTree(3);
   EXPECT_FALSE(tree.RootAt(4).ok());

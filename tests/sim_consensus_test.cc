@@ -94,6 +94,73 @@ TEST(SimConsensusTest, PbftTraceIsDeterministic) {
   }
 }
 
+// ---------------------------------------------- Pipelined ordering sweeps
+//
+// These drive core::RaftOrdering / core::PbftOrdering (SubmitAsync + the
+// adaptive batcher + the in-flight window) through randomized fault
+// schedules. Seeds also vary the pipeline shape (batch {1,4,16,64} x
+// window {1,2,4,8} x delay {1,3,10}ms), so the sweep covers stop-and-wait
+// through deep pipelining. Replay one seed with PREVER_SIM_SEED.
+
+constexpr uint64_t kNumOrderingSeeds = 60;
+
+OrderingSimOptions RaftOrderingOptions() {
+  OrderingSimOptions o;
+  o.num_replicas = 5;
+  o.max_concurrent_crashed = 2;  // Leaves a 3/5 quorum.
+  o.base_drop_rate = 0.01;
+  return o;
+}
+
+OrderingSimOptions PbftOrderingOptions() {
+  OrderingSimOptions o;
+  o.num_replicas = 4;  // f = 1.
+  o.max_concurrent_crashed = 1;
+  return o;
+}
+
+TEST(SimConsensusTest, RaftOrderingSweep) {
+  OrderingSimOptions o = RaftOrderingOptions();
+  uint64_t only = 0;
+  if (SingleSeed(&only)) {
+    SimReport r = RunRaftOrderingScenario(only, o);
+    EXPECT_TRUE(r.ok) << r.Summary("RaftOrdering");
+    std::fputs(r.trace.c_str(), stderr);
+    return;
+  }
+  for (uint64_t seed = 1; seed <= kNumOrderingSeeds; ++seed) {
+    SimReport r = RunRaftOrderingScenario(seed, o);
+    ASSERT_TRUE(r.ok) << r.Summary("RaftOrdering");
+  }
+}
+
+TEST(SimConsensusTest, PbftOrderingSweep) {
+  OrderingSimOptions o = PbftOrderingOptions();
+  uint64_t only = 0;
+  if (SingleSeed(&only)) {
+    SimReport r = RunPbftOrderingScenario(only, o);
+    EXPECT_TRUE(r.ok) << r.Summary("PbftOrdering");
+    std::fputs(r.trace.c_str(), stderr);
+    return;
+  }
+  for (uint64_t seed = 1; seed <= kNumOrderingSeeds; ++seed) {
+    SimReport r = RunPbftOrderingScenario(seed, o);
+    ASSERT_TRUE(r.ok) << r.Summary("PbftOrdering");
+  }
+}
+
+TEST(SimConsensusTest, OrderingTraceIsDeterministic) {
+  OrderingSimOptions o = RaftOrderingOptions();
+  for (uint64_t seed : {5u, 23u}) {
+    SimReport a = RunRaftOrderingScenario(seed, o);
+    SimReport b = RunRaftOrderingScenario(seed, o);
+    ASSERT_TRUE(a.ok) << a.Summary("RaftOrdering");
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_EQ(a.trace, b.trace) << "seed " << seed;
+    EXPECT_EQ(a.committed, b.committed);
+  }
+}
+
 // Distinct seeds must explore distinct schedules — a generator collapsing to
 // one schedule would make the sweep an expensive no-op.
 TEST(SimConsensusTest, SeedsExploreDistinctSchedules) {

@@ -281,6 +281,53 @@ TEST_F(WalTest, AppendAndRecover) {
   EXPECT_EQ(ToString((*records)[1]), "two");
 }
 
+TEST_F(WalTest, AppendBatchIsByteIdenticalToSerialAppends) {
+  std::vector<Bytes> records = {ToBytes("one"), ToBytes("two"), Bytes{},
+                                ToBytes(std::string(1000, 'x'))};
+  std::string serial_path = path_ + ".serial";
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(serial_path).ok());
+    for (const Bytes& r : records) ASSERT_TRUE(wal.Append(r).ok());
+  }
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.AppendBatch(records).ok());
+  }
+  auto slurp = [](const std::string& p) {
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    std::string all;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) all.append(buf, n);
+    std::fclose(f);
+    return all;
+  };
+  EXPECT_EQ(slurp(path_), slurp(serial_path));
+  std::remove(serial_path.c_str());
+
+  bool truncated = true;
+  auto recovered = WriteAheadLog::Recover(path_, &truncated);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(recovered->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*recovered)[i], records[i]) << i;
+  }
+}
+
+TEST_F(WalTest, AppendBatchEmptyIsNoOp) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.AppendBatch({}).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("after")).ok());
+  wal.Close();
+  auto records = WriteAheadLog::Recover(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+}
+
 TEST_F(WalTest, MissingFileIsEmptyHistory) {
   auto records = WriteAheadLog::Recover(path_);
   ASSERT_TRUE(records.ok());

@@ -17,6 +17,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 "$BUILD_DIR"/tests/crypto_diff_test
 scripts/bench_smoke.sh "$BUILD_DIR"
 
+# Mutation kill matrix: compiles the verification layer with the runtime
+# mutation harness in its own tree and requires >= 95% of the registered
+# mutants to be killed, with every survivor carrying a vetted rationale.
+scripts/mutation_smoke.sh "${MUTATION_BUILD_DIR:-build-mutation}"
+
 # ThreadSanitizer pass over the components that actually share state across
 # threads (the thread pool, the lock-based observability registry, and the
 # ordering layer whose histograms are recorded from pool workers in the

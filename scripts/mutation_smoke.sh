@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Builds the runtime mutation harness (-DPREVER_MUTATIONS=ON) in its own
+# tree, runs the kill matrix, and validates the machine-readable report
+# (the PREVER_MUTATION_REPORT line): it must parse, cover every registered
+# site, reach every site, kill >= 95% of mutants, and explain every
+# survivor with a rationale.
+# Usage: scripts/mutation_smoke.sh [build-dir]   (default: build-mutation)
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-mutation}"
+
+cmake -B "$BUILD_DIR" -S . -DPREVER_MUTATIONS=ON \
+  -DCMAKE_BUILD_TYPE=Release >/dev/null || {
+  echo "mutation_smoke: FAIL (configure)" >&2
+  exit 1
+}
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target mutation_kill_test \
+  >/dev/null || {
+  echo "mutation_smoke: FAIL (build)" >&2
+  exit 1
+}
+
+out="$("$BUILD_DIR"/tests/mutation_kill_test)" || {
+  printf '%s\n' "$out"
+  echo "mutation_smoke: FAIL (kill rate below threshold or clean-pass failure)" >&2
+  exit 1
+}
+printf '%s\n' "$out"
+
+PYTHON="$(command -v python3 || true)"
+if [ -z "$PYTHON" ]; then
+  echo "mutation_smoke: python3 not found; skipping JSON validation" >&2
+  exit 0
+fi
+
+line="$(printf '%s\n' "$out" | grep '^PREVER_MUTATION_REPORT ' | tail -1 || true)"
+if [ -z "$line" ]; then
+  echo "mutation_smoke: FAIL (no PREVER_MUTATION_REPORT line)" >&2
+  exit 1
+fi
+if ! printf '%s\n' "${line#PREVER_MUTATION_REPORT }" | "$PYTHON" -c '
+import json, sys
+doc = json.load(sys.stdin)
+for key in ("sites", "reached", "killed", "kill_rate", "clean_failures",
+            "survivors"):
+    assert key in doc, "missing " + key
+assert doc["sites"] > 0, "no mutation sites registered"
+assert doc["clean_failures"] == 0, "detectors flagged unmutated code"
+assert doc["reached"] == doc["sites"], "some sites never reached"
+assert doc["killed"] + len(doc["survivors"]) == doc["sites"], \
+    "killed + survivors != sites"
+rate = doc["kill_rate"]
+assert rate >= 0.95, "kill rate %.4f below 0.95" % rate
+for s in doc["survivors"]:
+    assert s.get("site"), "survivor missing site id"
+    assert s.get("rationale"), "survivor %s missing rationale" % s.get("site")
+    assert s.get("expected") is True, \
+        "unexpected survivor %s: %s" % (s["site"], s["rationale"])
+print("%d/%d killed" % (doc["killed"], doc["sites"]))
+'; then
+  echo "mutation_smoke: FAIL (mutation report invalid)" >&2
+  exit 1
+fi
+echo "mutation_smoke: OK"

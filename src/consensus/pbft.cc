@@ -2,6 +2,7 @@
 
 #include "common/serial.h"
 #include "crypto/sha256.h"
+#include "mutate/mutation.h"
 
 namespace prever::consensus {
 
@@ -164,15 +165,23 @@ void PbftReplica::HandlePrePrepare(const net::Message& msg) {
     return;
   }
   if (*view != view_ || view_changing_) return;
-  if (msg.from != view_ % config_.num_replicas) return;  // Not the primary.
+  if (PREVER_MUTATION(PBFT_PRIMARY_CHECK_SKIP,
+                      msg.from != view_ % config_.num_replicas, false)) {
+    return;  // Not the primary.
+  }
   // Watermark bound: refuse proposals far past our execution point (2x the
   // primary's window — our low watermark may lag its). Caps log_ growth under
   // a Byzantine primary spraying arbitrary sequence numbers.
-  if (*seq > last_executed_ + 2 * config_.high_watermark_window) return;
+  if (PREVER_MUTATION(PBFT_WATERMARK_SKIP,
+                      *seq > last_executed_ + 2 * config_.high_watermark_window,
+                      false)) {
+    return;
+  }
 
   SlotState& slot = Slot(*seq);
   Bytes digest = DigestOf(*command);
-  if (slot.pre_prepared && slot.digest != digest) {
+  if (PREVER_MUTATION(PBFT_CONFLICTING_DIGEST_ACCEPT,
+                      slot.pre_prepared && slot.digest != digest, false)) {
     // Conflicting proposal for the same (view, seq): refuse; the timer will
     // force a view change if progress stalls.
     return;
@@ -210,7 +219,11 @@ void PbftReplica::HandlePrepare(const net::Message& msg) {
 void PbftReplica::MaybeSendCommit(uint64_t seq) {
   SlotState& slot = Slot(seq);
   if (!slot.pre_prepared || slot.sent_commit) return;
-  if (slot.prepares[slot.digest].size() < quorum2f1()) return;
+  if (PREVER_MUTATION(PBFT_PREPARE_QUORUM_MINUS_ONE,
+                      slot.prepares[slot.digest].size() < quorum2f1(),
+                      slot.prepares[slot.digest].size() + 1 < quorum2f1())) {
+    return;
+  }
   slot.sent_commit = true;
   slot.commits[slot.digest].insert(id_);
   for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
@@ -264,10 +277,15 @@ void PbftReplica::ExecuteLoop() {
       continue;
     }
     if (!slot.pre_prepared || slot.sent_commit == false) return;
-    if (slot.commits[slot.digest].size() < quorum2f1()) return;
+    if (PREVER_MUTATION(PBFT_COMMIT_QUORUM_MINUS_ONE,
+                        slot.commits[slot.digest].size() < quorum2f1(),
+                        slot.commits[slot.digest].size() + 1 < quorum2f1())) {
+      return;
+    }
     slot.executed = true;
     ++last_executed_;
-    if (executed_digests_.count(slot.digest)) {
+    if (PREVER_MUTATION(PBFT_EXEC_DEDUP_SKIP,
+                        executed_digests_.count(slot.digest) != 0, false)) {
       // Reply-cache analogue (PBFT §4.4): a request the new primary
       // re-assigned to a second sequence number across a view change (its
       // log had no trace of the original assignment) commits twice but must
@@ -338,7 +356,9 @@ void PbftReplica::HandleViewChange(const net::Message& msg) {
   auto decoded = DecodeViewChange(msg.payload);
   if (!decoded.ok()) return;
   uint64_t new_view = decoded->first;
-  if (new_view <= view_) return;
+  if (PREVER_MUTATION(PBFT_VIEWCHANGE_STALE_ACCEPT, new_view <= view_, false)) {
+    return;
+  }
   view_change_entries_[new_view][msg.from] = std::move(decoded->second);
   // Join the view change once f+1 replicas are attempting it (standard
   // liveness amplification).

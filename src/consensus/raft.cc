@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/serial.h"
+#include "mutate/mutation.h"
 
 namespace prever::consensus {
 
@@ -82,7 +83,10 @@ void RaftReplica::StartElection() {
   for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
     if (to != id_) net_->Send(id_, to, kRequestVote, w.bytes());
   }
-  if (votes_.size() >= Majority()) BecomeLeader();  // 1-node cluster.
+  if (PREVER_MUTATION(RAFT_VOTE_QUORUM_MINUS_ONE, votes_.size() >= Majority(),
+                      votes_.size() + 1 >= Majority())) {
+    BecomeLeader();  // 1-node cluster.
+  }
 }
 
 void RaftReplica::BecomeLeader() {
@@ -170,7 +174,7 @@ void RaftReplica::HandleRequestVote(const net::Message& msg) {
     bool up_to_date =
         *last_log_term > LastLogTerm() ||
         (*last_log_term == LastLogTerm() && *last_log_index >= log_.size());
-    if (up_to_date) {
+    if (PREVER_MUTATION(RAFT_ELECTION_RESTRICTION_SKIP, up_to_date, true)) {
       grant = true;
       voted_for_ = static_cast<int64_t>(msg.from);
       ArmElectionTimer();
@@ -193,7 +197,10 @@ void RaftReplica::HandleVoteReply(const net::Message& msg) {
   }
   if (role_ != Role::kCandidate || *term != term_ || !*grant) return;
   votes_.insert(msg.from);
-  if (votes_.size() >= Majority()) BecomeLeader();
+  if (PREVER_MUTATION(RAFT_VOTE_QUORUM_MINUS_ONE, votes_.size() >= Majority(),
+                      votes_.size() + 1 >= Majority())) {
+    BecomeLeader();
+  }
 }
 
 void RaftReplica::HandleAppendEntries(const net::Message& msg) {
@@ -209,13 +216,14 @@ void RaftReplica::HandleAppendEntries(const net::Message& msg) {
   }
 
   bool success = false;
-  if (*term >= term_) {
+  if (PREVER_MUTATION(RAFT_STALE_TERM_ACCEPT, *term >= term_, true)) {
     if (*term > term_ || role_ != Role::kFollower) BecomeFollower(*term);
     ArmElectionTimer();
     // Log consistency check at prev_index.
     if (*prev_index == 0 ||
         (*prev_index <= log_.size() &&
-         log_[*prev_index - 1].term == *prev_term)) {
+         PREVER_MUTATION(RAFT_LOG_MATCH_SKIP,
+                         log_[*prev_index - 1].term == *prev_term, true))) {
       success = true;
       uint64_t index = *prev_index;
       for (uint32_t i = 0; i < *count; ++i) {
@@ -279,12 +287,16 @@ void RaftReplica::HandleAppendReply(const net::Message& msg) {
 
 void RaftReplica::AdvanceCommitIndex() {
   for (uint64_t n = log_.size(); n > commit_index_; --n) {
-    if (log_[n - 1].term != term_) break;  // Only current-term entries.
+    if (PREVER_MUTATION(RAFT_COMMIT_FOREIGN_TERM, log_[n - 1].term != term_,
+                        false)) {
+      break;  // Only current-term entries.
+    }
     size_t count = 0;
     for (size_t i = 0; i < config_.num_replicas; ++i) {
       if (match_index_[i] >= n) ++count;
     }
-    if (count >= Majority()) {
+    if (PREVER_MUTATION(RAFT_COMMIT_QUORUM_MINUS_ONE, count >= Majority(),
+                        count + 1 >= Majority())) {
       commit_index_ = n;
       ApplyCommitted();
       break;

@@ -1,6 +1,7 @@
 #include "constraint/constraint.h"
 
 #include "constraint/parser.h"
+#include "mutate/mutation.h"
 
 namespace prever::constraint {
 
@@ -43,7 +44,7 @@ Result<const Constraint*> ConstraintCatalog::Find(
 Status ConstraintCatalog::CheckAll(const EvalContext& ctx) const {
   for (const Constraint& c : constraints_) {
     PREVER_ASSIGN_OR_RETURN(bool ok, EvaluateBool(*c.expr, ctx));
-    if (!ok) {
+    if (PREVER_MUTATION(CATALOG_IGNORE_VIOLATION, !ok, false)) {
       return Status::ConstraintViolation("update violates constraint '" +
                                          c.name + "': " + c.expr->ToString());
     }

@@ -3,6 +3,8 @@
 #include <limits>
 #include <set>
 
+#include "mutate/mutation.h"
+
 namespace prever::constraint {
 
 namespace {
@@ -87,17 +89,23 @@ Result<Value> EvaluateComparison(BinaryOp op, const Value& a, const Value& b) {
   }
   switch (op) {
     case BinaryOp::kEq:
-      return Value::Bool(cmp == 0);
+      return Value::Bool(PREVER_MUTATION(EVAL_CMP_EQ_WIDENED,  //
+                                         cmp == 0, cmp >= 0));
     case BinaryOp::kNe:
-      return Value::Bool(cmp != 0);
+      return Value::Bool(PREVER_MUTATION(EVAL_CMP_NE_NARROWED,  //
+                                         cmp != 0, cmp > 0));
     case BinaryOp::kLt:
-      return Value::Bool(cmp < 0);
+      return Value::Bool(PREVER_MUTATION(EVAL_CMP_LT_INCLUSIVE,  //
+                                         cmp < 0, cmp <= 0));
     case BinaryOp::kLe:
-      return Value::Bool(cmp <= 0);
+      return Value::Bool(PREVER_MUTATION(EVAL_CMP_LE_EXCLUSIVE,  //
+                                         cmp <= 0, cmp < 0));
     case BinaryOp::kGt:
-      return Value::Bool(cmp > 0);
+      return Value::Bool(PREVER_MUTATION(EVAL_CMP_GT_INCLUSIVE,  //
+                                         cmp > 0, cmp >= 0));
     case BinaryOp::kGe:
-      return Value::Bool(cmp >= 0);
+      return Value::Bool(PREVER_MUTATION(EVAL_CMP_GE_EXCLUSIVE,  //
+                                         cmp >= 0, cmp > 0));
     default:
       return Status::Internal("not a comparison op");
   }
@@ -153,7 +161,10 @@ Result<Value> EvaluateAggregateImpl(const Expr& expr, const EvalContext& ctx,
     }
   }
   SimTime window_start =
-      expr.window >= ctx.now ? 0 : ctx.now - expr.window;
+      expr.window >= ctx.now
+          ? 0
+          : PREVER_MUTATION(EVAL_WINDOW_START_OFFBYONE, ctx.now - expr.window,
+                            ctx.now - expr.window + 1);
 
   int64_t count = 0;
   int64_t sum = 0;
@@ -169,7 +180,12 @@ Result<Value> EvaluateAggregateImpl(const Expr& expr, const EvalContext& ctx,
         return false;
       }
       // Window is the half-open interval (now - window, now].
-      if (*ts <= window_start || *ts > ctx.now) return true;
+      if (PREVER_MUTATION(EVAL_WINDOW_START_INCLUSIVE, *ts <= window_start,
+                          *ts < window_start) ||
+          PREVER_MUTATION(EVAL_WINDOW_END_EXCLUSIVE, *ts > ctx.now,
+                          *ts >= ctx.now)) {
+        return true;
+      }
     }
     if (expr.where) {
       RowContext row_ctx{&ctx, &schema, &row, enclosing};
@@ -183,7 +199,7 @@ Result<Value> EvaluateAggregateImpl(const Expr& expr, const EvalContext& ctx,
         scan_error = keep.status();
         return false;
       }
-      if (!*keep) return true;
+      if (PREVER_MUTATION(EVAL_WHERE_INVERTED, !*keep, *keep)) return true;
     }
     ++count;
     if (expr.kind == ExprKind::kExists) return false;  // One match suffices.
@@ -194,22 +210,29 @@ Result<Value> EvaluateAggregateImpl(const Expr& expr, const EvalContext& ctx,
         return false;
       }
       sum += *v;
-      if (*v < min) min = *v;
-      if (*v > max) max = *v;
+      if (PREVER_MUTATION(EVAL_MIN_UPDATE_SKIP, *v < min, false)) min = *v;
+      if (PREVER_MUTATION(EVAL_MAX_UPDATE_SKIP, *v > max, false)) max = *v;
     }
     return true;
   });
   if (!scan_error.ok()) return scan_error;
 
-  if (expr.kind == ExprKind::kExists) return Value::Bool(count > 0);
+  if (expr.kind == ExprKind::kExists) {
+    return Value::Bool(PREVER_MUTATION(EVAL_EXISTS_ALWAYS,  //
+                                       count > 0, count >= 0));
+  }
 
   switch (expr.agg_kind) {
     case AggregateKind::kCount:
-      return Value::Int64(count);
+      return Value::Int64(PREVER_MUTATION(EVAL_COUNT_OFFBYONE,  //
+                                          count, count + 1));
     case AggregateKind::kSum:
-      return Value::Int64(sum);
+      return Value::Int64(PREVER_MUTATION(EVAL_SUM_OFFBYONE, sum, sum + 1));
     case AggregateKind::kAvg:
-      return Value::Int64(count == 0 ? 0 : sum / count);
+      return Value::Int64(
+          PREVER_MUTATION(EVAL_AVG_EMPTY_GUARD, count == 0, count <= 1)
+              ? 0
+              : sum / count);
     case AggregateKind::kMin:
       if (count == 0) {
         return Status::InvalidArgument("MIN over empty set");
@@ -235,7 +258,7 @@ Result<Value> EvaluateImpl(const Expr& expr, const EvalContext& ctx,
       PREVER_ASSIGN_OR_RETURN(Value v, EvaluateImpl(*expr.operand, ctx, row_ctx));
       if (expr.unary_op == UnaryOp::kNot) {
         PREVER_ASSIGN_OR_RETURN(bool b, v.AsBool());
-        return Value::Bool(!b);
+        return Value::Bool(PREVER_MUTATION(EVAL_NOT_DROPPED, !b, b));
       }
       PREVER_ASSIGN_OR_RETURN(int64_t n, v.AsNumeric());
       return Value::Int64(-n);
@@ -245,8 +268,14 @@ Result<Value> EvaluateImpl(const Expr& expr, const EvalContext& ctx,
       if (expr.binary_op == BinaryOp::kAnd || expr.binary_op == BinaryOp::kOr) {
         PREVER_ASSIGN_OR_RETURN(Value lv, EvaluateImpl(*expr.lhs, ctx, row_ctx));
         PREVER_ASSIGN_OR_RETURN(bool lb, lv.AsBool());
-        if (expr.binary_op == BinaryOp::kAnd && !lb) return Value::Bool(false);
-        if (expr.binary_op == BinaryOp::kOr && lb) return Value::Bool(true);
+        if (PREVER_MUTATION(EVAL_AND_SHORTCIRCUIT_SKIP,
+                            expr.binary_op == BinaryOp::kAnd && !lb, false)) {
+          return Value::Bool(false);
+        }
+        if (PREVER_MUTATION(EVAL_OR_SHORTCIRCUIT_SKIP,
+                            expr.binary_op == BinaryOp::kOr && lb, false)) {
+          return Value::Bool(true);
+        }
         PREVER_ASSIGN_OR_RETURN(Value rv, EvaluateImpl(*expr.rhs, ctx, row_ctx));
         PREVER_ASSIGN_OR_RETURN(bool rb, rv.AsBool());
         return Value::Bool(rb);
@@ -290,7 +319,9 @@ Result<Value> EvaluateImpl(const Expr& expr, const EvalContext& ctx,
         PREVER_ASSIGN_OR_RETURN(Value verdict,
                                 EvaluateImpl(*expr.operand, group_ctx, row_ctx));
         PREVER_ASSIGN_OR_RETURN(bool holds, verdict.AsBool());
-        if (!holds) return Value::Bool(false);
+        if (PREVER_MUTATION(EVAL_FORALL_IGNORE_VIOLATION, !holds, false)) {
+          return Value::Bool(false);
+        }
       }
       return Value::Bool(true);  // Vacuously true over an empty table.
     }

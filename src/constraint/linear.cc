@@ -1,5 +1,7 @@
 #include "constraint/linear.h"
 
+#include "mutate/mutation.h"
+
 namespace prever::constraint {
 
 namespace {
@@ -91,7 +93,7 @@ Result<LinearBoundForm> ExtractLinearBound(const Expr& expr) {
       break;
     case BinaryOp::kLt:
       form.direction = BoundDirection::kUpper;
-      form.bound = bound - 1;
+      form.bound = PREVER_MUTATION(LINEAR_LT_BOUND_OFFBYONE, bound - 1, bound);
       break;
     case BinaryOp::kGe:
       form.direction = BoundDirection::kLower;
@@ -99,7 +101,7 @@ Result<LinearBoundForm> ExtractLinearBound(const Expr& expr) {
       break;
     case BinaryOp::kGt:
       form.direction = BoundDirection::kLower;
-      form.bound = bound + 1;
+      form.bound = PREVER_MUTATION(LINEAR_GT_BOUND_OFFBYONE, bound + 1, bound);
       break;
     default:
       return Status::Internal("unreachable");

@@ -1,6 +1,7 @@
 #include "core/encrypted_engine.h"
 
 #include "crypto/sha256.h"
+#include "mutate/mutation.h"
 
 namespace prever::core {
 
@@ -54,7 +55,10 @@ Result<std::pair<BigInt, BigInt>> DataOwner::DecryptTotals(
   BigInt rand_mod_q = rand_sum.Mod(pedersen_->q);
   // Binding check: the manager's commitment product must open to exactly
   // what the ciphertext aggregates decrypt to.
-  if (!crypto::PedersenVerify(*pedersen_, total_cm, total, rand_mod_q)) {
+  if (PREVER_MUTATION(
+          ENC_BINDING_SKIP,
+          !crypto::PedersenVerify(*pedersen_, total_cm, total, rand_mod_q),
+          false)) {
     return Status::IntegrityViolation(
         "ciphertext aggregate and commitment aggregate disagree");
   }
@@ -68,7 +72,8 @@ Result<RangeProof> DataOwner::AttestUpperBound(
   PREVER_ASSIGN_OR_RETURN(
       auto totals, DecryptTotals(total_value_ct, total_rand_ct, total_cm));
   const auto& [total, rand_mod_q] = totals;
-  if (total > BigInt(bound)) {
+  if (PREVER_MUTATION(ENC_BOUND_OFFBYONE, total > BigInt(bound),
+                      total > BigInt(bound) + BigInt(1))) {
     return Status::ConstraintViolation("aggregate exceeds upper bound");
   }
   return crypto::ProveUpperBound(*pedersen_, total_cm, total, rand_mod_q,
@@ -202,7 +207,7 @@ Status EncryptedEngine::FinishSealed(const SealedSubmission& submission,
                                      bool range_ok, bool async_ledger) {
   const auto& pedersen = owner_->pedersen();
   const auto& pub = owner_->paillier_pub();
-  if (!range_ok) {
+  if (PREVER_MUTATION(ENC_RANGE_PROOF_SKIP, !range_ok, false)) {
     return metrics_.Finish(
         Status::IntegrityViolation("producer range proof invalid"));
   }
@@ -222,8 +227,12 @@ Status EncryptedEngine::FinishSealed(const SealedSubmission& submission,
                                   : submission.timestamp - bound.window);
     for (const SealedRow& row : group_rows) {
       if (bound.window != 0 &&
-          (row.timestamp <= window_start ||
-           row.timestamp > submission.timestamp)) {
+          (PREVER_MUTATION(ENC_WINDOW_START_INCLUSIVE,
+                           row.timestamp <= window_start,
+                           row.timestamp < window_start) ||
+           PREVER_MUTATION(ENC_WINDOW_END_EXCLUSIVE,
+                           row.timestamp > submission.timestamp,
+                           row.timestamp >= submission.timestamp))) {
         continue;
       }
       total_v = crypto::PaillierAdd(pub, total_v, row.sealed.value_ct);
@@ -244,7 +253,7 @@ Status EncryptedEngine::FinishSealed(const SealedSubmission& submission,
                                        BigInt(bound.bound), bound.slack_bits)
             : crypto::VerifyLowerBound(pedersen, total_cm, *attestation,
                                        BigInt(bound.bound), bound.slack_bits);
-    if (!proof_ok) {
+    if (PREVER_MUTATION(ENC_ATTEST_ACCEPT, !proof_ok, false)) {
       return metrics_.Finish(
           Status::IntegrityViolation("owner bound attestation invalid"));
     }

@@ -1,5 +1,7 @@
 #include "core/federated_token_engine.h"
 
+#include "mutate/mutation.h"
+
 namespace prever::core {
 
 FederatedTokenEngine::FederatedTokenEngine(
@@ -102,11 +104,12 @@ Status FederatedTokenEngine::SubmitViaInternal(size_t platform_index,
     for (size_t i = 0; i < need; ++i) verify_one(i);
   }
   for (size_t i = 0; i < need; ++i) {
-    if (!sig_ok[i]) {
+    if (PREVER_MUTATION(FTE_SIG_ACCEPT, !sig_ok[i], false)) {
       return metrics_.Finish(
           Status::IntegrityViolation("token signature invalid"));
     }
-    if (spent_.count(to_spend[i].serial)) {
+    if (PREVER_MUTATION(FTE_DOUBLE_SPEND_SKIP,
+                        spent_.count(to_spend[i].serial) != 0, false)) {
       return metrics_.Finish(
           Status::AlreadyExists("token double spend detected"));
     }

@@ -1,6 +1,7 @@
 #include "crypto/merkle.h"
 
 #include "crypto/sha256.h"
+#include "mutate/mutation.h"
 
 namespace prever::crypto {
 
@@ -15,7 +16,7 @@ size_t SplitPoint(size_t n) {
 
 Bytes MerkleTree::HashLeaf(const Bytes& leaf) {
   Sha256 h;
-  uint8_t tag = 0x00;
+  uint8_t tag = PREVER_MUTATION(MERKLE_LEAF_DOMAIN_TAG, 0x00, 0x01);
   h.Update(&tag, 1);
   h.Update(leaf);
   return h.Finish();
@@ -128,7 +129,10 @@ bool MerkleTree::VerifyInclusion(const Bytes& leaf, size_t index,
                                  size_t tree_size,
                                  const std::vector<Bytes>& proof,
                                  const Bytes& root) {
-  if (index >= tree_size || tree_size == 0) return false;
+  if (PREVER_MUTATION(MERKLE_INCLUSION_BOUNDS_SKIP,
+                      index >= tree_size || tree_size == 0, false)) {
+    return false;
+  }
   // RFC 9162 §2.1.3.2.
   size_t fn = index;
   size_t sn = tree_size - 1;
@@ -149,7 +153,7 @@ bool MerkleTree::VerifyInclusion(const Bytes& leaf, size_t index,
     fn >>= 1;
     sn >>= 1;
   }
-  return sn == 0 && r == root;
+  return PREVER_MUTATION(MERKLE_INCLUSION_ACCEPT, sn == 0 && r == root, true);
 }
 
 void MerkleTree::SubtreeConsistency(size_t old_size, size_t begin, size_t end,
@@ -224,7 +228,8 @@ bool MerkleTree::VerifyConsistency(size_t old_size, size_t new_size,
     fn >>= 1;
     sn >>= 1;
   }
-  return sn == 0 && fr == old_root && sr == new_root;
+  return PREVER_MUTATION(MERKLE_CONSISTENCY_ACCEPT,
+                         sn == 0 && fr == old_root && sr == new_root, true);
 }
 
 }  // namespace prever::crypto

@@ -1,6 +1,7 @@
 #include "crypto/paillier.h"
 
 #include "crypto/prime.h"
+#include "mutate/mutation.h"
 
 namespace prever::crypto {
 
@@ -53,7 +54,8 @@ Result<PaillierKeyPair> PaillierGenerateKey(size_t modulus_bits, Drbg& drbg) {
 
 Result<PaillierCiphertext> PaillierEncrypt(const PaillierPublicKey& pub,
                                            const BigInt& m, Drbg& drbg) {
-  if (m.IsNegative() || m >= pub.n) {
+  if (PREVER_MUTATION(PAILLIER_ENCRYPT_RANGE_SKIP,
+                      m.IsNegative() || m >= pub.n, false)) {
     return Status::InvalidArgument("plaintext out of range [0, n)");
   }
   BigInt r = drbg.RandomNonZeroBelow(pub.n);
@@ -86,7 +88,9 @@ Result<BigInt> PaillierDecrypt(const PaillierKeyPair& key,
   const auto& priv = key.priv;
   if (!priv.HasCrt()) return PaillierDecryptNoCrt(key, ct);
   const auto& pub = key.pub;
-  if (ct.c.IsNegative() || ct.c >= pub.n2 || ct.c.IsZero()) {
+  if (PREVER_MUTATION(PAILLIER_DECRYPT_RANGE_SKIP,
+                      ct.c.IsNegative() || ct.c >= pub.n2 || ct.c.IsZero(),
+                      ct.c.IsNegative())) {
     return Status::InvalidArgument("ciphertext out of range");
   }
   // Per prime factor: c^(p-1) mod p^2 kills the r^n component (its order

@@ -1,6 +1,7 @@
 #include "crypto/rsa.h"
 
 #include "crypto/hmac.h"
+#include "mutate/mutation.h"
 #include "crypto/prime.h"
 #include "crypto/sha256.h"
 
@@ -45,11 +46,15 @@ Bytes RsaSign(const RsaKeyPair& key, const Bytes& message) {
 
 bool RsaVerify(const RsaPublicKey& pub, const Bytes& message,
                const Bytes& sig) {
-  if (sig.size() != pub.ModulusBytes()) return false;
+  if (PREVER_MUTATION(RSA_VERIFY_LENGTH_SKIP,
+                      sig.size() != pub.ModulusBytes(), false)) {
+    return false;
+  }
   BigInt s = BigInt::FromBytes(sig);
-  if (s >= pub.n) return false;
+  if (PREVER_MUTATION(RSA_VERIFY_RANGE_SKIP, s >= pub.n, false)) return false;
   BigInt recovered = s.PowMod(pub.e, pub.n);
-  return recovered == RsaFdh(pub, message);
+  return PREVER_MUTATION(RSA_VERIFY_ACCEPT, recovered == RsaFdh(pub, message),
+                         true);
 }
 
 Result<BlindingResult> RsaBlind(const RsaPublicKey& pub, const Bytes& message,

@@ -1,6 +1,9 @@
 #include "crypto/zkp.h"
 
+#include <algorithm>
+
 #include "crypto/sha256.h"
+#include "mutate/mutation.h"
 
 namespace prever::crypto {
 
@@ -47,7 +50,7 @@ bool VerifyOpening(const PedersenParams& params,
   BigInt e = Challenge(params, "prever-zkp-opening", {&commitment.c, &proof.t});
   BigInt lhs = GetPedersenAccel(params).PowGH(proof.z1, proof.z2);
   BigInt rhs = proof.t.MulMod(commitment.c.PowMod(e, params.p), params.p);
-  return lhs == rhs;
+  return PREVER_MUTATION(ZKP_OPENING_ACCEPT, lhs == rhs, true);
 }
 
 Result<BitProof> ProveBit(const PedersenParams& params,
@@ -102,18 +105,21 @@ bool VerifyBit(const PedersenParams& params,
                const PedersenCommitment& commitment, const BitProof& proof) {
   BigInt e = Challenge(params, "prever-zkp-bit",
                        {&commitment.c, &proof.t0, &proof.t1});
-  if (proof.e0.AddMod(proof.e1, params.q) != e) return false;
+  if (PREVER_MUTATION(ZKP_BIT_SPLIT_SKIP,
+                      proof.e0.AddMod(proof.e1, params.q) != e, false)) {
+    return false;
+  }
   const PedersenAccel& accel = GetPedersenAccel(params);
   BigInt y0 = commitment.c;
   BigInt y1 = commitment.c.MulMod(accel.g_inv, params.p);
   // h^z0 == t0 * y0^e0
   BigInt lhs0 = accel.h.PowMod(proof.z0);
   BigInt rhs0 = proof.t0.MulMod(y0.PowMod(proof.e0, params.p), params.p);
-  if (lhs0 != rhs0) return false;
+  if (PREVER_MUTATION(ZKP_BIT_BRANCH0_SKIP, lhs0 != rhs0, false)) return false;
   // h^z1 == t1 * y1^e1
   BigInt lhs1 = accel.h.PowMod(proof.z1);
   BigInt rhs1 = proof.t1.MulMod(y1.PowMod(proof.e1, params.p), params.p);
-  return lhs1 == rhs1;
+  return PREVER_MUTATION(ZKP_BIT_BRANCH1_SKIP, lhs1 == rhs1, true);
 }
 
 Result<RangeProof> ProveRange(const PedersenParams& params,
@@ -157,13 +163,19 @@ Result<RangeProof> ProveRange(const PedersenParams& params,
 bool VerifyRange(const PedersenParams& params,
                  const PedersenCommitment& commitment, const RangeProof& proof,
                  size_t num_bits) {
-  if (proof.bit_commitments.size() != num_bits ||
-      proof.bit_proofs.size() != num_bits) {
+  if (PREVER_MUTATION(ZKP_RANGE_WIDTH_SKIP,
+                      proof.bit_commitments.size() != num_bits ||
+                          proof.bit_proofs.size() != num_bits,
+                      false)) {
     return false;
   }
   // Each bit commitment must open to 0/1.
-  for (size_t i = 0; i < num_bits; ++i) {
-    if (!VerifyBit(params, proof.bit_commitments[i], proof.bit_proofs[i])) {
+  for (size_t i = 0; i < std::min(proof.bit_commitments.size(),
+                                  proof.bit_proofs.size()); ++i) {
+    if (PREVER_MUTATION(
+            ZKP_RANGE_BIT_SKIP,
+            !VerifyBit(params, proof.bit_commitments[i], proof.bit_proofs[i]),
+            false)) {
       return false;
     }
   }
@@ -174,13 +186,16 @@ bool VerifyRange(const PedersenParams& params,
   auto ctx = MontgomeryContext::Shared(params.p);
   if (!ctx.ok()) return false;
   MontgomeryContext::Limbs acc = (*ctx)->OneMont();
-  for (size_t i = num_bits; i-- > 0;) {
+  // Iterate the transcript's own width: identical to num_bits after the size
+  // check, and keeps the width-check mutant in bounds.
+  for (size_t i = proof.bit_commitments.size(); i-- > 0;) {
     (*ctx)->MulMontLimbs(acc, acc, &acc);
     (*ctx)->MulMontLimbs(
         acc, (*ctx)->PackMont(proof.bit_commitments[i].c.Mod(params.p)),
         &acc);
   }
-  return (*ctx)->UnpackMont(acc) == commitment.c;
+  return PREVER_MUTATION(ZKP_RANGE_PRODUCT_ACCEPT,
+                         (*ctx)->UnpackMont(acc) == commitment.c, true);
 }
 
 Result<RangeProof> ProveUpperBound(const PedersenParams& params,
@@ -211,7 +226,9 @@ bool VerifyUpperBound(const PedersenParams& params,
   PedersenCommitment slack_commitment{
       GetPedersenAccel(params).g.PowMod(bound.Mod(params.q))
           .MulMod(c_inv.value(), params.p)};
-  return VerifyRange(params, slack_commitment, proof, num_bits);
+  return PREVER_MUTATION(ZKP_UPPER_SLACK_ACCEPT,
+                         VerifyRange(params, slack_commitment, proof, num_bits),
+                         true);
 }
 
 Result<RangeProof> ProveLowerBound(const PedersenParams& params,
@@ -238,7 +255,9 @@ bool VerifyLowerBound(const PedersenParams& params,
   if (!g_pow_bound_inv.ok()) return false;
   PedersenCommitment slack_commitment{
       commitment.c.MulMod(g_pow_bound_inv.value(), params.p)};
-  return VerifyRange(params, slack_commitment, proof, num_bits);
+  return PREVER_MUTATION(ZKP_LOWER_SLACK_ACCEPT,
+                         VerifyRange(params, slack_commitment, proof, num_bits),
+                         true);
 }
 
 }  // namespace prever::crypto

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/serial.h"
+#include "mutate/mutation.h"
 #include "storage/wal.h"
 
 namespace prever::ledger {
@@ -88,7 +89,10 @@ Result<ConsistencyProof> LedgerDb::ProveConsistency(uint64_t old_size,
 bool LedgerDb::VerifyInclusion(const LedgerEntry& entry,
                                const InclusionProof& proof,
                                const LedgerDigest& digest) {
-  if (proof.tree_size != digest.size || proof.sequence != entry.sequence) {
+  if (PREVER_MUTATION(
+          LEDGER_PROOF_SIZE_SKIP,
+          proof.tree_size != digest.size || proof.sequence != entry.sequence,
+          false)) {
     return false;
   }
   return crypto::MerkleTree::VerifyInclusion(entry.Encode(), proof.sequence,
@@ -112,13 +116,15 @@ Status LedgerDb::Audit() const {
   for (const LedgerEntry& entry : entries_) {
     recomputed.Append(entry.Encode());
   }
-  if (recomputed.Root() != tree_.Root()) {
+  if (PREVER_MUTATION(LEDGER_AUDIT_ROOT_SKIP,
+                      recomputed.Root() != tree_.Root(), false)) {
     return Status::IntegrityViolation(
         "journal does not match Merkle tree: stored entries were mutated");
   }
   // Sequence numbers must be dense and ordered.
   for (size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].sequence != i) {
+    if (PREVER_MUTATION(LEDGER_AUDIT_SEQUENCE_SKIP, entries_[i].sequence != i,
+                        false)) {
       return Status::IntegrityViolation("ledger sequence gap at " +
                                         std::to_string(i));
     }
@@ -163,6 +169,18 @@ Status LedgerDb::TamperWithEntryForTest(uint64_t sequence,
     return Status::NotFound("no ledger entry " + std::to_string(sequence));
   }
   entries_[sequence].payload = new_payload;
+  return Status::Ok();
+}
+
+Status LedgerDb::RenumberEntryForTest(uint64_t sequence,
+                                      uint64_t new_sequence) {
+  if (sequence >= entries_.size()) {
+    return Status::NotFound("no ledger entry " + std::to_string(sequence));
+  }
+  entries_[sequence].sequence = new_sequence;
+  crypto::MerkleTree rebuilt;
+  for (const LedgerEntry& entry : entries_) rebuilt.Append(entry.Encode());
+  tree_ = std::move(rebuilt);
   return Status::Ok();
 }
 

@@ -97,6 +97,12 @@ class LedgerDb {
   /// malicious data manager rewriting history.
   Status TamperWithEntryForTest(uint64_t sequence, const Bytes& new_payload);
 
+  /// TEST ONLY: rewrites a stored entry's sequence number AND rebuilds the
+  /// Merkle tree from the tampered journal, simulating a data manager that
+  /// renumbers history and recommits to it. The root comparison in Audit()
+  /// then passes; only the dense-sequence check can flag the tamper.
+  Status RenumberEntryForTest(uint64_t sequence, uint64_t new_sequence);
+
   /// Persists the journal to `path` (CRC-protected records) so the ledger
   /// survives restarts. LoadFromFile rebuilds the Merkle tree from the
   /// journal and audits it; a tampered file fails with IntegrityViolation

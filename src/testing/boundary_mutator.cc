@@ -1,0 +1,121 @@
+#include "testing/boundary_mutator.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace prever::simtest {
+
+BoundaryMutator::BoundaryMutator(int64_t bound, SimTime window,
+                                 SimTime period_start,
+                                 std::vector<std::string> workers,
+                                 uint64_t seed)
+    : bound_(bound),
+      window_(window),
+      period_start_(period_start),
+      workers_(std::move(workers)),
+      rng_(seed * 0xD1B54A32D192ED03ULL + 41),
+      now_(period_start) {
+  // The script walks two workers through the full threshold ladder
+  // (fill -> bound-1 -> bound -> bound+1 -> zero-at-cap -> same-timestamp
+  // retry), then probes the individually-oversized and window-edge cases.
+  // Worker 0 opens the period in its first slot and closes it in its last.
+  const size_t w0 = 0;
+  const size_t w1 = workers_.size() > 1 ? 1 : 0;
+  const size_t wz = workers_.size() - 1;  // Fresh-ish worker for single_over.
+  script_.push_back({"window_first", w0});
+  for (size_t k : {w0, w1}) {
+    script_.push_back({"fill", k});
+    script_.push_back({"cap_minus_one", k});
+    script_.push_back({"cap_exact", k});
+    script_.push_back({"cap_over", k});
+    script_.push_back({"zero_at_cap", k});
+    script_.push_back({"dup_ts", k});
+  }
+  script_.push_back({"single_over", wz});
+  script_.push_back({"fill", wz});
+  script_.push_back({"dup_ts", wz});
+  script_.push_back({"window_last", w0});
+  script_.push_back({"window_last", wz});
+  // Leave the last slot for the window_last probes; everything else steps
+  // evenly through the period so duplicate-timestamp pairs stay distinct
+  // from their neighbours.
+  time_step_ = (window_ - 2) / (script_.size() + 1);
+}
+
+int64_t BoundaryMutator::WindowSum(const storage::Database& db,
+                                   const std::string& worker,
+                                   SimTime now) const {
+  int64_t sum = 0;
+  auto table = db.GetTable("worklog");
+  if (!table.ok()) return 0;
+  // Half-open window (now - window, now], clamped at zero the same way the
+  // evaluator clamps it (a clamped window excludes timestamp 0; the mutator
+  // never emits ts = 0, so the clamp is only about matching semantics).
+  SimTime window_start = window_ >= now ? 0 : now - window_;
+  (*table)->Scan([&](const storage::Row& row) {
+    auto w = row[1].AsString();
+    auto hours = row[2].AsInt64();
+    auto ts = row[3].AsTimestamp();
+    if (w.ok() && hours.ok() && ts.ok() && *w == worker && *ts <= now &&
+        *ts > window_start) {
+      sum += *hours;
+    }
+    return true;
+  });
+  return sum;
+}
+
+BoundaryPlan BoundaryMutator::Next(const storage::Database& db) {
+  const Step& step = script_[step_++];
+  BoundaryPlan plan;
+  plan.kind = step.kind;
+  plan.worker = workers_[step.worker];
+  plan.worker_index = step.worker;
+
+  // Timestamp rules first: most kinds advance the clock one slot, dup_ts
+  // reuses the previous timestamp exactly, and the window probes pin to the
+  // period edges.
+  if (std::string_view(step.kind) == "window_first") {
+    // Timestamp 0 sits outside every clamped window, so the first usable
+    // slot of period 0 is 1; later periods start exactly at period_start.
+    plan.at = period_start_ == 0 ? 1 : period_start_;
+  } else if (std::string_view(step.kind) == "dup_ts") {
+    plan.at = prev_at_;
+  } else if (std::string_view(step.kind) == "window_last") {
+    plan.at = period_start_ + window_ - 1;
+  } else {
+    now_ += time_step_;
+    plan.at = now_;
+  }
+
+  const int64_t sum = WindowSum(db, plan.worker, plan.at);
+  const int64_t room = std::max<int64_t>(0, bound_ - sum);
+  std::string_view kind(step.kind);
+  if (kind == "window_first") {
+    plan.hours = std::min<int64_t>(3, bound_);
+  } else if (kind == "fill") {
+    plan.hours = 1 + static_cast<int64_t>(
+                         rng_.NextBelow(static_cast<uint64_t>(
+                             std::max<int64_t>(1, bound_ / 4))));
+  } else if (kind == "cap_minus_one") {
+    plan.hours = std::max<int64_t>(0, room - 1);
+  } else if (kind == "cap_exact") {
+    plan.hours = room;
+  } else if (kind == "cap_over") {
+    plan.hours = room + 1;
+  } else if (kind == "zero_at_cap") {
+    plan.hours = 0;
+  } else if (kind == "dup_ts") {
+    plan.hours = 1;
+  } else if (kind == "single_over") {
+    plan.hours = bound_ + 1;
+  } else {  // window_last
+    plan.hours = std::min<int64_t>(room, 2);
+  }
+
+  plan.expect_accept = sum + plan.hours <= bound_;
+  prev_at_ = plan.at;
+  return plan;
+}
+
+}  // namespace prever::simtest

@@ -13,6 +13,7 @@
 #include "core/plaintext_engine.h"
 #include "crypto/pedersen.h"
 #include "obs/registry.h"
+#include "testing/boundary_mutator.h"
 
 namespace prever::simtest {
 
@@ -154,28 +155,30 @@ EngineDiffReport RunEngineDifferential(uint64_t seed,
   SimTime period_offset = run_counter.fetch_add(1) * kWeek;
 
   std::vector<core::SignedUpdate> stream;
-  SimTime step = (kWeek - 2 * kHour) / (o.num_updates + 1);
-  for (size_t j = 0; j < o.num_updates; ++j) {
-    size_t pi = rng.NextBelow(o.num_producers);
-    // Mix: mostly modest shifts that accumulate toward the cap, some that
-    // individually exceed it, some mid-size ones whose fate depends on the
-    // worker's running total.
-    uint64_t roll = rng.NextBelow(10);
-    int64_t hours;
-    if (roll < 6) {
-      hours = static_cast<int64_t>(rng.NextBelow(13));  // 0..12
-    } else if (roll < 8) {
-      hours = o.bound + 1 + static_cast<int64_t>(rng.NextBelow(20));
-    } else {
-      hours = 13 + static_cast<int64_t>(rng.NextBelow(28));  // 13..40
+  if (!o.boundary) {
+    SimTime step = (kWeek - 2 * kHour) / (o.num_updates + 1);
+    for (size_t j = 0; j < o.num_updates; ++j) {
+      size_t pi = rng.NextBelow(o.num_producers);
+      // Mix: mostly modest shifts that accumulate toward the cap, some that
+      // individually exceed it, some mid-size ones whose fate depends on the
+      // worker's running total.
+      uint64_t roll = rng.NextBelow(10);
+      int64_t hours;
+      if (roll < 6) {
+        hours = static_cast<int64_t>(rng.NextBelow(13));  // 0..12
+      } else if (roll < 8) {
+        hours = o.bound + 1 + static_cast<int64_t>(rng.NextBelow(20));
+      } else {
+        hours = 13 + static_cast<int64_t>(rng.NextBelow(28));  // 13..40
+      }
+      SimTime at = period_offset + kHour + j * step + rng.NextBelow(step / 2);
+      Update u = MakeWorklogUpdate(
+          "u" + std::to_string(seed) + "-" + std::to_string(j), producers[pi],
+          hours, at);
+      const auto& key =
+          (*fixtures.producer_keys)[pi % fixtures.producer_keys->size()];
+      stream.push_back(core::SignUpdate(std::move(u), key));
     }
-    SimTime at = period_offset + kHour + j * step + rng.NextBelow(step / 2);
-    Update u = MakeWorklogUpdate(
-        "u" + std::to_string(seed) + "-" + std::to_string(j), producers[pi],
-        hours, at);
-    const auto& key =
-        (*fixtures.producer_keys)[pi % fixtures.producer_keys->size()];
-    stream.push_back(core::SignUpdate(std::move(u), key));
   }
 
   // ---- One instance of every engine, each with its own storage and ledger.
@@ -230,23 +233,25 @@ EngineDiffReport RunEngineDifferential(uint64_t seed,
   core::FederatedMpcEngine mpc_engine(raw(mpc_platforms), &catalog, &ord_mpc,
                                       seed * 7 + 5);
 
-  // ---- Replay the stream through all five engines.
+  // ---- Replay the stream through all five engines. The body is shared by
+  // the random-stream and boundary-mutator modes; `expect` (when non-null)
+  // is the mutator's independent prediction of the reference decision.
   std::map<std::string, int64_t> expect_sum;
   std::map<std::string, uint64_t> expect_count;
   int64_t accepted_hours = 0;
-  for (size_t j = 0; j < stream.size(); ++j) {
-    const core::SignedUpdate& su = stream[j];
+  auto process = [&](const core::SignedUpdate& su, const char* kind,
+                     const bool* expect) {
     const Update& u = su.update;
     Status sig = core::VerifyUpdateSignature(su, directory);
     if (!sig.ok()) {
       fail("update " + u.id + ": valid signature rejected: " + sig.message());
-      break;
+      return false;
     }
     auto hours_v = u.fields.at("hours").AsInt64();
     int64_t hours = hours_v.ok() ? *hours_v : -1;
     bool plain_ok = plain.SubmitUpdate(u).ok();
     bool enc_ok = encrypted.SubmitUpdate(u).ok();
-    size_t platform = j % o.num_platforms;
+    size_t platform = report.updates % o.num_platforms;
     bool tok_ok = token_engine.SubmitVia(platform, u).ok();
     bool thr_ok = threshold_engine.SubmitVia(platform, u).ok();
     bool mpc_ok = mpc_engine.SubmitVia(platform, u).ok();
@@ -254,7 +259,9 @@ EngineDiffReport RunEngineDifferential(uint64_t seed,
                     " hours=" + std::to_string(hours) + " via=" +
                     std::to_string(platform) + " plain=" + Bit(plain_ok) +
                     " enc=" + Bit(enc_ok) + " tok=" + Bit(tok_ok) + " thr=" +
-                    Bit(thr_ok) + " mpc=" + Bit(mpc_ok) + "\n";
+                    Bit(thr_ok) + " mpc=" + Bit(mpc_ok) +
+                    (kind != nullptr ? std::string(" kind=") + kind : "") +
+                    "\n";
     ++report.updates;
     if (plain_ok) {
       ++report.accepted;
@@ -268,11 +275,40 @@ EngineDiffReport RunEngineDifferential(uint64_t seed,
            (got ? "accepted" : "rejected") + " but plaintext reference " +
            (plain_ok ? "accepted" : "rejected"));
     };
+    if (expect != nullptr && plain_ok != *expect) {
+      fail("update " + u.id + " (worker " + u.producer + ", hours " +
+           std::to_string(hours) + ", kind " + (kind ? kind : "?") +
+           "): boundary mutator's windowed-sum model predicted " +
+           (*expect ? "accept" : "reject") + " but plaintext engine " +
+           (plain_ok ? "accepted" : "rejected"));
+    }
     if (enc_ok != plain_ok) diverged("encrypted", enc_ok);
     if (tok_ok != plain_ok) diverged("token", tok_ok);
     if (thr_ok != plain_ok) diverged("threshold", thr_ok);
     if (mpc_ok != plain_ok) diverged("mpc", mpc_ok);
-    if (!report.ok) return report;
+    return report.ok;
+  };
+  if (o.boundary) {
+    BoundaryMutator mutator(o.bound, kWeek, period_offset, producers,
+                            seed * 3 + 1);
+    size_t j = 0;
+    while (!mutator.Done()) {
+      BoundaryPlan plan = mutator.Next(plain_db);
+      Update u = MakeWorklogUpdate(
+          "b" + std::to_string(seed) + "-" + std::to_string(j), plan.worker,
+          plan.hours, plan.at);
+      const auto& key = (*fixtures.producer_keys)[plan.worker_index %
+                                                  fixtures.producer_keys->size()];
+      if (!process(core::SignUpdate(std::move(u), key), plan.kind,
+                   &plan.expect_accept)) {
+        return report;
+      }
+      ++j;
+    }
+  } else {
+    for (const core::SignedUpdate& su : stream) {
+      if (!process(su, nullptr, nullptr)) return report;
+    }
   }
   if (!report.ok) return report;
 

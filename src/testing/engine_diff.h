@@ -39,6 +39,13 @@ struct EngineDiffOptions {
   size_t num_platforms = 2;   ///< Federated engines.
   int64_t bound = 40;         ///< Weekly cap (FLSA-style regulation).
   size_t value_bits = 8;      ///< Producer range-proof width (RC1).
+  /// Replace the random stream with the data-aware BoundaryMutator: every
+  /// update is planned from the reference table's current aggregate state to
+  /// land exactly on a regulation boundary (bound-1 / bound / bound+1,
+  /// window first/last slot, duplicate timestamps, zero at the cap), and the
+  /// mutator's independent windowed-sum prediction is checked against the
+  /// plaintext engine's decision on every update. `num_updates` is ignored.
+  bool boundary = false;
 };
 
 /// Outcome of replaying one seed-derived signed-update stream through the

@@ -1,5 +1,7 @@
 #include "token/token.h"
 
+#include "mutate/mutation.h"
+
 namespace prever::token {
 
 TokenAuthority::TokenAuthority(size_t rsa_bits, uint64_t budget_per_period,
@@ -14,7 +16,8 @@ Result<crypto::BigInt> TokenAuthority::IssueBlindToken(
     SimTime now) {
   auto key = std::make_pair(participant, PeriodIndex(now));
   uint64_t& used = issued_[key];
-  if (used >= budget_) {
+  if (PREVER_MUTATION(TOKEN_BUDGET_OFFBYONE, used >= budget_,
+                      used > budget_)) {
     return Status::PermissionDenied(
         "budget exhausted for '" + participant + "' in period " +
         std::to_string(PeriodIndex(now)));
@@ -64,10 +67,14 @@ Result<Token> TokenWallet::Take() {
 }
 
 Status TokenVerifier::Spend(const Token& token, SimTime now) {
-  if (!crypto::RsaVerify(authority_key_, token.serial, token.signature)) {
+  if (PREVER_MUTATION(
+          TOKEN_SIG_ACCEPT,
+          !crypto::RsaVerify(authority_key_, token.serial, token.signature),
+          false)) {
     return Status::IntegrityViolation("token signature invalid");
   }
-  if (spent_.count(token.serial)) {
+  if (PREVER_MUTATION(TOKEN_DOUBLE_SPEND_SKIP, spent_.count(token.serial) != 0,
+                      false)) {
     return Status::AlreadyExists("token already spent (double spend)");
   }
   spent_.insert(token.serial);

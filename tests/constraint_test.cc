@@ -4,6 +4,7 @@
 #include "constraint/eval.h"
 #include "constraint/linear.h"
 #include "constraint/parser.h"
+#include "common/rng.h"
 
 namespace prever::constraint {
 namespace {
@@ -438,6 +439,128 @@ TEST(CatalogTest, ConstraintCopyIsDeep) {
 }
 
 // ------------------------------------------------------------ Linear form
+
+
+// ------------------------------------------------------------ Parser fuzz
+
+// Seeded grammar fuzzer: generates random well-formed constraint texts,
+// then checks the printer/parser fixed point (parse -> ToString -> parse ->
+// ToString is stable) and that both ASTs evaluate identically against a
+// populated database. Free-text round-trip cases above pin known shapes;
+// this sweeps the combinatorial space of nestings the hand-written cases
+// miss.
+class ParserFuzz {
+ public:
+  explicit ParserFuzz(uint64_t seed) : rng_(seed) {}
+
+  std::string GenBool(int depth) {
+    if (depth <= 0) {
+      return rng_.NextBelow(2) ? GenComparison() : GenLeafBool();
+    }
+    switch (rng_.NextBelow(6)) {
+      case 0:
+        return GenBool(depth - 1) + " AND " + GenBool(depth - 1);
+      case 1:
+        return GenBool(depth - 1) + " OR " + GenBool(depth - 1);
+      case 2:
+        return "NOT (" + GenBool(depth - 1) + ")";
+      case 3:
+        return "EXISTS(worklog WHERE " + GenRowPredicate() + ")";
+      case 4:
+        return "FORALL(worklog.worker : " + GenGroupBody(depth - 1) + ")";
+      default:
+        return GenComparison();
+    }
+  }
+
+ private:
+  std::string GenComparison() {
+    static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+    return GenArith(1) + " " + kOps[rng_.NextBelow(6)] + " " + GenArith(1);
+  }
+
+  std::string GenLeafBool() { return rng_.NextBelow(2) ? "true" : "false"; }
+
+  std::string GenArith(int depth) {
+    if (depth <= 0) return GenTerm();
+    static const char* kOps[] = {"+", "-", "*"};
+    switch (rng_.NextBelow(4)) {
+      case 0:
+        return "(" + GenArith(depth - 1) + " " + kOps[rng_.NextBelow(3)] +
+               " " + GenArith(depth - 1) + ")";
+      default:
+        return GenTerm();
+    }
+  }
+
+  std::string GenTerm() {
+    switch (rng_.NextBelow(4)) {
+      case 0:
+        return std::to_string(rng_.NextInRange(0, 99));
+      case 1:
+        return "update.hours";
+      case 2:
+        return GenAggregate();
+      default:
+        return "COUNT(worklog)";
+    }
+  }
+
+  std::string GenAggregate() {
+    static const char* kAggs[] = {"SUM", "AVG", "MIN", "MAX"};
+    std::string s = std::string(kAggs[rng_.NextBelow(4)]) + "(worklog.hours";
+    if (rng_.NextBelow(2)) s += " WHERE " + GenRowPredicate();
+    if (rng_.NextBelow(2)) {
+      s += " WINDOW " + std::to_string(rng_.NextInRange(1, 9)) +
+           (rng_.NextBelow(2) ? "d" : "h");
+    }
+    return s + ")";
+  }
+
+  std::string GenRowPredicate() {
+    if (rng_.NextBelow(2)) {
+      return std::string("worker = 'w") +
+             std::to_string(rng_.NextInRange(1, 3)) + "'";
+    }
+    return "hours > " + std::to_string(rng_.NextInRange(0, 40));
+  }
+
+  // FORALL bodies may reference the bound `group` identifier.
+  std::string GenGroupBody(int depth) {
+    if (rng_.NextBelow(2)) {
+      return "SUM(worklog.hours WHERE worker = group) <= " +
+             std::to_string(rng_.NextInRange(0, 200));
+    }
+    return GenBool(depth);
+  }
+
+  prever::Rng rng_;
+};
+
+TEST_F(EvalTest, FuzzedConstraintsRoundTripAndEvaluateStably) {
+  update_["hours"] = Value::Int64(12);
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    ParserFuzz fuzz(seed);
+    std::string text = fuzz.GenBool(3);
+    auto e1 = ParseConstraint(text);
+    ASSERT_TRUE(e1.ok()) << "seed " << seed << ": " << text;
+    std::string printed = (*e1)->ToString();
+    auto e2 = ParseConstraint(printed);
+    ASSERT_TRUE(e2.ok()) << "seed " << seed << ": " << printed;
+    EXPECT_EQ(printed, (*e2)->ToString()) << "seed " << seed;
+
+    EvalContext ctx{&db_, &update_, now_};
+    auto v1 = Evaluate(**e1, ctx);
+    auto v2 = Evaluate(**e2, ctx);
+    ASSERT_EQ(v1.ok(), v2.ok()) << "seed " << seed << ": " << text;
+    if (v1.ok()) {
+      EXPECT_TRUE(*v1 == *v2) << "seed " << seed << ": " << text;
+    } else {
+      EXPECT_EQ(v1.status().code(), v2.status().code())
+          << "seed " << seed << ": " << text;
+    }
+  }
+}
 
 TEST(LinearTest, ExtractsFlsaShape) {
   auto e = ParseConstraint(

@@ -286,6 +286,66 @@ TEST(PipelinedOrderingTest, AdaptiveDelayClosesPartialBatch) {
   EXPECT_EQ(ordering.CommittedCount(), 3u);
 }
 
+
+TEST(PipelinedOrderingTest, SinglePayloadBatchesSealPerEnqueue) {
+  // max_batch = 1 degenerates the batcher to one envelope per payload:
+  // every enqueue seals immediately, so no close timer and no Flush are
+  // needed for commitment, and submission order must survive the window.
+  OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 1;
+  pipeline.max_inflight = 2;
+  PbftOrdering ordering(4, net::SimNetConfig{}, "pbft-batch1-test", pipeline);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(ordering.SubmitAsync(ToBytes("s" + std::to_string(i)), i).ok());
+  }
+  ordering.network().RunUntilIdle();
+  EXPECT_EQ(ordering.CommittedCount(), 9u);
+  for (uint64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(ToString(ordering.Ledger().GetEntry(i)->payload),
+              "s" + std::to_string(i));
+  }
+}
+
+TEST(PipelinedOrderingTest, ZeroDelayDisablesTimerButFlushStillDrains) {
+  // max_delay = 0 arms no close timer: a partial batch stays open
+  // indefinitely (draining the network commits nothing), and only Flush
+  // seals and commits it. Guards the `max_delay > 0` condition around the
+  // timer arm — a mutant arming a zero-delay timer would commit early.
+  OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 64;
+  pipeline.max_delay = 0;
+  PbftOrdering ordering(4, net::SimNetConfig{}, "pbft-zerodelay-test",
+                        pipeline);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ordering.SubmitAsync(ToBytes("z" + std::to_string(i)), i).ok());
+  }
+  ordering.network().RunUntilIdle();
+  EXPECT_EQ(ordering.CommittedCount(), 0u) << "open batch sealed early";
+  ASSERT_TRUE(ordering.Flush().ok());
+  EXPECT_EQ(ordering.CommittedCount(), 5u);
+}
+
+TEST(PipelinedOrderingTest, FlushRecoversEnvelopesLostToLeaderCrash) {
+  // Envelopes accepted by the leader but lost when it crash-stops must be
+  // recovered by Flush's periodic re-submission, and the batch-id dedup
+  // must keep the recovered payloads single-copy in every ledger.
+  OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 4;
+  pipeline.max_inflight = 2;
+  RaftOrdering ordering(3, net::SimNetConfig{}, pipeline);
+  ASSERT_TRUE(ordering.Append(ToBytes("warmup"), 0).ok());  // Elects a leader.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(ordering.SubmitAsync(ToBytes("c" + std::to_string(i)), i).ok());
+  }
+  auto leader = ordering.cluster().Leader();
+  ASSERT_TRUE(leader.ok());
+  (*leader)->Crash();  // In-flight envelopes on the wire die with it.
+  (*leader)->Restart();
+  ASSERT_TRUE(ordering.Flush().ok());
+  EXPECT_EQ(ordering.CommittedCount(), 13u);
+  EXPECT_EQ(ordering.Ledger().size(), 13u) << "crash recovery duplicated";
+}
+
 TEST(PipelinedOrderingTest, RaftPipelineCommitsAndReplicasAgree) {
   OrderingPipelineConfig pipeline;
   pipeline.max_batch = 4;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/prever.h"
+#include "test_util.h"
 
 namespace prever::core {
 namespace {
@@ -37,21 +38,6 @@ TEST(ParticipantTest, Names) {
 }
 
 // ----------------------------------------------------------------- Update
-
-Update MakeWorklogUpdate(const std::string& id, const std::string& worker,
-                         int64_t hours, SimTime at) {
-  Update u;
-  u.id = id;
-  u.producer = worker;
-  u.timestamp = at;
-  u.fields = {{"worker", Value::String(worker)},
-              {"hours", Value::Int64(hours)}};
-  u.mutation.op = Mutation::Op::kInsert;
-  u.mutation.table = "worklog";
-  u.mutation.row = {Value::String(id), Value::String(worker),
-                    Value::Int64(hours), Value::Timestamp(at)};
-  return u;
-}
 
 TEST(UpdateTest, EncodeDecodeRoundTrip) {
   Update u = MakeWorklogUpdate("t1", "w1", 8, 500);
@@ -254,13 +240,6 @@ TEST_F(EncryptedEngineTest, MissingFieldsRejected) {
 }
 
 // --------------------------------------------------- RC2 federated engines
-
-Schema WorklogSchema() {
-  return Schema({{"id", ValueType::kString},
-                 {"worker", ValueType::kString},
-                 {"hours", ValueType::kInt64},
-                 {"at", ValueType::kTimestamp}});
-}
 
 class FederatedMpcEngineTest : public ::testing::Test {
  protected:

@@ -218,6 +218,36 @@ TEST_F(PaillierCrtDiffTest, HomomorphicRoundTrips) {
   EXPECT_EQ(PaillierDecrypt(key_, *rerand).value(), BigInt(1000));
 }
 
+
+TEST_F(PaillierCrtDiffTest, TamperedCiphertextDiffersIdenticallyInBothPaths) {
+  // An attacker-perturbed ciphertext must never silently decrypt to the
+  // original plaintext, and the CRT fast path must mis-decrypt it to the
+  // SAME value the reference path does (no path-dependent malleability).
+  BigInt m(424242);
+  auto ct = PaillierEncrypt(key_.pub, m, drbg_);
+  ASSERT_TRUE(ct.ok());
+
+  // Multiplying by g adds exactly 1 to the plaintext: the tamper is
+  // homomorphically predictable, so pin both paths to m + 1.
+  PaillierCiphertext shifted{ct->c.MulMod(key_.pub.g, key_.pub.n2)};
+  EXPECT_EQ(PaillierDecrypt(key_, shifted).value(), m + BigInt(1));
+  EXPECT_EQ(PaillierDecryptNoCrt(key_, shifted).value(), m + BigInt(1));
+
+  // A structureless nudge decrypts to SOME garbage; both paths must agree
+  // on it and it must not collide with the honest plaintext.
+  PaillierCiphertext nudged{ct->c + BigInt(1)};
+  auto fast = PaillierDecrypt(key_, nudged);
+  auto slow = PaillierDecryptNoCrt(key_, nudged);
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  EXPECT_EQ(*fast, *slow);
+  EXPECT_NE(*fast, m);
+
+  // Out-of-group ciphertexts are rejected by both paths, not wrapped.
+  PaillierCiphertext oversized{ct->c + key_.pub.n2};
+  EXPECT_FALSE(PaillierDecrypt(key_, oversized).ok());
+  EXPECT_FALSE(PaillierDecryptNoCrt(key_, oversized).ok());
+}
+
 TEST_F(PaillierCrtDiffTest, KeyWithoutFactorsStillDecrypts) {
   // A key reconstructed from (lambda, mu) alone — e.g. deserialized from a
   // legacy export — must transparently use the direct route.

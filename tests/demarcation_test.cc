@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace prever::core {
 namespace {
 
@@ -9,28 +11,6 @@ using storage::Mutation;
 using storage::Schema;
 using storage::Value;
 using storage::ValueType;
-
-Schema WorklogSchema() {
-  return Schema({{"id", ValueType::kString},
-                 {"worker", ValueType::kString},
-                 {"hours", ValueType::kInt64},
-                 {"at", ValueType::kTimestamp}});
-}
-
-Update MakeTask(const std::string& id, const std::string& worker,
-                int64_t hours, SimTime at) {
-  Update u;
-  u.id = id;
-  u.producer = worker;
-  u.timestamp = at;
-  u.fields = {{"worker", Value::String(worker)},
-              {"hours", Value::Int64(hours)}};
-  u.mutation.op = Mutation::Op::kInsert;
-  u.mutation.table = "worklog";
-  u.mutation.row = {Value::String(id), Value::String(worker),
-                    Value::Int64(hours), Value::Timestamp(at)};
-  return u;
-}
 
 class DemarcationEngineTest : public ::testing::Test {
  protected:
@@ -75,20 +55,20 @@ TEST_F(DemarcationEngineTest, ValidatesRegulations) {
 
 TEST_F(DemarcationEngineTest, LocalAdmissionsNeedNoCommunication) {
   // 13 hours per platform fit the local limits exactly: zero transfers.
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 13, kDay)).ok());
-  ASSERT_TRUE(engine_->SubmitVia(1, MakeTask("t2", "w1", 13, kDay)).ok());
-  ASSERT_TRUE(engine_->SubmitVia(2, MakeTask("t3", "w1", 13, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 13, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(1, MakeWorklogUpdate("t2", "w1", 13, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(2, MakeWorklogUpdate("t3", "w1", 13, kDay)).ok());
   EXPECT_EQ(engine_->transfers(), 0u);
   EXPECT_EQ(engine_->local_admissions(), 3u);
 }
 
 TEST_F(DemarcationEngineTest, TransfersSlackWhenLocalLimitExceeded) {
   // 20 hours on platform 0 exceeds its 13-limit; it pulls slack from peers.
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 20, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 20, kDay)).ok());
   EXPECT_EQ(engine_->transfers(), 1u);
   // Global budget still enforced: total may reach 39 but not 40.
-  ASSERT_TRUE(engine_->SubmitVia(1, MakeTask("t2", "w1", 19, kDay)).ok());
-  Status s = engine_->SubmitVia(2, MakeTask("t3", "w1", 1, kDay));
+  ASSERT_TRUE(engine_->SubmitVia(1, MakeWorklogUpdate("t2", "w1", 19, kDay)).ok());
+  Status s = engine_->SubmitVia(2, MakeWorklogUpdate("t3", "w1", 1, kDay));
   EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
 }
 
@@ -97,7 +77,7 @@ TEST_F(DemarcationEngineTest, GlobalBoundNeverExceeded) {
   // total must never exceed the 39-hour bound within one bucket.
   int64_t accepted_hours = 0;
   for (int i = 0; i < 30; ++i) {
-    Update u = MakeTask("t" + std::to_string(i), "w1", 3, kDay);
+    Update u = MakeWorklogUpdate("t" + std::to_string(i), "w1", 3, kDay);
     if (engine_->SubmitVia(i % 3, u).ok()) accepted_hours += 3;
   }
   EXPECT_LE(accepted_hours, 39);
@@ -105,20 +85,20 @@ TEST_F(DemarcationEngineTest, GlobalBoundNeverExceeded) {
 }
 
 TEST_F(DemarcationEngineTest, GroupsHaveIndependentBudgets) {
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 20, kDay)).ok());
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t2", "w2", 20, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 20, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t2", "w2", 20, kDay)).ok());
 }
 
 TEST_F(DemarcationEngineTest, TumblingBucketsReset) {
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 39, kDay)).ok());
-  EXPECT_FALSE(engine_->SubmitVia(0, MakeTask("t2", "w1", 1, 2 * kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 39, kDay)).ok());
+  EXPECT_FALSE(engine_->SubmitVia(0, MakeWorklogUpdate("t2", "w1", 1, 2 * kDay)).ok());
   // Next tumbling bucket (the following week): budget is fresh.
   EXPECT_TRUE(
-      engine_->SubmitVia(0, MakeTask("t3", "w1", 39, kWeek + kDay)).ok());
+      engine_->SubmitVia(0, MakeWorklogUpdate("t3", "w1", 39, kWeek + kDay)).ok());
 }
 
 TEST_F(DemarcationEngineTest, StatsAndLedger) {
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 5, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 5, kDay)).ok());
   EXPECT_EQ(engine_->stats().accepted, 1u);
   EXPECT_EQ(ordering_.CommittedCount(), 1u);
 }

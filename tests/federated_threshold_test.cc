@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/auditor.h"
+#include "test_util.h"
 
 namespace prever::core {
 namespace {
@@ -11,28 +12,6 @@ using storage::Mutation;
 using storage::Schema;
 using storage::Value;
 using storage::ValueType;
-
-Schema WorklogSchema() {
-  return Schema({{"id", ValueType::kString},
-                 {"worker", ValueType::kString},
-                 {"hours", ValueType::kInt64},
-                 {"at", ValueType::kTimestamp}});
-}
-
-Update MakeTask(const std::string& id, const std::string& worker,
-                int64_t hours, SimTime at) {
-  Update u;
-  u.id = id;
-  u.producer = worker;
-  u.timestamp = at;
-  u.fields = {{"worker", Value::String(worker)},
-              {"hours", Value::Int64(hours)}};
-  u.mutation.op = Mutation::Op::kInsert;
-  u.mutation.table = "worklog";
-  u.mutation.row = {Value::String(id), Value::String(worker),
-                    Value::Int64(hours), Value::Timestamp(at)};
-  return u;
-}
 
 class FederatedThresholdEngineTest : public ::testing::Test {
  protected:
@@ -63,12 +42,12 @@ class FederatedThresholdEngineTest : public ::testing::Test {
 };
 
 TEST_F(FederatedThresholdEngineTest, EnforcesCrossPlatformCapWithoutDealer) {
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 18, kDay)).ok());
-  ASSERT_TRUE(engine_->SubmitVia(1, MakeTask("t2", "w1", 15, 2 * kDay)).ok());
-  ASSERT_TRUE(engine_->SubmitVia(2, MakeTask("t3", "w1", 6, 3 * kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 18, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(1, MakeWorklogUpdate("t2", "w1", 15, 2 * kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(2, MakeWorklogUpdate("t3", "w1", 6, 3 * kDay)).ok());
   // Total 39; two more hours would breach 40 even though every platform's
   // local view is small.
-  Status s = engine_->SubmitVia(1, MakeTask("t4", "w1", 2, 3 * kDay));
+  Status s = engine_->SubmitVia(1, MakeWorklogUpdate("t4", "w1", 2, 3 * kDay));
   EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
   EXPECT_EQ(engine_->stats().accepted, 3u);
   EXPECT_EQ(ordering_.CommittedCount(), 3u);
@@ -77,20 +56,20 @@ TEST_F(FederatedThresholdEngineTest, EnforcesCrossPlatformCapWithoutDealer) {
 }
 
 TEST_F(FederatedThresholdEngineTest, WindowExpiryWorks) {
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 40, kDay)).ok());
-  EXPECT_FALSE(engine_->SubmitVia(1, MakeTask("t2", "w1", 1, 2 * kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 40, kDay)).ok());
+  EXPECT_FALSE(engine_->SubmitVia(1, MakeWorklogUpdate("t2", "w1", 1, 2 * kDay)).ok());
   EXPECT_TRUE(
-      engine_->SubmitVia(1, MakeTask("t3", "w1", 40, 10 * kDay)).ok());
+      engine_->SubmitVia(1, MakeWorklogUpdate("t3", "w1", 40, 10 * kDay)).ok());
 }
 
 TEST_F(FederatedThresholdEngineTest, WorkersIndependent) {
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 40, kDay)).ok());
-  EXPECT_TRUE(engine_->SubmitVia(2, MakeTask("t2", "w2", 40, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 40, kDay)).ok());
+  EXPECT_TRUE(engine_->SubmitVia(2, MakeWorklogUpdate("t2", "w2", 40, kDay)).ok());
 }
 
 TEST_F(FederatedThresholdEngineTest, LocalDataStaysLocal) {
-  ASSERT_TRUE(engine_->SubmitVia(0, MakeTask("t1", "w1", 10, kDay)).ok());
-  ASSERT_TRUE(engine_->SubmitVia(1, MakeTask("t2", "w1", 10, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 10, kDay)).ok());
+  ASSERT_TRUE(engine_->SubmitVia(1, MakeWorklogUpdate("t2", "w1", 10, kDay)).ok());
   EXPECT_EQ((*platforms_[0]->db.GetTable("worklog"))->size(), 1u);
   EXPECT_EQ((*platforms_[1]->db.GetTable("worklog"))->size(), 1u);
   EXPECT_EQ((*platforms_[2]->db.GetTable("worklog"))->size(), 0u);
@@ -103,13 +82,13 @@ TEST_F(FederatedThresholdEngineTest, InternalConstraintsStillLocal) {
                        constraint::ConstraintVisibility::kPrivate,
                        "update.hours <= 12")
                   .ok());
-  EXPECT_EQ(engine_->SubmitVia(0, MakeTask("t1", "w1", 14, kDay)).code(),
+  EXPECT_EQ(engine_->SubmitVia(0, MakeWorklogUpdate("t1", "w1", 14, kDay)).code(),
             StatusCode::kConstraintViolation);
-  EXPECT_TRUE(engine_->SubmitVia(1, MakeTask("t2", "w1", 14, kDay)).ok());
+  EXPECT_TRUE(engine_->SubmitVia(1, MakeWorklogUpdate("t2", "w1", 14, kDay)).ok());
 }
 
 TEST_F(FederatedThresholdEngineTest, InvalidPlatformRejected) {
-  EXPECT_FALSE(engine_->SubmitVia(9, MakeTask("t1", "w1", 1, kDay)).ok());
+  EXPECT_FALSE(engine_->SubmitVia(9, MakeWorklogUpdate("t1", "w1", 1, kDay)).ok());
 }
 
 }  // namespace

@@ -62,6 +62,47 @@ TEST_F(SimEngineDiffTest, SweepCoversAcceptAndReject) {
   EXPECT_GT(rejected, 0u);
 }
 
+// Data-aware boundary workload: every update is planned from the reference
+// table's live aggregate state to sit exactly on a regulation edge
+// (bound-1 / bound / bound+1, window first/last slot, duplicate timestamps,
+// zero hours at the cap). A correct implementation shows zero divergence;
+// off-by-one mutants in window or comparison logic die here long before a
+// random sweep would find them.
+TEST_F(SimEngineDiffTest, BoundaryWorkloadZeroDivergence) {
+  EngineDiffOptions o;
+  o.boundary = true;
+  const char* env = std::getenv("PREVER_SIM_SEED");
+  if (env != nullptr && *env != '\0') {
+    uint64_t seed = std::strtoull(env, nullptr, 10);
+    EngineDiffReport r = RunEngineDifferential(seed, o, *fixtures_);
+    EXPECT_TRUE(r.ok) << r.Summary();
+    std::fputs(r.trace.c_str(), stderr);
+    return;
+  }
+  for (uint64_t seed = 2000; seed < 2040; ++seed) {
+    EngineDiffReport r = RunEngineDifferential(seed, o, *fixtures_);
+    ASSERT_TRUE(r.ok) << r.Summary();
+    // The scripted ladder always exercises both outcomes.
+    EXPECT_GT(r.accepted, 0u) << r.trace;
+    EXPECT_GT(r.updates - r.accepted, 0u) << r.trace;
+  }
+}
+
+TEST_F(SimEngineDiffTest, BoundaryWorkloadHitsEveryEdgeKind) {
+  EngineDiffOptions o;
+  o.boundary = true;
+  EngineDiffReport r = RunEngineDifferential(42, o, *fixtures_);
+  ASSERT_TRUE(r.ok) << r.Summary();
+  for (const char* kind :
+       {"kind=window_first", "kind=cap_minus_one", "kind=cap_exact",
+        "kind=cap_over", "kind=zero_at_cap", "kind=dup_ts",
+        "kind=single_over", "kind=window_last"}) {
+    EXPECT_NE(r.trace.find(kind), std::string::npos)
+        << "boundary trace never exercised " << kind << "\n"
+        << r.trace;
+  }
+}
+
 TEST_F(SimEngineDiffTest, TraceIsDeterministic) {
   EngineDiffOptions o;
   // Same seed, same fixtures -> byte-identical decision trace, even though

@@ -1,0 +1,45 @@
+#ifndef PREVER_TESTS_TEST_UTIL_H_
+#define PREVER_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include "common/sim_clock.h"
+#include "core/update.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace prever::core {
+
+/// The crowdworking worklog table every engine test submits against
+/// (PReVer's running example: regulated gig-work hour caps).
+inline storage::Schema WorklogSchema() {
+  return storage::Schema({{"id", storage::ValueType::kString},
+                          {"worker", storage::ValueType::kString},
+                          {"hours", storage::ValueType::kInt64},
+                          {"at", storage::ValueType::kTimestamp}});
+}
+
+/// An insert of `hours` worked by `worker` at time `at`, with the public
+/// routing fields (`worker`, `hours`) mirrored into `fields` the way every
+/// engine expects.
+inline Update MakeWorklogUpdate(const std::string& id,
+                                const std::string& worker, int64_t hours,
+                                SimTime at) {
+  Update u;
+  u.id = id;
+  u.producer = worker;
+  u.timestamp = at;
+  u.fields = {{"worker", storage::Value::String(worker)},
+              {"hours", storage::Value::Int64(hours)}};
+  u.mutation.op = storage::Mutation::Op::kInsert;
+  u.mutation.table = "worklog";
+  u.mutation.row = {storage::Value::String(id), storage::Value::String(worker),
+                    storage::Value::Int64(hours),
+                    storage::Value::Timestamp(at)};
+  return u;
+}
+
+}  // namespace prever::core
+
+#endif  // PREVER_TESTS_TEST_UTIL_H_

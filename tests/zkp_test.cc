@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "token/token.h"
 
 namespace prever::crypto {
 namespace {
@@ -167,6 +168,75 @@ TEST_F(ZkpTest, UpperBoundProofDoesNotTransferToOtherCommitment) {
 }
 
 // Property sweep over random values and widths.
+
+// ------------------------------------------------- negative-path transcripts
+
+// Walks EVERY scalar of an honest range-proof transcript and perturbs one
+// field at a time: any single-field tamper must be rejected. This is the
+// adversarial complement of the round-trip property above — a verifier
+// that ignores one equation passes round-trips but fails here.
+TEST_F(ZkpTest, RangeProofRejectsEveryScalarTamper) {
+  constexpr size_t kBits = 4;
+  auto o = PedersenCommitFresh(params_, BigInt(9), drbg_);
+  auto honest =
+      ProveRange(params_, o.commitment, BigInt(9), o.randomness, kBits, drbg_);
+  ASSERT_TRUE(honest.ok());
+  ASSERT_TRUE(VerifyRange(params_, o.commitment, *honest, kBits));
+
+  for (size_t i = 0; i < honest->bit_proofs.size(); ++i) {
+    using FieldRef = BigInt BitProof::*;
+    struct Field {
+      const char* name;
+      FieldRef ref;
+      bool mod_p;  // Nonce commitments live mod p, responses mod q.
+    };
+    const Field kFields[] = {
+        {"t0", &BitProof::t0, true},  {"t1", &BitProof::t1, true},
+        {"e0", &BitProof::e0, false}, {"e1", &BitProof::e1, false},
+        {"z0", &BitProof::z0, false}, {"z1", &BitProof::z1, false},
+    };
+    for (const Field& f : kFields) {
+      RangeProof tampered = *honest;
+      BigInt& v = tampered.bit_proofs[i].*f.ref;
+      v = f.mod_p ? v.MulMod(params_.g, params_.p)
+                  : v.AddMod(BigInt(1), params_.q);
+      EXPECT_FALSE(VerifyRange(params_, o.commitment, tampered, kBits))
+          << "bit " << i << " field " << f.name;
+    }
+    RangeProof tampered = *honest;
+    tampered.bit_commitments[i].c =
+        tampered.bit_commitments[i].c.MulMod(params_.g, params_.p);
+    EXPECT_FALSE(VerifyRange(params_, o.commitment, tampered, kBits))
+        << "bit commitment " << i;
+  }
+}
+
+// A token whose FDH-RSA signature (or serial) was perturbed after issuance
+// must be refused by the manager-side verifier with IntegrityViolation —
+// the spent-serial set must stay untouched so the honest original still
+// spends afterwards.
+TEST_F(ZkpTest, TamperedRsaTokenIsRejected) {
+  token::TokenAuthority authority(512, 4, 1000, 555);
+  token::TokenWallet wallet(authority.public_key(), 556);
+  auto got = wallet.Withdraw(authority, "alice", 1, 10);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(wallet.NumTokens(), 1u);
+  auto tok = wallet.Take();
+  ASSERT_TRUE(tok.ok());
+
+  token::TokenVerifier verifier(authority.public_key(), nullptr);
+  token::Token bad_sig = *tok;
+  bad_sig.signature.front() ^= 0x01;
+  EXPECT_EQ(verifier.Spend(bad_sig, 10).code(),
+            StatusCode::kIntegrityViolation);
+  token::Token bad_serial = *tok;
+  bad_serial.serial.push_back(0x00);
+  EXPECT_EQ(verifier.Spend(bad_serial, 10).code(),
+            StatusCode::kIntegrityViolation);
+  EXPECT_EQ(verifier.num_spent(), 0u);
+  EXPECT_TRUE(verifier.Spend(*tok, 10).ok());
+}
+
 class RangeProofProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(RangeProofProperty, RandomValuesRoundTrip) {

@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/tracing.h"
 
 namespace prever::benchutil {
 
@@ -51,6 +52,64 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
     argv[out++] = argv[i];
   }
   *argc = out;
+}
+
+/// Chrome-trace output path set by a `--trace=FILE` argument; empty when
+/// tracing was not requested.
+inline std::string& TraceFileFlag() {
+  static std::string path;
+  return path;
+}
+
+/// Parses and REMOVES `--trace=FILE` from argv (benchmark::Initialize
+/// rejects unknown flags). When present, enables the causal tracer for the
+/// whole run: every transaction sampled (override the period with
+/// PREVER_TRACE_SAMPLE=N) into a large flight-recorder ring, exported as
+/// Chrome trace-event JSON by MaybeWriteTrace() at exit. Without the flag
+/// the tracer stays runtime-disabled: one relaxed load per potential span
+/// (see src/obs/trace.h "Zero-overhead contract").
+inline void ParseTraceFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* prefix = "--trace=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      TraceFileFlag() = argv[i] + std::strlen(prefix);
+      continue;  // Strip the flag.
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (TraceFileFlag().empty()) return;
+  obs::TracerConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_period = 1;
+  cfg.ring_capacity = 1 << 16;
+  if (const char* sample = std::getenv("PREVER_TRACE_SAMPLE")) {
+    long v = std::atol(sample);
+    if (v > 0) cfg.sample_period = static_cast<uint64_t>(v);
+  }
+  obs::Tracer::Get().Configure(cfg);
+}
+
+/// Writes the Chrome trace-event JSON to the `--trace=FILE` path (no-op
+/// without the flag) and prints a greppable marker line:
+///   PREVER_TRACE_FILE <path> spans=<n> traces=<minted>/<sampled>
+/// Load the file in Perfetto (ui.perfetto.dev) or feed it to
+/// tools/trace_analyze for per-stage critical-path attribution.
+inline void MaybeWriteTrace(const char* bench) {
+  const std::string& path = TraceFileFlag();
+  if (path.empty()) return;
+  obs::Tracer& tracer = obs::Tracer::Get();
+  Status written = tracer.WriteChromeTrace(path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s: trace write failed: %s\n", bench,
+                 written.message().c_str());
+    return;
+  }
+  std::printf("PREVER_TRACE_FILE %s traces=%llu/%llu\n", path.c_str(),
+              static_cast<unsigned long long>(tracer.traces_minted()),
+              static_cast<unsigned long long>(tracer.traces_sampled()));
+  std::fflush(stdout);
 }
 
 /// Prints the uniform end-of-run metrics line:

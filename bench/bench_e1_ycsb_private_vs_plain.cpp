@@ -248,6 +248,7 @@ BENCHMARK(BM_FederatedTokenRc2)
 }  // namespace
 
 int main(int argc, char** argv) {
+  prever::benchutil::ParseTraceFlag(&argc, argv);
   std::printf(
       "E1: YCSB update stream through each PReVer engine vs the plaintext "
       "baseline.\nExpected shape: plaintext >> federated-MPC >> RC3-ZK >> "
@@ -259,5 +260,6 @@ int main(int argc, char** argv) {
   // Per-engine submit/phase histograms are recorded by the engines
   // themselves (src/core/engine_metrics.h); dump everything.
   prever::benchutil::EmitMetricsJson("e1");
+  prever::benchutil::MaybeWriteTrace("e1");
   return 0;
 }

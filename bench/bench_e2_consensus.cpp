@@ -12,10 +12,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
 #include "core/prever.h"
+#include "workload/ycsb.h"
 
 namespace {
 
@@ -228,9 +230,77 @@ void BM_ShardedPbft(benchmark::State& state) {
 BENCHMARK(BM_ShardedPbft)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMicrosecond)->Iterations(200);
 
+// End-to-end causal-tracing case: a plaintext engine over pipelined Raft
+// ordering, so a `--trace=FILE` run captures every transaction's full path
+// — submit -> verify -> ledger phase -> queue-wait -> batch seal ->
+// consensus -> replica ledger/WAL append — as one connected span tree per
+// payload (plus net_send/net_deliver/raft_append_entries instants on the
+// consensus hops). scripts/bench_smoke.sh runs this case under --trace and
+// validates the exported JSON; tools/trace_analyze turns a 1k-payload run
+// into per-stage critical-path attribution.
+void BM_TracedPlaintextRaft(benchmark::State& state) {
+  workload::YcsbConfig config;
+  config.record_count = 256;
+  config.insert_proportion = 0.5;
+  config.max_amount = 100;
+  config.seed = 42;
+  workload::YcsbWorkload ycsb(config);
+  storage::Database db;
+  db.CreateTable(workload::YcsbWorkload::kTableName,
+                 workload::YcsbWorkload::TableSchema());
+  auto* table = *db.GetMutableTable(workload::YcsbWorkload::kTableName);
+  for (const storage::Row& row : ycsb.InitialLoad()) (void)table->Insert(row);
+  constraint::ConstraintCatalog catalog;
+  (void)catalog.Add("cap", constraint::ConstraintScope::kRegulation,
+                    constraint::ConstraintVisibility::kPublic,
+                    "SUM(usertable.amount WHERE owner = update.owner "
+                    "WINDOW 1d) + update.amount <= 100000");
+  core::RaftOrdering ordering(3, net::SimNetConfig{});
+  core::PlaintextEngine engine(&db, &catalog, &ordering);
+  uint64_t accepted = 0;
+  for (auto _ : state) {
+    if (engine.SubmitUpdate(ycsb.Next()).ok()) ++accepted;
+  }
+  state.counters["accepted"] = static_cast<double>(accepted);
+  state.counters["ops/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TracedPlaintextRaft)->Unit(benchmark::kMicrosecond)
+    ->Iterations(1000);
+
+// Zero-overhead guard for the causal tracer (contract in src/obs/trace.h):
+// with the tracer runtime-disabled, a TraceSpan begin/end pair must cost a
+// relaxed atomic load and a branch — single-digit nanoseconds. The
+// ns_per_span counter makes the cost directly greppable;
+// scripts/bench_smoke.sh asserts a loose ceiling on it and the unit test
+// ObsTracing.DisabledSpanIsBranchCheap enforces the same contract relative
+// to an empty loop.
+void BM_TraceDisabledOverhead(benchmark::State& state) {
+  obs::Tracer& tracer = obs::Tracer::Get();
+  bool was_enabled = tracer.enabled();
+  tracer.SetEnabled(false);
+  auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    obs::TraceSpan span(obs::TraceStage::kSubmit);
+    benchmark::DoNotOptimize(&span);
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  tracer.SetEnabled(was_enabled);
+  if (state.iterations() > 0) {
+    state.counters["ns_per_span"] =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()) /
+        static_cast<double>(state.iterations());
+  }
+}
+BENCHMARK(BM_TraceDisabledOverhead)->Iterations(1000000);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  prever::benchutil::ParseTraceFlag(&argc, argv);
   std::printf(
       "E2: commit latency/throughput — centralized ledger vs Raft "
       "(Paxos-family CFT) vs PBFT (BFT), sweeping replica count.\n"
@@ -243,5 +313,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   prever::benchutil::EmitMetricsJson("e2");
+  prever::benchutil::MaybeWriteTrace("e2");
   return 0;
 }

@@ -250,6 +250,7 @@ BENCHMARK(BM_PowModClassic)->Arg(256)->Arg(512)->Arg(1024)
 }  // namespace
 
 int main(int argc, char** argv) {
+  prever::benchutil::ParseTraceFlag(&argc, argv);
   std::printf(
       "E3: one bounded-aggregate verification under each mechanism.\n"
       "Expected shape: plaintext (us) < MPC (us, +rounds) < token (RSA "
@@ -259,5 +260,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   prever::benchutil::EmitMetricsJson("e3");
+  prever::benchutil::MaybeWriteTrace("e3");
   return 0;
 }

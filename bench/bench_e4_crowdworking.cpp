@@ -169,6 +169,7 @@ BENCHMARK(BM_SpentLedgerSync)->Arg(100)->Arg(400)->Arg(1600)
 }  // namespace
 
 int main(int argc, char** argv) {
+  prever::benchutil::ParseTraceFlag(&argc, argv);
   std::printf(
       "E4: multi-platform crowdworking trace (FLSA 40h/week) through both "
       "RC2 engines, sweeping platform count.\nExpected shape: MPC cost "
@@ -178,5 +179,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   prever::benchutil::EmitMetricsJson("e4");
+  prever::benchutil::MaybeWriteTrace("e4");
   return 0;
 }

@@ -115,6 +115,7 @@ BENCHMARK(BM_PaillierCpirServerOnly)->Arg(1 << 4)->Arg(1 << 6)->Arg(1 << 8)
 }  // namespace
 
 int main(int argc, char** argv) {
+  prever::benchutil::ParseTraceFlag(&argc, argv);
   std::printf(
       "E5: PIR read/update cost vs database size.\nExpected shape: both "
       "schemes linear in n; XOR-PIR ~ns/record, Paillier cPIR ~ms/record "
@@ -123,5 +124,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   prever::benchutil::EmitMetricsJson("e5");
+  prever::benchutil::MaybeWriteTrace("e5");
   return 0;
 }

@@ -133,6 +133,7 @@ BENCHMARK(BM_TamperDetection)->Unit(benchmark::kMillisecond)->Iterations(20);
 }  // namespace
 
 int main(int argc, char** argv) {
+  prever::benchutil::ParseTraceFlag(&argc, argv);
   std::printf(
       "E6: verifiable-ledger costs vs size.\nExpected shape: appends O(1) "
       "amortized; digests O(log n) from the incremental level cache; "
@@ -142,5 +143,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   prever::benchutil::EmitMetricsJson("e6");
+  prever::benchutil::MaybeWriteTrace("e6");
   return 0;
 }

@@ -195,6 +195,7 @@ BENCHMARK(BM_OrderedBurstPipelined)->Arg(64)->Arg(256)->Arg(1024)
 }  // namespace
 
 int main(int argc, char** argv) {
+  prever::benchutil::ParseTraceFlag(&argc, argv);
   std::printf(
       "E7: scaling sweeps — per-update cost vs data size, and burst "
       "throughput vs burst size.\nExpected shape: plaintext scan cost grows "
@@ -205,5 +206,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   prever::benchutil::EmitMetricsJson("e7");
+  prever::benchutil::MaybeWriteTrace("e7");
   return 0;
 }

@@ -96,6 +96,7 @@ BENCHMARK(BM_CryptoPathPerUpdate)->Unit(benchmark::kMicrosecond)
 }  // namespace
 
 int main(int argc, char** argv) {
+  prever::benchutil::ParseTraceFlag(&argc, argv);
   std::printf(
       "E8: DP-index ablation under sustained updates.\nExpected shape: "
       "refuse-policy serves only eps_total/eps_per updates then stops "
@@ -106,5 +107,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   prever::benchutil::EmitMetricsJson("e8");
+  prever::benchutil::MaybeWriteTrace("e8");
   return 0;
 }

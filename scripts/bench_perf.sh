@@ -197,3 +197,83 @@ print(f"bench_perf: appended record '{label}' to {out_path} "
 for line in claw:
     print("  " + line)
 EOF
+
+# ------------------------------------------------------------------ tracing
+# BENCH_trace.json: tracing-off vs tracing-on throughput on the traced E2
+# case (plaintext engine over pipelined Raft), plus the disabled-path span
+# cost. This is the observability tax ledger: the "on" run samples every
+# transaction (~12 events each), so overhead_pct is the worst case — real
+# deployments sample 1-in-N.
+TRACE_OUT=BENCH_trace.json
+
+echo "bench_perf: running traced-E2 off/on comparison ..." >&2
+"$BUILD_DIR/bench/bench_e2_consensus" \
+    --benchmark_filter='BM_TracedPlaintextRaft|BM_TraceDisabledOverhead' \
+    --benchmark_out="$TMP/trace_off.json" --benchmark_out_format=json \
+    >/dev/null 2>&1
+"$BUILD_DIR/bench/bench_e2_consensus" --trace="$TMP/trace_chrome.json" \
+    --benchmark_filter='BM_TracedPlaintextRaft' \
+    --benchmark_out="$TMP/trace_on.json" --benchmark_out_format=json \
+    >/dev/null 2>&1
+
+python3 - "$LABEL" "$TRACE_OUT" "$TMP" <<'EOF'
+import json, os, subprocess, sys
+
+label, out_path, tmp = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def case(path, name):
+    with open(os.path.join(tmp, path)) as f:
+        doc = json.load(f)
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") != "aggregate" and b["name"].startswith(name):
+            return b
+    return None
+
+off = case("trace_off.json", "BM_TracedPlaintextRaft")
+on = case("trace_on.json", "BM_TracedPlaintextRaft")
+overhead = case("trace_off.json", "BM_TraceDisabledOverhead")
+
+record = {"label": label}
+record["date"] = subprocess.run(
+    ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], capture_output=True,
+    text=True).stdout.strip()
+try:
+    record["git"] = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
+        text=True).stdout.strip()
+except OSError:
+    pass
+
+if off and on and "ops/s" in off and "ops/s" in on:
+    record["tracing_off_ops_per_s"] = round(off["ops/s"], 2)
+    record["tracing_on_ops_per_s"] = round(on["ops/s"], 2)
+    if on["ops/s"] > 0:
+        record["overhead_pct"] = round(
+            100.0 * (off["ops/s"] - on["ops/s"]) / off["ops/s"], 2)
+if overhead and "ns_per_span" in overhead:
+    record["disabled_ns_per_span"] = round(overhead["ns_per_span"], 3)
+
+# Spans actually exported by the "on" run, from the Chrome file metadata.
+chrome = os.path.join(tmp, "trace_chrome.json")
+if os.path.exists(chrome) and os.path.getsize(chrome) > 0:
+    meta = json.load(open(chrome)).get("prever", {})
+    for key in ("traces_sampled", "spans_exported"):
+        if key in meta:
+            record[key] = meta[key]
+
+records = []
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        records = json.load(f)
+records.append(record)
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=2)
+    f.write("\n")
+print(f"bench_perf: appended record '{label}' to {out_path} "
+      f"({len(records)} records total)")
+if "overhead_pct" in record:
+    print(f"  tracing overhead: {record['overhead_pct']}% "
+          f"(off {record['tracing_off_ops_per_s']}/s, "
+          f"on {record['tracing_on_ops_per_s']}/s); "
+          f"disabled span {record.get('disabled_ns_per_span', '?')} ns")
+EOF

@@ -102,6 +102,93 @@ else
 fi
 rm -f "$out_json"
 
+# Causal-trace export: a traced E2 run (--trace=FILE on the plaintext-over-
+# Raft case) must produce schema-valid Chrome trace JSON — only matched
+# begin/end pairs exported as "X" events (drop counters live in the
+# "prever" metadata), every non-root span's parent present in the same
+# trace, per-lane sim timestamps monotone, one root per sampled trace, and
+# the full submit -> verify -> queue-wait -> consensus -> ledger-append
+# path present. Skipped gracefully on PREVER_TRACING=OFF builds (the stub
+# exports nothing).
+trace_file="$(mktemp)"
+if "$BENCH_DIR/bench_e2_consensus" --trace="$trace_file" \
+      --benchmark_filter='BM_TracedPlaintextRaft' >/dev/null 2>&1 \
+   && "$PYTHON" - "$trace_file" <<'EOF'
+import json, sys
+text = open(sys.argv[1]).read()
+if not text.strip():
+    sys.exit(0)  # PREVER_TRACING=OFF: compiled-out stub writes nothing.
+doc = json.loads(text)
+meta = doc["prever"]
+assert meta["schema"] == "prever.trace.v1", "bad trace schema"
+assert meta["traces_sampled"] > 0, "no traces sampled"
+events = doc["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+instants = [e for e in events if e.get("ph") == "i"]
+assert spans, "no spans exported"
+assert len(spans) == meta["spans_exported"], "span count != metadata"
+trace_of = {e["args"]["span_id"]: e["args"]["trace_id"] for e in spans}
+roots = 0
+for e in spans:
+    a = e["args"]
+    assert e["dur"] >= 0 and a["dur_ns"] >= 0, "negative duration"
+    parent = a["parent_span_id"]
+    if parent == 0:
+        roots += 1
+    else:
+        assert parent in trace_of, \
+            f"span {a['span_id']} parent {parent} missing from file"
+        assert trace_of[parent] == a["trace_id"], "parent crosses traces"
+assert roots == meta["traces_sampled"], \
+    f"{roots} roots for {meta['traces_sampled']} sampled traces"
+# The export preserves per-lane ring order within the span and instant
+# sections; sim time must never run backwards inside a lane.
+for section in (spans, instants):
+    last = {}
+    for e in section:
+        a = e["args"]
+        assert a["sim_us"] >= last.get(a["lane"], 0), "sim time regressed"
+        last[a["lane"]] = a["sim_us"]
+stages = {e["name"] for e in spans}
+for needed in ("submit", "verify", "queue_wait", "consensus",
+               "ledger_append"):
+    assert needed in stages, f"stage {needed} missing from traced run"
+assert "batch_seal" in {e["name"] for e in instants}, "no batch_seal instant"
+print(f"{len(spans)} spans, {roots} connected trees")
+EOF
+then
+  echo "bench_smoke: OK causal trace export"
+else
+  echo "bench_smoke: FAIL causal trace export" >&2
+  fail=1
+fi
+rm -f "$trace_file"
+
+# Zero-overhead guard (src/obs/trace.h): the disabled-tracer span must stay
+# branch-cheap. The ceiling is loose — a relaxed load + branch is ~1-3 ns,
+# an accidental lock/allocation/ring write on the disabled path is 10-100x.
+overhead_json="$(mktemp)"
+if "$BENCH_DIR/bench_e2_consensus" \
+      --benchmark_filter='BM_TraceDisabledOverhead' \
+      --benchmark_out="$overhead_json" --benchmark_out_format=json \
+      >/dev/null 2>&1 && "$PYTHON" - "$overhead_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cases = [b for b in doc.get("benchmarks", [])
+         if b.get("run_type") != "aggregate"]
+assert cases, "overhead case did not run"
+ns = cases[0]["ns_per_span"]
+assert ns < 250, f"disabled TraceSpan costs {ns:.1f} ns/span"
+print(f"disabled span {ns:.2f} ns")
+EOF
+then
+  echo "bench_smoke: OK disabled-tracing overhead"
+else
+  echo "bench_smoke: FAIL disabled-tracing overhead" >&2
+  fail=1
+fi
+rm -f "$overhead_json"
+
 # BENCH_consensus.json (written by bench_perf.sh) must stay parseable, and
 # every pipelined case in it must carry throughput + latency + the derived
 # stop-and-wait speedup.

@@ -17,6 +17,21 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 "$BUILD_DIR"/tests/crypto_diff_test
 scripts/bench_smoke.sh "$BUILD_DIR"
 
+# Causal-trace smoke: a traced E2 run must export a Chrome trace whose span
+# trees reconstruct fully connected (every parent present — trace_analyze
+# --strict fails on orphans), and the analyzer must produce its per-stage
+# critical-path attribution from it. bench_smoke.sh already validated the
+# JSON schema; this stage gates the analysis tool itself.
+TRACE_FILE="$(mktemp)"
+"$BUILD_DIR"/bench/bench_e2_consensus --trace="$TRACE_FILE" \
+    --benchmark_filter='BM_TracedPlaintextRaft' >/dev/null 2>&1
+if [ -s "$TRACE_FILE" ]; then
+  "$BUILD_DIR"/tools/trace_analyze --strict "$TRACE_FILE"
+else
+  echo "check: trace smoke skipped (PREVER_TRACING=OFF build)" >&2
+fi
+rm -f "$TRACE_FILE"
+
 # Mutation kill matrix: compiles the verification layer with the runtime
 # mutation harness in its own tree and requires >= 95% of the registered
 # mutants to be killed, with every survivor carrying a vetted rationale.

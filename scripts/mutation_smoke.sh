@@ -4,11 +4,14 @@
 # (the PREVER_MUTATION_REPORT line): it must parse, cover every registered
 # site, reach every site, kill >= 95% of mutants, and explain every
 # survivor with a rationale.
-# Usage: scripts/mutation_smoke.sh [build-dir]   (default: build-mutation)
+# Usage: scripts/mutation_smoke.sh [build-dir]
+# Default: $MUTATION_BUILD_DIR, falling back to build-mutation — the same
+# resolution check.sh uses, so standalone runs and check.sh runs share one
+# (gitignored) tree instead of configuring two.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-mutation}"
+BUILD_DIR="${1:-${MUTATION_BUILD_DIR:-build-mutation}}"
 
 cmake -B "$BUILD_DIR" -S . -DPREVER_MUTATIONS=ON \
   -DCMAKE_BUILD_TYPE=Release >/dev/null || {

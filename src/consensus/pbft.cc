@@ -3,6 +3,7 @@
 #include "common/serial.h"
 #include "crypto/sha256.h"
 #include "mutate/mutation.h"
+#include "obs/tracing.h"
 
 namespace prever::consensus {
 
@@ -160,6 +161,9 @@ void PbftReplica::HandlePrePrepare(const net::Message& msg) {
   auto seq = r.ReadU64();
   auto command = r.ReadBytes();
   if (!view.ok() || !seq.ok() || !command.ok()) return;
+  // Hop markers: the delivered message's propagated context (installed by
+  // SimNetwork) ties each PBFT phase hop to its transaction's trace.
+  PREVER_CAUSAL_INSTANT(obs::TraceStage::kPbftPrePrepare, *seq);
   if (*view > view_ || (view_changing_ && *view == view_)) {
     Stash(msg);  // Raced ahead of our NewView; replay after installation.
     return;
@@ -206,6 +210,7 @@ void PbftReplica::HandlePrepare(const net::Message& msg) {
   auto seq = r.ReadU64();
   auto digest = r.ReadBytes();
   if (!view.ok() || !seq.ok() || !digest.ok()) return;
+  PREVER_CAUSAL_INSTANT(obs::TraceStage::kPbftPrepare, *seq);
   if (*view > view_ || (view_changing_ && *view == view_)) {
     Stash(msg);
     return;
@@ -239,6 +244,7 @@ void PbftReplica::HandleCommit(const net::Message& msg) {
   auto seq = r.ReadU64();
   auto digest = r.ReadBytes();
   if (!view.ok() || !seq.ok() || !digest.ok()) return;
+  PREVER_CAUSAL_INSTANT(obs::TraceStage::kPbftCommit, *seq);
   SlotState& slot = Slot(*seq);
   slot.commits[*digest].insert(msg.from);
   TryExecute();

@@ -214,6 +214,10 @@ void RaftReplica::HandleAppendEntries(const net::Message& msg) {
       !leader_commit.ok() || !count.ok()) {
     return;
   }
+  // Hop marker in the flight recorder: the message's propagated context
+  // (installed by SimNetwork around delivery) ties this replication hop to
+  // the transaction whose envelope rides in the entries.
+  PREVER_CAUSAL_INSTANT(obs::TraceStage::kRaftAppendEntries, *count);
 
   bool success = false;
   if (PREVER_MUTATION(RAFT_STALE_TERM_ACCEPT, *term >= term_, true)) {

@@ -2,6 +2,7 @@
 
 #include "crypto/sha256.h"
 #include "mutate/mutation.h"
+#include "obs/tracing.h"
 
 namespace prever::core {
 
@@ -148,10 +149,12 @@ bool EncryptedEngine::VerifyProducerRange(
 Status EncryptedEngine::SubmitSealed(const SealedSubmission& submission) {
   metrics_.OnSubmit();
   PREVER_TRACE_SPAN(metrics_.submit_ns());
+  PREVER_CAUSAL_ROOT_SPAN(causal_root, obs::TraceStage::kSubmit, 0);
   // Manager-side check 1: the producer proved its hidden value is in range.
   bool range_ok;
   {
     PREVER_TRACE_SPAN(metrics_.crypto_ns());
+    PREVER_CAUSAL_SPAN(causal_crypto, obs::TraceStage::kCrypto);
     range_ok = VerifyProducerRange(submission);
   }
   return FinishSealed(submission, range_ok);
@@ -194,6 +197,7 @@ Status EncryptedEngine::SubmitSealedBatch(
     metrics_.OnSubmit();
     Status s = [&] {
       PREVER_TRACE_SPAN(metrics_.submit_ns());
+      PREVER_CAUSAL_ROOT_SPAN(causal_root, obs::TraceStage::kSubmit, i);
       return FinishSealed(batch[i], range_ok[i] != 0, /*async_ledger=*/true);
     }();
     if (!s.ok() && first.ok()) first = s;
@@ -217,6 +221,7 @@ Status EncryptedEngine::FinishSealed(const SealedSubmission& submission,
   // then demand an owner attestation tied to our own commitment product.
   const std::vector<SealedRow>& group_rows = rows_[submission.group];
   obs::ScopedSpan verify_span(metrics_.verify_ns());
+  obs::TraceSpan causal_verify(obs::TraceStage::kVerify);
   for (const RegulatedBound& bound : bounds_) {
     PaillierCiphertext total_v = submission.sealed.value_ct;
     PaillierCiphertext total_r = submission.sealed.rand_ct;
@@ -259,10 +264,12 @@ Status EncryptedEngine::FinishSealed(const SealedSubmission& submission,
     }
   }
   verify_span.End();
+  causal_verify.End();
 
   // Step 3: store the sealed row and ledger a content commitment. The
   // ledger entry binds id/group/time + ciphertext digests, never plaintext.
   PREVER_TRACE_SPAN(metrics_.ledger_ns());
+  PREVER_CAUSAL_SPAN(causal_ledger, obs::TraceStage::kLedgerPhase);
   rows_[submission.group].push_back(
       SealedRow{submission.group, submission.timestamp, submission.sealed});
   BinaryWriter w;

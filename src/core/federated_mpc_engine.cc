@@ -1,5 +1,7 @@
 #include "core/federated_mpc_engine.h"
 
+#include "obs/tracing.h"
+
 #include "crypto/sha256.h"
 
 namespace prever::core {
@@ -101,12 +103,14 @@ Status FederatedMpcEngine::SubmitVia(size_t platform_index,
                                      const Update& update) {
   metrics_.OnSubmit();
   PREVER_TRACE_SPAN(metrics_.submit_ns());
+  PREVER_CAUSAL_ROOT_SPAN(causal_root, obs::TraceStage::kSubmit, 0);
   if (platform_index >= platforms_.size()) {
     return metrics_.Finish(Status::InvalidArgument("no such platform"));
   }
   FederatedPlatform* home = platforms_[platform_index];
 
   obs::ScopedSpan verify_span(metrics_.verify_ns());
+  obs::TraceSpan causal_verify(obs::TraceStage::kVerify);
   // Local internal constraints first (cheap, no cross-platform traffic).
   constraint::EvalContext local_ctx{&home->db, &update.fields,
                                     update.timestamp};
@@ -119,10 +123,12 @@ Status FederatedMpcEngine::SubmitVia(size_t platform_index,
     if (!checked.ok()) return metrics_.Finish(checked);
   }
   verify_span.End();
+  causal_verify.End();
 
   // Apply locally; order a content DIGEST globally (other platforms must
   // not see the private update body — they audit existence and order only).
   PREVER_TRACE_SPAN(metrics_.ledger_ns());
+  PREVER_CAUSAL_SPAN(causal_ledger, obs::TraceStage::kLedgerPhase);
   Status applied = home->db.Apply(update.mutation);
   if (!applied.ok()) return metrics_.Finish(applied);
   BinaryWriter w;

@@ -1,5 +1,7 @@
 #include "core/federated_threshold_engine.h"
 
+#include "obs/tracing.h"
+
 #include "crypto/sha256.h"
 
 namespace prever::core {
@@ -104,12 +106,14 @@ Status FederatedThresholdEngine::SubmitViaInternal(size_t platform_index,
                                                    bool async_ledger) {
   metrics_.OnSubmit();
   PREVER_TRACE_SPAN(metrics_.submit_ns());
+  PREVER_CAUSAL_ROOT_SPAN(causal_root, obs::TraceStage::kSubmit, 0);
   if (platform_index >= platforms_.size()) {
     return metrics_.Finish(Status::InvalidArgument("no such platform"));
   }
   FederatedPlatform* home = platforms_[platform_index];
   {
     PREVER_TRACE_SPAN(metrics_.verify_ns());
+    PREVER_CAUSAL_SPAN(causal_verify, obs::TraceStage::kVerify);
     constraint::EvalContext local_ctx{&home->db, &update.fields,
                                       update.timestamp};
     Status internal = home->internal_constraints.CheckAll(local_ctx);
@@ -118,6 +122,7 @@ Status FederatedThresholdEngine::SubmitViaInternal(size_t platform_index,
   {
     // The regulation check is dominated by threshold ElGamal work.
     PREVER_TRACE_SPAN(metrics_.crypto_ns());
+    PREVER_CAUSAL_SPAN(causal_crypto, obs::TraceStage::kCrypto);
     for (const constraint::Constraint& regulation :
          regulations_->constraints()) {
       Status checked = CheckRegulation(regulation, platform_index, update);
@@ -125,6 +130,7 @@ Status FederatedThresholdEngine::SubmitViaInternal(size_t platform_index,
     }
   }
   PREVER_TRACE_SPAN(metrics_.ledger_ns());
+  PREVER_CAUSAL_SPAN(causal_ledger, obs::TraceStage::kLedgerPhase);
   Status applied = home->db.Apply(update.mutation);
   if (!applied.ok()) return metrics_.Finish(applied);
   BinaryWriter w;

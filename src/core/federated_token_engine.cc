@@ -1,5 +1,7 @@
 #include "core/federated_token_engine.h"
 
+#include "obs/tracing.h"
+
 #include "mutate/mutation.h"
 
 namespace prever::core {
@@ -48,6 +50,7 @@ Status FederatedTokenEngine::SubmitViaInternal(size_t platform_index,
                                                bool async_ledger) {
   metrics_.OnSubmit();
   PREVER_TRACE_SPAN(metrics_.submit_ns());
+  PREVER_CAUSAL_ROOT_SPAN(causal_root, obs::TraceStage::kSubmit, 0);
   if (platform_index >= platforms_.size()) {
     return metrics_.Finish(Status::InvalidArgument("no such platform"));
   }
@@ -63,6 +66,7 @@ Status FederatedTokenEngine::SubmitViaInternal(size_t platform_index,
   }
 
   obs::ScopedSpan token_span(metrics_.token_ns());
+  obs::TraceSpan causal_token(obs::TraceStage::kToken);
   // Producer side: ensure the wallet holds `cost` tokens, withdrawing the
   // shortfall. A failed withdrawal IS the regulation rejecting the update:
   // the budget encodes the bound.
@@ -115,10 +119,12 @@ Status FederatedTokenEngine::SubmitViaInternal(size_t platform_index,
     }
   }
   token_span.End();
+  causal_token.End();
 
   // Apply locally, then order the spent serials + update digest so every
   // platform learns the tokens are burned (and nothing else).
   PREVER_TRACE_SPAN(metrics_.ledger_ns());
+  PREVER_CAUSAL_SPAN(causal_ledger, obs::TraceStage::kLedgerPhase);
   FederatedPlatform* home = platforms_[platform_index];
   Status applied = home->db.Apply(update.mutation);
   if (!applied.ok()) return metrics_.Finish(applied);

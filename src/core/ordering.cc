@@ -99,6 +99,11 @@ OrderingService::Ticket GroupCommitPipeline::Enqueue(const Bytes& payload) {
   }
   open_payloads_.push_back(payload);
   open_times_.push_back(net_->Now());
+  // Queue-wait span: child of the caller's context (the engine's ledger
+  // phase) or a fresh root for raw ordering payloads; closed at batch seal.
+  obs::Tracer::SetThreadSimClock(&net_->clock());
+  open_traces_.push_back(
+      obs::Tracer::Get().BeginSpan(obs::TraceStage::kQueueWait));
   OrderingService::Ticket ticket = next_ticket_++;
   if (open_payloads_.size() >= config_.max_batch) SealOpen();
   PumpSubmissions();
@@ -110,7 +115,13 @@ OrderingService::Ticket GroupCommitPipeline::EnqueueSealed(
   SealOpen();  // Preserve submission order across the two paths.
   std::vector<SimTime> times(payloads.size(), net_->Now());
   next_ticket_ += payloads.size();
-  Seal(payloads, times);
+  obs::Tracer::SetThreadSimClock(&net_->clock());
+  // Pre-sealed batches skip per-payload queue-wait (they never sit in the
+  // open batch); the whole envelope parents to the caller's context.
+  std::vector<obs::TraceContext> traces(
+      1, obs::Tracer::Get().BeginSpan(obs::TraceStage::kQueueWait,
+                                      payloads.size()));
+  Seal(payloads, times, traces);
   PumpSubmissions();
   return next_ticket_ - 1;
 }
@@ -120,29 +131,55 @@ void GroupCommitPipeline::SealOpen() {
   if (open_payloads_.empty()) return;
   std::vector<Bytes> payloads = std::move(open_payloads_);
   std::vector<SimTime> times = std::move(open_times_);
+  std::vector<obs::TraceContext> traces = std::move(open_traces_);
   open_payloads_.clear();
   open_times_.clear();
-  Seal(payloads, times);
+  open_traces_.clear();
+  Seal(payloads, times, traces);
 }
 
 void GroupCommitPipeline::Seal(const std::vector<Bytes>& payloads,
-                               const std::vector<SimTime>& times) {
+                               const std::vector<SimTime>& times,
+                               const std::vector<obs::TraceContext>& traces) {
   if (payloads.empty()) return;
+  Batch batch;
+  batch.batch_id = batch_counter_++;
   BinaryWriter w;
-  w.WriteU64(batch_counter_++);
+  w.WriteU64(batch.batch_id);
   w.WriteU32(static_cast<uint32_t>(payloads.size()));
   for (const Bytes& p : payloads) w.WriteBytes(p);
-  Batch batch;
   batch.envelope = w.Take();
   sealed_tickets_ += payloads.size();
   batch.end_ticket = sealed_tickets_;
   batch.submit_times = times;
+  // Close every payload's queue-wait span; the envelope's consensus span
+  // becomes a child of the first sampled one, and the other sampled
+  // payloads link to it with a batch-join instant so a per-payload tree
+  // still reaches the consensus/durability stages.
+  obs::Tracer& tracer = obs::Tracer::Get();
+  for (const obs::TraceContext& t : traces) {
+    tracer.EndSpan(t, obs::TraceStage::kQueueWait, batch.batch_id);
+  }
+  for (const obs::TraceContext& t : traces) {
+    if (!t.sampled()) continue;
+    if (!batch.trace.sampled()) {
+      batch.trace = tracer.BeginSpan(obs::TraceStage::kConsensus, t,
+                                     batch.batch_id);
+      tracer.Instant(batch.trace, obs::TraceStage::kBatchSeal,
+                     payloads.size());
+    } else {
+      tracer.Instant(t, obs::TraceStage::kBatchJoin, batch.trace.span_id);
+    }
+  }
   batch_size_->Record(payloads.size());
   queued_.push_back(std::move(batch));
 }
 
 void GroupCommitPipeline::PumpSubmissions() {
   while (!queued_.empty() && inflight_.size() < config_.max_inflight) {
+    // Consensus submission runs under the batch's context so the protocol
+    // messages it synchronously emits carry it across the wire.
+    obs::ScopedTraceContext scope(queued_.front().trace);
     if (!submit_(queued_.front().envelope).ok()) return;  // Retry later.
     inflight_.push_back(std::move(queued_.front()));
     queued_.pop_front();
@@ -161,14 +198,31 @@ void GroupCommitPipeline::OnProgress(uint64_t committed) {
     for (SimTime t : inflight_.front().submit_times) {
       commit_latency_us_->Record(now - t);
     }
+    obs::Tracer::Get().EndSpan(inflight_.front().trace,
+                               obs::TraceStage::kConsensus,
+                               inflight_.front().batch_id);
     inflight_.pop_front();
   }
   PumpSubmissions();
 }
 
 void GroupCommitPipeline::ResubmitUncommitted() {
-  for (const Batch& batch : inflight_) (void)submit_(batch.envelope);
+  for (const Batch& batch : inflight_) {
+    obs::ScopedTraceContext scope(batch.trace);
+    (void)submit_(batch.envelope);
+  }
   PumpSubmissions();
+}
+
+obs::TraceContext GroupCommitPipeline::ContextForBatch(
+    uint64_t batch_id) const {
+  for (const Batch& batch : inflight_) {
+    if (batch.batch_id == batch_id) return batch.trace;
+  }
+  for (const Batch& batch : queued_) {
+    if (batch.batch_id == batch_id) return batch.trace;
+  }
+  return {};
 }
 
 // ------------------------------------------------------ CentralizedOrdering
@@ -217,10 +271,20 @@ PbftOrdering::PbftOrdering(size_t num_replicas, net::SimNetConfig net_config,
           payloads.push_back(std::move(*payload));
           stamps.push_back(BatchEntryStamp(seq, i));
         }
-        (void)ledgers_[replica].AppendBatch(payloads, stamps);
         if (replica == 0) {
+          // Durability closure: the canonical replica's ledger append,
+          // parented to the envelope's consensus span.
+          obs::Tracer& tracer = obs::Tracer::Get();
+          obs::TraceContext span = tracer.BeginChild(
+              obs::TraceStage::kLedgerAppend,
+              pipeline_->ContextForBatch(*batch_id), seq);
+          (void)ledgers_[replica].AppendBatch(payloads, stamps);
+          tracer.EndSpan(span, obs::TraceStage::kLedgerAppend,
+                         payloads.size());
           committed_ += payloads.size();
           pipeline_->OnProgress(committed_);
+        } else {
+          (void)ledgers_[replica].AppendBatch(payloads, stamps);
         }
       });
 }
@@ -351,10 +415,18 @@ RaftOrdering::RaftOrdering(size_t num_replicas, net::SimNetConfig net_config,
             payloads.push_back(std::move(*payload));
             stamps.push_back(BatchEntryStamp(index, j));
           }
-          (void)ledgers_[i].AppendBatch(payloads, stamps);
           if (i == 0) {
+            obs::Tracer& tracer = obs::Tracer::Get();
+            obs::TraceContext span = tracer.BeginChild(
+                obs::TraceStage::kLedgerAppend,
+                pipeline_->ContextForBatch(*batch_id), index);
+            (void)ledgers_[i].AppendBatch(payloads, stamps);
+            tracer.EndSpan(span, obs::TraceStage::kLedgerAppend,
+                           payloads.size());
             committed_ += payloads.size();
             pipeline_->OnProgress(committed_);
+          } else {
+            (void)ledgers_[i].AppendBatch(payloads, stamps);
           }
         });
   }

@@ -15,6 +15,7 @@
 #include "ledger/ledger_db.h"
 #include "net/sim_net.h"
 #include "obs/registry.h"
+#include "obs/tracing.h"
 
 namespace prever::core {
 
@@ -126,16 +127,26 @@ class GroupCommitPipeline {
 
   const OrderingPipelineConfig& config() const { return config_; }
 
+  /// Causal context of a sealed-but-unretired batch (null if the batch is
+  /// unknown, already retired, or its trace unsampled). The owner's commit
+  /// callback uses this to parent the replica-0 ledger-append span.
+  obs::TraceContext ContextForBatch(uint64_t batch_id) const;
+
  private:
   struct Batch {
     Bytes envelope;
+    uint64_t batch_id = 0;    ///< Envelope id (first u64 of the encoding).
     uint64_t end_ticket = 0;  ///< Cumulative payload count through this batch.
     std::vector<SimTime> submit_times;  ///< Enqueue sim-time per payload.
+    /// Consensus span for the envelope: child of the first sampled
+    /// payload's queue-wait span, opened at seal, closed at retirement.
+    obs::TraceContext trace;
   };
 
   void SealOpen();
   void Seal(const std::vector<Bytes>& payloads,
-            const std::vector<SimTime>& times);
+            const std::vector<SimTime>& times,
+            const std::vector<obs::TraceContext>& payload_traces);
   void PumpSubmissions();
 
   net::SimNetwork* net_;
@@ -147,6 +158,7 @@ class GroupCommitPipeline {
   uint64_t open_epoch_ = 0;     // Invalidates stale max_delay close timers.
   std::vector<Bytes> open_payloads_;
   std::vector<SimTime> open_times_;
+  std::vector<obs::TraceContext> open_traces_;  // Queue-wait span per payload.
   std::deque<Batch> queued_;    // Sealed, awaiting a window slot.
   std::deque<Batch> inflight_;  // Submitted, awaiting commitment.
   obs::Histogram* batch_size_;      // Payloads per sealed envelope.

@@ -1,5 +1,7 @@
 #include "core/public_data_engine.h"
 
+#include "obs/tracing.h"
+
 namespace prever::core {
 
 using crypto::BigInt;
@@ -45,17 +47,20 @@ Result<PrivateAttestation> PublicDataEngine::Attest(
 Status PublicDataEngine::Submit(const Submission& submission) {
   metrics_.OnSubmit();
   PREVER_TRACE_SPAN(metrics_.submit_ns());
+  PREVER_CAUSAL_ROOT_SPAN(causal_root, obs::TraceStage::kSubmit, 0);
   // (a) Public constraints over public data + public update fields.
   constraint::EvalContext ctx{db_, &submission.update.fields,
                               submission.update.timestamp};
   Status public_ok;
   {
     PREVER_TRACE_SPAN(metrics_.verify_ns());
+    PREVER_CAUSAL_SPAN(causal_verify, obs::TraceStage::kVerify);
     public_ok = public_catalog_->CheckAll(ctx);
   }
   if (!public_ok.ok()) return metrics_.Finish(public_ok);
   // (b) One valid attestation per private requirement.
   obs::ScopedSpan crypto_span(metrics_.crypto_ns());
+  obs::TraceSpan causal_crypto(obs::TraceStage::kCrypto);
   for (const AttestationRequirement& req : requirements_) {
     const PrivateAttestation* found = nullptr;
     for (const PrivateAttestation& att : submission.attestations) {
@@ -82,9 +87,11 @@ Status PublicDataEngine::Submit(const Submission& submission) {
     }
   }
   crypto_span.End();
+  causal_crypto.End();
   // Apply to the public database and ledger the (public) update together
   // with the attestation commitments, so auditors can re-verify later.
   PREVER_TRACE_SPAN(metrics_.ledger_ns());
+  PREVER_CAUSAL_SPAN(causal_ledger, obs::TraceStage::kLedgerPhase);
   Status applied = db_->Apply(submission.update.mutation);
   if (!applied.ok()) return metrics_.Finish(applied);
   BinaryWriter w;

@@ -71,7 +71,15 @@ void SimNetwork::Send(NodeId from, NodeId to, uint32_t type,
     NetCounters::Get().dropped->Inc();
     return;
   }
-  Message msg{from, to, type, payload};
+  Message msg{from, to, type, payload, obs::Tracer::CurrentContext()};
+  obs::Tracer& tracer = obs::Tracer::Get();
+  if (!msg.trace.sampled() && tracer.trace_unrooted_messages()) {
+    // Sim-harness forensics: pure consensus scenarios have no engine submit
+    // roots, so mint a per-message root here — otherwise every hop instant
+    // is dropped as unsampled and failure-report tails come back empty.
+    msg.trace = tracer.MintTrace();
+  }
+  tracer.Instant(msg.trace, obs::TraceStage::kNetSend, type);
   SimTime deliver_at = clock_.Now() + SampleLatency(from, to);
   queue_.push(Event{deliver_at, next_seq_++, [this, msg = std::move(msg)]() {
                       // Dropped at delivery time if the target crashed while
@@ -83,6 +91,11 @@ void SimNetwork::Send(NodeId from, NodeId to, uint32_t type,
                       }
                       ++messages_delivered_;
                       NetCounters::Get().delivered->Inc();
+                      // Reinstall the sender's causal context for the
+                      // handler: spans it opens parent across the hop.
+                      obs::ScopedTraceContext hop(msg.trace);
+                      obs::Tracer::Get().Instant(
+                          msg.trace, obs::TraceStage::kNetDeliver, msg.type);
                       handlers_[msg.to](msg);
                     }});
 }
@@ -154,6 +167,9 @@ void SimNetwork::SetTimerScale(double scale) {
 
 bool SimNetwork::Step() {
   if (queue_.empty()) return false;
+  // Flight-recorder records made while this event runs carry our simulated
+  // clock as their second timestamp.
+  obs::Tracer::SetThreadSimClock(&clock_);
   Event ev = queue_.top();
   queue_.pop();
   clock_.AdvanceTo(ev.time);

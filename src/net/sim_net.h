@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "obs/tracing.h"
 
 namespace prever::net {
 
@@ -18,12 +19,16 @@ using NodeId = uint32_t;
 
 /// A network message between simulated nodes. `type` is protocol-defined
 /// (each consensus protocol declares its own message-type enum); `payload`
-/// is an opaque canonical encoding.
+/// is an opaque canonical encoding. `trace` piggybacks the sender's causal
+/// trace context across the hop: SimNetwork captures it at Send and
+/// reinstalls it around handler delivery, so spans opened inside a handler
+/// parent to the transaction that caused the message.
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
   uint32_t type = 0;
   Bytes payload;
+  obs::TraceContext trace;
 };
 
 /// Configuration of the simulated network fabric.

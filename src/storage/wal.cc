@@ -1,6 +1,7 @@
 #include "storage/wal.h"
 
 #include "common/crc32.h"
+#include "obs/tracing.h"
 
 namespace prever::storage {
 
@@ -18,6 +19,7 @@ Status WriteAheadLog::Open(const std::string& path) {
 
 Status WriteAheadLog::Append(const Bytes& payload) {
   if (file_ == nullptr) return Status::Internal("WAL not open");
+  PREVER_CAUSAL_SPAN(causal_wal, obs::TraceStage::kWalAppend);
   uint32_t len = static_cast<uint32_t>(payload.size());
   uint32_t crc = Crc32(payload);
   uint8_t header[8];
@@ -33,6 +35,7 @@ Status WriteAheadLog::Append(const Bytes& payload) {
 
 Status WriteAheadLog::AppendBatch(const std::vector<Bytes>& payloads) {
   if (file_ == nullptr) return Status::Internal("WAL not open");
+  obs::TraceSpan causal_wal(obs::TraceStage::kWalAppend, payloads.size());
   size_t total = 0;
   for (const Bytes& p : payloads) total += 8 + p.size();
   Bytes buffer;

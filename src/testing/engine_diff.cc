@@ -13,6 +13,7 @@
 #include "core/plaintext_engine.h"
 #include "crypto/pedersen.h"
 #include "obs/registry.h"
+#include "obs/tracing.h"
 #include "testing/boundary_mutator.h"
 
 namespace prever::simtest {
@@ -101,6 +102,10 @@ std::string EngineDiffReport::Summary() const {
     start = end + 1;
   }
   if (!engine_lines.empty()) s += "  engine counters:\n" + engine_lines;
+  if (!trace_tail.empty()) {
+    s += "  flight recorder tail (last causal events at the divergence):\n";
+    s += trace_tail;
+  }
   if (!trace.empty()) s += "  trace:\n" + trace;
   return s;
 }
@@ -110,9 +115,24 @@ EngineDiffReport RunEngineDifferential(uint64_t seed,
                                        const EngineDiffFixtures& fixtures) {
   EngineDiffReport report;
   report.seed = seed;
+  // Sample every transaction into a small flight-recorder ring for the
+  // run; the first divergence snapshots the tail into the report so the
+  // failure summary shows which engine/stage the update was in.
+  obs::TracerConfig tcfg;
+  tcfg.enabled = true;
+  tcfg.sample_period = 1;
+  tcfg.ring_capacity = 512;
+  tcfg.trace_unrooted_messages = true;
+  obs::Tracer::Get().Configure(tcfg);
+  struct DisableTracingOnExit {
+    ~DisableTracingOnExit() { obs::Tracer::Get().SetEnabled(false); }
+  } tracing_off;
   auto fail = [&](std::string why) {
     report.ok = false;
-    if (report.divergence.empty()) report.divergence = std::move(why);
+    if (report.divergence.empty()) {
+      report.divergence = std::move(why);
+      report.trace_tail = obs::Tracer::Get().TailString(32);
+    }
   };
 
   if (fixtures.authority->budget_per_period() !=

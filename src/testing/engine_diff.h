@@ -59,6 +59,10 @@ struct EngineDiffReport {
   std::string trace;
   size_t updates = 0;
   size_t accepted = 0;     ///< Reference (plaintext) accept count.
+  /// Last-N causal flight-recorder events captured at the first divergence
+  /// (empty when ok): which engine/stage the diverging update was in. See
+  /// src/obs/tracing.h.
+  std::string trace_tail;
 
   std::string Summary() const;
 };

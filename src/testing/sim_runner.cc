@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/ordering.h"
+#include "obs/tracing.h"
 #include "testing/invariants.h"
 
 namespace prever::simtest {
@@ -552,6 +553,26 @@ RunOutcome RunPbftOrderingOnce(uint64_t seed, const FaultSchedule& schedule,
 
 using RunFn = std::function<RunOutcome(const FaultSchedule&, bool record)>;
 
+/// Scenario-scoped causal tracing: sample every transaction into a small
+/// flight-recorder ring so a failing run's report can show the last events
+/// (which payloads were mid-flight and at which stage when the invariant
+/// broke). Disabled again on scope exit so surrounding tests pay nothing.
+class ScopedScenarioTracing {
+ public:
+  ScopedScenarioTracing() {
+    obs::TracerConfig cfg;
+    cfg.enabled = true;
+    cfg.sample_period = 1;
+    cfg.ring_capacity = 512;
+    // Consensus-only scenarios never mint engine submit roots, so let the
+    // sim network root each message — the tail stays populated either way.
+    cfg.trace_unrooted_messages = true;
+    obs::Tracer::Get().Configure(cfg);
+  }
+  ~ScopedScenarioTracing() { obs::Tracer::Get().SetEnabled(false); }
+  std::string Tail() const { return obs::Tracer::Get().TailString(32); }
+};
+
 SimReport RunWithShrink(uint64_t seed, const ConsensusSimOptions& o,
                         const RunFn& run_once) {
   ScenarioGenerator generator(ScenarioOptionsFor(o));
@@ -560,6 +581,7 @@ SimReport RunWithShrink(uint64_t seed, const ConsensusSimOptions& o,
   report.schedule = generator.Generate(seed);
   report.reduced = report.schedule;
 
+  ScopedScenarioTracing tracing;
   RunOutcome out = run_once(report.schedule, o.record_trace);
   report.ok = out.ok;
   report.violation = out.violation;
@@ -567,6 +589,7 @@ SimReport RunWithShrink(uint64_t seed, const ConsensusSimOptions& o,
   report.events = out.events;
   report.committed = out.committed;
   report.net_stats = out.net_stats;
+  if (!out.ok) report.trace_tail = tracing.Tail();
   if (out.ok || !o.shrink_on_failure) return report;
 
   // Greedy delta-debugging: drop one action at a time while the violation
@@ -607,6 +630,10 @@ std::string SimReport::Summary(const char* protocol) const {
   for (const FaultAction& a : reduced.actions) {
     s += "    " + a.ToString() + "\n";
   }
+  if (!trace_tail.empty()) {
+    s += "  flight recorder tail (last causal events before the violation):\n";
+    s += trace_tail;
+  }
   s += "  replay: PREVER_SIM_SEED=" + std::to_string(seed) +
        " ./tests/sim_consensus_test --gtest_filter='*" + protocol + "*'\n";
   return s;
@@ -622,6 +649,7 @@ SimReport RunOrderingWithShrink(uint64_t seed, const OrderingSimOptions& o,
   report.schedule = generator.Generate(seed);
   report.reduced = report.schedule;
 
+  ScopedScenarioTracing tracing;
   RunOutcome out = run_once(report.schedule, o.record_trace);
   report.ok = out.ok;
   report.violation = out.violation;
@@ -629,6 +657,7 @@ SimReport RunOrderingWithShrink(uint64_t seed, const OrderingSimOptions& o,
   report.events = out.events;
   report.committed = out.committed;
   report.net_stats = out.net_stats;
+  if (!out.ok) report.trace_tail = tracing.Tail();
   if (out.ok || !o.shrink_on_failure) return report;
 
   bool improved = true;

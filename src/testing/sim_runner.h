@@ -41,6 +41,10 @@ struct SimReport {
   /// SimNetwork::StatsJson() at run end: traffic totals plus fault-event
   /// counts (drops, partitions, crashes, ...) for failure triage.
   std::string net_stats;
+  /// Last-N causal flight-recorder events at the failing run's end (empty
+  /// when ok): which transactions were mid-flight and where they were when
+  /// the invariant broke. See src/obs/tracing.h.
+  std::string trace_tail;
 
   /// Human-readable failure report: seed, violation, reduced schedule, and
   /// the one-command repro line.

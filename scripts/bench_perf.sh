@@ -36,42 +36,22 @@ for bench in "${BENCHES[@]}"; do
 done
 
 python3 - "$LABEL" "$OUT" "$TMP" "${BENCHES[@]}" <<'EOF'
-import json, os, subprocess, sys
+import json, os, sys
+
+sys.path.insert(0, "scripts/lib")
+from bench_append import append_record, load_benchmark_cases, stamp
 
 label, out_path, tmp = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = sys.argv[4:]
 
-record = {"label": label, "benches": {}}
-record["date"] = subprocess.run(
-    ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], capture_output=True,
-    text=True).stdout.strip()
-try:
-    record["git"] = subprocess.run(
-        ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
-        text=True).stdout.strip()
-except OSError:
-    pass
+record = stamp({"benches": {}}, label)
 
 for bench in benches:
-    with open(os.path.join(tmp, bench + ".json")) as f:
-        bm = json.load(f)
-    cases = {}
-    for b in bm.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue
-        entry = {
-            "real_time_ms": round(
-                b["real_time"] * {"ns": 1e-6, "us": 1e-3, "ms": 1.0,
-                                  "s": 1e3}[b["time_unit"]], 4),
-            "iterations": b["iterations"],
-        }
-        for key, value in b.items():
-            # Rate counters (ops/s, updates/s) and plain counters surface
-            # as extra numeric fields in the per-benchmark object.
-            if key.endswith("/s") or key in ("accepted", "threads",
-                                             "mpc_msgs", "tokens"):
-                entry[key] = round(value, 2)
-        cases[b["name"]] = entry
+    # Rate counters (ops/s, updates/s) and plain counters surface as extra
+    # numeric fields in the per-benchmark object.
+    cases = load_benchmark_cases(
+        os.path.join(tmp, bench + ".json"),
+        extra_keys=("accepted", "threads", "mpc_msgs", "tokens"))
 
     phases = []
     with open(os.path.join(tmp, bench + ".out")) as f:
@@ -95,16 +75,9 @@ for bench in benches:
     bench_id = bench.split("_")[1]  # bench_e1_... -> e1
     record["benches"][bench_id] = {"cases": cases, "phases": phases}
 
-records = []
-if os.path.exists(out_path):
-    with open(out_path) as f:
-        records = json.load(f)
-records.append(record)
-with open(out_path, "w") as f:
-    json.dump(records, f, indent=2)
-    f.write("\n")
+total = append_record(out_path, record)
 print(f"bench_perf: appended record '{label}' to {out_path} "
-      f"({len(records)} records total)")
+      f"({total} records total)")
 EOF
 
 # ---------------------------------------------------------------- consensus
@@ -125,7 +98,10 @@ echo "bench_perf: running bench_e7_scaling (ordered-burst) ..." >&2
     > "$TMP/e7.out" 2>/dev/null
 
 python3 - "$LABEL" "$CONS_OUT" "$TMP" <<'EOF'
-import json, os, subprocess, sys
+import os, sys
+
+sys.path.insert(0, "scripts/lib")
+from bench_append import append_record, load_benchmark_cases, stamp
 
 label, out_path, tmp = sys.argv[1], sys.argv[2], sys.argv[3]
 
@@ -134,33 +110,11 @@ KEEP = ("sim_commits_per_s", "agg_sim_commits_per_s", "sim_payloads_per_s",
         "sim_latency_p999_ms", "batch", "window", "replicas", "burst",
         "net_msgs")
 
-def load_cases(path):
-    with open(path) as f:
-        bm = json.load(f)
-    cases = {}
-    for b in bm.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue
-        entry = {"iterations": b["iterations"]}
-        for key in KEEP:
-            if key in b:
-                entry[key] = round(b[key], 3)
-        cases[b["name"]] = entry
-    return cases
+record = stamp({}, label)
 
-record = {"label": label}
-record["date"] = subprocess.run(
-    ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], capture_output=True,
-    text=True).stdout.strip()
-try:
-    record["git"] = subprocess.run(
-        ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
-        text=True).stdout.strip()
-except OSError:
-    pass
-
-cases = load_cases(os.path.join(tmp, "e2.json"))
-cases.update(load_cases(os.path.join(tmp, "e7.json")))
+cases = load_benchmark_cases(os.path.join(tmp, "e2.json"), keep_keys=KEEP)
+cases.update(load_benchmark_cases(os.path.join(tmp, "e7.json"),
+                                  keep_keys=KEEP))
 
 # Stop-and-wait throughput per (proto, replicas) from the blocking rows.
 baselines = {}
@@ -180,20 +134,13 @@ for name, c in cases.items():
 
 record["cases"] = cases
 
-records = []
-if os.path.exists(out_path):
-    with open(out_path) as f:
-        records = json.load(f)
-records.append(record)
-with open(out_path, "w") as f:
-    json.dump(records, f, indent=2)
-    f.write("\n")
+total = append_record(out_path, record)
 
 claw = [f"{n}: {c['speedup_vs_stop_and_wait']}x"
         for n, c in sorted(cases.items())
         if "speedup_vs_stop_and_wait" in c]
 print(f"bench_perf: appended record '{label}' to {out_path} "
-      f"({len(records)} records total)")
+      f"({total} records total)")
 for line in claw:
     print("  " + line)
 EOF
@@ -217,7 +164,10 @@ echo "bench_perf: running traced-E2 off/on comparison ..." >&2
     >/dev/null 2>&1
 
 python3 - "$LABEL" "$TRACE_OUT" "$TMP" <<'EOF'
-import json, os, subprocess, sys
+import json, os, sys
+
+sys.path.insert(0, "scripts/lib")
+from bench_append import append_record, stamp
 
 label, out_path, tmp = sys.argv[1], sys.argv[2], sys.argv[3]
 
@@ -233,16 +183,7 @@ off = case("trace_off.json", "BM_TracedPlaintextRaft")
 on = case("trace_on.json", "BM_TracedPlaintextRaft")
 overhead = case("trace_off.json", "BM_TraceDisabledOverhead")
 
-record = {"label": label}
-record["date"] = subprocess.run(
-    ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], capture_output=True,
-    text=True).stdout.strip()
-try:
-    record["git"] = subprocess.run(
-        ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
-        text=True).stdout.strip()
-except OSError:
-    pass
+record = stamp({}, label)
 
 if off and on and "ops/s" in off and "ops/s" in on:
     record["tracing_off_ops_per_s"] = round(off["ops/s"], 2)
@@ -276,4 +217,55 @@ if "overhead_pct" in record:
           f"(off {record['tracing_off_ops_per_s']}/s, "
           f"on {record['tracing_on_ops_per_s']}/s); "
           f"disabled span {record.get('disabled_ns_per_span', '?')} ns")
+EOF
+
+# ------------------------------------------------------------------- verify
+# BENCH_verify.json: interpreter (tree-walking re-scan, O(rows) per eval)
+# vs compiled verification (bytecode + incremental aggregate cache) on the
+# same E3 windowed-SUM constraint. speedup_vs_interpreter compares the
+# interpreter eval at each table size against the compiled steady-state
+# verify — the apples-to-apples "one verification" cost. The commit-cycle
+# rows additionally carry the cache counters that prove the O(1) delta path
+# ran (agg_rebuilds stays at 1 while iterations climb into the thousands).
+VERIFY_OUT=BENCH_verify.json
+
+echo "bench_perf: running E3 interpreter-vs-compiled comparison ..." >&2
+"$BUILD_DIR/bench/bench_e3_constraint_verification" \
+    --benchmark_filter='BM_PlaintextEval|BM_CompiledVerify' \
+    --benchmark_out="$TMP/verify.json" --benchmark_out_format=json \
+    > "$TMP/verify.out" 2>/dev/null
+
+python3 - "$LABEL" "$VERIFY_OUT" "$TMP" <<'EOF'
+import os, sys
+
+sys.path.insert(0, "scripts/lib")
+from bench_append import append_record, load_benchmark_cases, stamp
+
+label, out_path, tmp = sys.argv[1], sys.argv[2], sys.argv[3]
+
+cases = load_benchmark_cases(
+    os.path.join(tmp, "verify.json"),
+    extra_keys=("agg_cache_hits", "agg_rebuilds", "agg_delta_applies",
+                "compiled", "fast_path"))
+
+# Interpreter wall time per table size, from the tree-walking baseline.
+interp_ms = {}
+for name, c in cases.items():
+    if name.startswith("BM_PlaintextEval/"):
+        interp_ms[name.split("/")[1]] = c["real_time_ms"]
+for name, c in cases.items():
+    if not (name.startswith("BM_CompiledVerifySteady/")
+            or name.startswith("BM_CompiledVerifyCommit/")):
+        continue
+    base = interp_ms.get(name.split("/")[1])
+    if base and c["real_time_ms"] > 0:
+        c["speedup_vs_interpreter"] = round(base / c["real_time_ms"], 1)
+
+record = stamp({"cases": cases}, label)
+total = append_record(out_path, record)
+print(f"bench_perf: appended record '{label}' to {out_path} "
+      f"({total} records total)")
+for name, c in sorted(cases.items()):
+    if "speedup_vs_interpreter" in c:
+        print(f"  {name}: {c['speedup_vs_interpreter']}x vs interpreter")
 EOF

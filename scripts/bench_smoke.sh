@@ -189,6 +189,43 @@ else
 fi
 rm -f "$overhead_json"
 
+# Compiled-verification path: a short verify-and-commit run must actually
+# take the compiled route (compiled > 0, nothing silently falling back to
+# the interpreter) and the aggregate cache must ride its O(1) delta path —
+# exactly one full rebuild no matter how many iterations committed, every
+# subsequent verify a cache hit.
+verify_json="$(mktemp)"
+if "$BENCH_DIR/bench_e3_constraint_verification" \
+      --benchmark_filter='BM_CompiledVerifyCommit/100$' \
+      --benchmark_min_time=0.01s \
+      --benchmark_out="$verify_json" --benchmark_out_format=json \
+      >/dev/null 2>&1 && "$PYTHON" - "$verify_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cases = [b for b in doc.get("benchmarks", [])
+         if b.get("run_type") != "aggregate"]
+assert cases, "compiled verify case did not run"
+b = cases[0]
+for key in ("verifies/s", "agg_cache_hits", "agg_rebuilds",
+            "agg_delta_applies", "compiled"):
+    assert key in b, f"missing counter {key}"
+assert b["compiled"] > 0, "constraint fell back to the interpreter"
+assert b["agg_rebuilds"] <= 2, \
+    f"{b['agg_rebuilds']:.0f} rebuilds: cache is rescanning, not delta-ing"
+assert b["agg_delta_applies"] >= b["iterations"] - 2, \
+    "committed inserts not flowing through the delta path"
+assert b["agg_cache_hits"] >= b["iterations"] - 2, "verifies missing cache"
+print(f"compiled={b['compiled']:.0f} rebuilds={b['agg_rebuilds']:.0f} "
+      f"deltas={b['agg_delta_applies']:.0f} over {b['iterations']} commits")
+EOF
+then
+  echo "bench_smoke: OK compiled verification path"
+else
+  echo "bench_smoke: FAIL compiled verification path" >&2
+  fail=1
+fi
+rm -f "$verify_json"
+
 # BENCH_consensus.json (written by bench_perf.sh) must stay parseable, and
 # every pipelined case in it must carry throughput + latency + the derived
 # stop-and-wait speedup.
@@ -211,6 +248,38 @@ EOF
     echo "bench_smoke: OK BENCH_consensus.json"
   else
     echo "bench_smoke: FAIL BENCH_consensus.json invalid" >&2
+    fail=1
+  fi
+fi
+
+# BENCH_verify.json (also written by bench_perf.sh): every record must pair
+# the interpreter baseline with compiled cases carrying the cache counters
+# and the derived interpreter speedup.
+if [ -f BENCH_verify.json ]; then
+  if "$PYTHON" - <<'EOF'
+import json
+records = json.load(open("BENCH_verify.json"))
+assert isinstance(records, list) and records, "no records"
+for r in records:
+    assert r.get("label") and "cases" in r, "record missing label/cases"
+    names = set(r["cases"])
+    assert any(n.startswith("BM_PlaintextEval/") for n in names), \
+        "no interpreter baseline"
+    compiled = [c for n, c in r["cases"].items()
+                if n.startswith(("BM_CompiledVerifyCommit/",
+                                 "BM_CompiledVerifySteady/"))]
+    assert compiled, "no compiled cases"
+    assert any("speedup_vs_interpreter" in c for c in compiled), \
+        "no derived speedup"
+    for n, c in r["cases"].items():
+        if n.startswith("BM_CompiledVerifyCommit/"):
+            for key in ("agg_rebuilds", "agg_delta_applies", "compiled"):
+                assert key in c, f"{n} missing {key}"
+EOF
+  then
+    echo "bench_smoke: OK BENCH_verify.json"
+  else
+    echo "bench_smoke: FAIL BENCH_verify.json invalid" >&2
     fail=1
   fi
 fi

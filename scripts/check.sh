@@ -15,6 +15,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # filter or discovery hiccup can never silently skip them in the sanitizer
 # configuration.
 "$BUILD_DIR"/tests/crypto_diff_test
+# Same rule for the compiled-constraint differential fuzz: the bytecode
+# evaluator and the incremental aggregate cache must match the interpreter
+# over the seeded sweep (window boundaries, absent fields, int64 overflow)
+# with ASan+UBSan watching both paths.
+"$BUILD_DIR"/tests/constraint_compiled_diff_test
 scripts/bench_smoke.sh "$BUILD_DIR"
 
 # Causal-trace smoke: a traced E2 run must export a Chrome trace whose span
@@ -38,11 +43,12 @@ rm -f "$TRACE_FILE"
 scripts/mutation_smoke.sh "${MUTATION_BUILD_DIR:-build-mutation}"
 
 # ThreadSanitizer pass over the components that actually share state across
-# threads (the thread pool, the lock-based observability registry, and the
+# threads (the thread pool, the lock-based observability registry, the
 # ordering layer whose histograms are recorded from pool workers in the
-# engine batch paths). TSan is incompatible with ASan, hence its own tree.
+# engine batch paths, and the compiled verifier's shared-lock aggregate
+# cache). TSan is incompatible with ASan, hence its own tree.
 TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "$TSAN_DIR" -S . -DPREVER_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target prever_tests
 "$TSAN_DIR"/tests/prever_tests \
-    --gtest_filter='ThreadPool*:Obs*:*Ordering*:*GroupCommit*:*Pipelined*'
+    --gtest_filter='ThreadPool*:Obs*:*Ordering*:*GroupCommit*:*Pipelined*:*AggCacheConcurrency*'

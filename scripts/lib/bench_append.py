@@ -1,0 +1,79 @@
+"""Shared plumbing for the BENCH_*.json perf ledgers.
+
+Every bench_perf.sh section ends the same way: stamp a record with the run
+label, a UTC timestamp and the current git revision, then append it to a
+JSON-array ledger file checked into the repo. This module is that one
+implementation; the inline python blocks in scripts/bench_perf.sh import it
+(sys.path.insert of scripts/lib) instead of each carrying its own copy.
+"""
+
+import json
+import os
+import subprocess
+
+
+def stamp(record, label):
+    """Adds label/date/git provenance fields to `record` (returns it)."""
+    record["label"] = label
+    record["date"] = subprocess.run(
+        ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], capture_output=True,
+        text=True).stdout.strip()
+    try:
+        record["git"] = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
+            text=True).stdout.strip()
+    except OSError:
+        pass
+    return record
+
+
+def append_record(out_path, record):
+    """Appends `record` to the JSON-array ledger at `out_path`.
+
+    Returns the total number of records after the append.
+    """
+    records = []
+    if os.path.exists(out_path):
+        with open(out_path) as f:
+            records = json.load(f)
+    records.append(record)
+    with open(out_path, "w") as f:
+        json.dump(records, f, indent=2)
+        f.write("\n")
+    return len(records)
+
+
+def load_benchmark_cases(path, keep_keys=None, extra_numeric_suffixes=("/s",),
+                         extra_keys=()):
+    """Loads a Google Benchmark --benchmark_out JSON file.
+
+    Returns {case_name: {field: value}} skipping aggregate rows. With
+    `keep_keys`, only those keys are copied (when present); otherwise
+    real_time_ms/iterations plus any key ending in one of
+    `extra_numeric_suffixes` (rate counters) or named in `extra_keys`
+    (plain counters) is kept.
+    """
+    with open(path) as f:
+        bm = json.load(f)
+    unit = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+    cases = {}
+    for b in bm.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        if keep_keys is not None:
+            entry = {"iterations": b["iterations"]}
+            for key in keep_keys:
+                if key in b:
+                    entry[key] = round(b[key], 3)
+        else:
+            entry = {
+                "real_time_ms": round(b["real_time"] * unit[b["time_unit"]],
+                                      4),
+                "iterations": b["iterations"],
+            }
+            for key, value in b.items():
+                if (any(key.endswith(s) for s in extra_numeric_suffixes)
+                        or key in extra_keys):
+                    entry[key] = round(value, 2)
+        cases[b["name"]] = entry
+    return cases

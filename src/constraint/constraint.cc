@@ -20,6 +20,7 @@ Status ConstraintCatalog::AddParsed(Constraint constraint) {
     }
   }
   constraints_.push_back(std::move(constraint));
+  ++revision_;
   return Status::Ok();
 }
 
@@ -27,6 +28,7 @@ Status ConstraintCatalog::Remove(const std::string& name) {
   for (auto it = constraints_.begin(); it != constraints_.end(); ++it) {
     if (it->name == name) {
       constraints_.erase(it);
+      ++revision_;
       return Status::Ok();
     }
   }

@@ -70,6 +70,11 @@ class ConstraintCatalog {
 
   Result<const Constraint*> Find(const std::string& name) const;
 
+  /// Monotone counter bumped by every successful Add/AddParsed/Remove.
+  /// Compiled-verifier caches key their validity on it, so constraints
+  /// added after the first verification are picked up lazily.
+  uint64_t revision() const { return revision_; }
+
   /// Evaluates every constraint against (db, update, now). Returns OK if all
   /// pass, ConstraintViolation naming the first failed constraint otherwise,
   /// or the evaluation error for ill-typed constraints.
@@ -77,6 +82,7 @@ class ConstraintCatalog {
 
  private:
   std::vector<Constraint> constraints_;
+  uint64_t revision_ = 0;
 };
 
 }  // namespace prever::constraint

@@ -111,21 +111,35 @@ Result<Value> EvaluateComparison(BinaryOp op, const Value& a, const Value& b) {
   }
 }
 
+// Arithmetic wraps (two's complement via unsigned casts): int64 overflow is
+// defined behavior, identical between this interpreter and the compiled
+// bytecode path, so the differential fuzz can probe overflow edges and both
+// stay clean under UBSan.
+int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
 Result<Value> EvaluateArithmetic(BinaryOp op, const Value& a, const Value& b) {
   PREVER_ASSIGN_OR_RETURN(int64_t na, a.AsNumeric());
   PREVER_ASSIGN_OR_RETURN(int64_t nb, b.AsNumeric());
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
   switch (op) {
     case BinaryOp::kAdd:
-      return Value::Int64(na + nb);
+      return Value::Int64(WrapAdd(na, nb));
     case BinaryOp::kSub:
-      return Value::Int64(na - nb);
+      return Value::Int64(static_cast<int64_t>(static_cast<uint64_t>(na) -
+                                               static_cast<uint64_t>(nb)));
     case BinaryOp::kMul:
-      return Value::Int64(na * nb);
+      return Value::Int64(static_cast<int64_t>(static_cast<uint64_t>(na) *
+                                               static_cast<uint64_t>(nb)));
     case BinaryOp::kDiv:
       if (nb == 0) return Status::InvalidArgument("division by zero");
+      if (na == kMin && nb == -1) return Value::Int64(kMin);  // UB otherwise.
       return Value::Int64(na / nb);
     case BinaryOp::kMod:
       if (nb == 0) return Status::InvalidArgument("modulo by zero");
+      if (na == kMin && nb == -1) return Value::Int64(0);
       return Value::Int64(na % nb);
     default:
       return Status::Internal("not an arithmetic op");
@@ -209,7 +223,7 @@ Result<Value> EvaluateAggregateImpl(const Expr& expr, const EvalContext& ctx,
         scan_error = v.status();
         return false;
       }
-      sum += *v;
+      sum = WrapAdd(sum, *v);
       if (PREVER_MUTATION(EVAL_MIN_UPDATE_SKIP, *v < min, false)) min = *v;
       if (PREVER_MUTATION(EVAL_MAX_UPDATE_SKIP, *v > max, false)) max = *v;
     }
@@ -261,7 +275,9 @@ Result<Value> EvaluateImpl(const Expr& expr, const EvalContext& ctx,
         return Value::Bool(PREVER_MUTATION(EVAL_NOT_DROPPED, !b, b));
       }
       PREVER_ASSIGN_OR_RETURN(int64_t n, v.AsNumeric());
-      return Value::Int64(-n);
+      // Wrapping negation: -INT64_MIN is UB in plain C++.
+      return Value::Int64(
+          static_cast<int64_t>(uint64_t{0} - static_cast<uint64_t>(n)));
     }
     case ExprKind::kBinary: {
       // Short-circuit logical operators.

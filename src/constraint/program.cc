@@ -1,0 +1,1073 @@
+#include "constraint/program.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mutate/mutation.h"
+
+namespace prever::constraint {
+
+namespace {
+
+using storage::ColumnBatch;
+using storage::Row;
+using storage::Value;
+using storage::ValueType;
+
+// Wrapping int64 arithmetic: both the interpreter and the compiled path use
+// two's-complement semantics so the differential fuzz can probe overflow
+// edges without tripping UBSan, and so the aggregate cache's eviction
+// subtraction is an exact inverse of its insertion addition.
+int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+int64_t WrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+int64_t WrapNeg(int64_t a) {
+  return static_cast<int64_t>(uint64_t{0} - static_cast<uint64_t>(a));
+}
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
+
+int64_t WrapDiv(int64_t a, int64_t b) {
+  if (a == kI64Min && b == -1) return kI64Min;  // UB in plain C++ division.
+  return a / b;
+}
+int64_t WrapMod(int64_t a, int64_t b) {
+  if (a == kI64Min && b == -1) return 0;
+  return a % b;
+}
+
+/// The comparison verdict for a three-way cmp, shared by the scalar and the
+/// vectorized kernels (and by the aggregate cache's group-selector match).
+bool CmpVerdict(OpCode op, int cmp) {
+  switch (op) {
+    case OpCode::kCmpEq:
+      return cmp == 0;
+    case OpCode::kCmpNe:
+      return cmp != 0;
+    case OpCode::kCmpLt:
+      return cmp < 0;
+    case OpCode::kCmpLe:
+      return PREVER_MUTATION(PROG_CMP_LE_EXCLUSIVE, cmp <= 0, cmp < 0);
+    case OpCode::kCmpGt:
+      return cmp > 0;
+    case OpCode::kCmpGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+/// Three-way comparison with the interpreter's coercion rules: strings with
+/// strings, bools only under =/!= , everything else through AsNumeric.
+Result<int> CompareRegs(OpCode op, const RegVal& a, const RegVal& b) {
+  if (a.tag == RegVal::Tag::kStr && b.tag == RegVal::Tag::kStr) {
+    const std::string& sa = *a.str;
+    const std::string& sb = *b.str;
+    return sa < sb ? -1 : (sa == sb ? 0 : 1);
+  }
+  if (a.tag == RegVal::Tag::kBool && b.tag == RegVal::Tag::kBool) {
+    if (op != OpCode::kCmpEq && op != OpCode::kCmpNe) {
+      return Status::InvalidArgument("bools only support = and !=");
+    }
+    return a.b == b.b ? 0 : 1;
+  }
+  if (a.tag != RegVal::Tag::kNum || b.tag != RegVal::Tag::kNum) {
+    return Status::InvalidArgument("operand is not numeric");
+  }
+  return a.num < b.num ? -1 : (a.num == b.num ? 0 : 1);
+}
+
+// ------------------------------------------------------------- Compiler
+
+class Compiler {
+ public:
+  Compiler(bool row_mode, bool eager_logic,
+           std::vector<std::unique_ptr<AggregateSpec>>* aggs)
+      : row_mode_(row_mode), eager_logic_(eager_logic), aggs_(aggs) {}
+
+  bool ok() const { return ok_; }
+
+  Program Take() {
+    prog_.num_regs = next_reg_;
+    prog_.bound = !has_names_;
+    return std::move(prog_);
+  }
+
+  uint16_t CompileExpr(const Expr& e) {
+    if (!ok_) return 0;
+    switch (e.kind) {
+      case ExprKind::kLiteral: {
+        uint16_t dst = NewReg();
+        uint16_t idx = static_cast<uint16_t>(prog_.consts.size());
+        prog_.consts.push_back(e.literal);
+        Emit({OpCode::kLoadConst, dst, idx, 0, 0});
+        return dst;
+      }
+      case ExprKind::kField:
+        return CompileField(e);
+      case ExprKind::kUnary: {
+        uint16_t src = CompileExpr(*e.operand);
+        uint16_t dst = NewReg();
+        Emit({e.unary_op == UnaryOp::kNot ? OpCode::kNot : OpCode::kNeg, dst,
+              src, 0, 0});
+        return dst;
+      }
+      case ExprKind::kBinary:
+        return CompileBinary(e);
+      case ExprKind::kAggregate:
+      case ExprKind::kExists:
+        return CompileAggregate(e);
+      case ExprKind::kForAll:
+        // Group quantification stays on the interpreter.
+        ok_ = false;
+        return 0;
+    }
+    ok_ = false;
+    return 0;
+  }
+
+ private:
+  uint16_t NewReg() {
+    if (next_reg_ == std::numeric_limits<uint16_t>::max()) ok_ = false;
+    return next_reg_++;
+  }
+
+  void Emit(Insn insn) { prog_.insns.push_back(insn); }
+
+  uint16_t NameIndex(const std::string& name) {
+    for (size_t i = 0; i < prog_.names.size(); ++i) {
+      if (prog_.names[i] == name) return static_cast<uint16_t>(i);
+    }
+    prog_.names.push_back(name);
+    return static_cast<uint16_t>(prog_.names.size() - 1);
+  }
+
+  uint16_t CompileField(const Expr& e) {
+    uint16_t dst = NewReg();
+    if (e.qualifier == "update") {
+      Emit({OpCode::kLoadUpdate, dst, NameIndex(e.field), 0, 0});
+      return dst;
+    }
+    if (!e.qualifier.empty()) {
+      // `outer.` (correlated) and unknown qualifiers keep the interpreter.
+      ok_ = false;
+      return 0;
+    }
+    if (row_mode_) {
+      // Bare name: row column vs update field is schema-dependent —
+      // resolved once at Bind time instead of per scanned row.
+      has_names_ = true;
+      Emit({OpCode::kLoadName, dst, NameIndex(e.field), 0, 0});
+      return dst;
+    }
+    if (e.field == "group") {
+      // Only bound inside FORALL bodies, which are interpreted.
+      ok_ = false;
+      return 0;
+    }
+    Emit({OpCode::kLoadUpdate, dst, NameIndex(e.field), 1, 0});
+    return dst;
+  }
+
+  uint16_t CompileBinary(const Expr& e) {
+    if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+      if (eager_logic_) {
+        uint16_t ra = CompileExpr(*e.lhs);
+        uint16_t rb = CompileExpr(*e.rhs);
+        uint16_t dst = NewReg();
+        Emit({e.binary_op == BinaryOp::kAnd ? OpCode::kAnd : OpCode::kOr, dst,
+              ra, rb, 0});
+        return dst;
+      }
+      // Short-circuit lowering: the lhs register doubles as the result.
+      uint16_t ra = CompileExpr(*e.lhs);
+      size_t jump_at = prog_.insns.size();
+      Emit({e.binary_op == BinaryOp::kAnd ? OpCode::kJumpIfFalse
+                                          : OpCode::kJumpIfTrue,
+            0, ra, 0, 0});
+      uint16_t rb = CompileExpr(*e.rhs);
+      Emit({OpCode::kCoerceBool, ra, rb, 0, 0});
+      if (ok_) {
+        prog_.insns[jump_at].imm = static_cast<int32_t>(prog_.insns.size());
+      }
+      return ra;
+    }
+    uint16_t ra = CompileExpr(*e.lhs);
+    uint16_t rb = CompileExpr(*e.rhs);
+    uint16_t dst = NewReg();
+    OpCode op;
+    switch (e.binary_op) {
+      case BinaryOp::kEq: op = OpCode::kCmpEq; break;
+      case BinaryOp::kNe: op = OpCode::kCmpNe; break;
+      case BinaryOp::kLt: op = OpCode::kCmpLt; break;
+      case BinaryOp::kLe: op = OpCode::kCmpLe; break;
+      case BinaryOp::kGt: op = OpCode::kCmpGt; break;
+      case BinaryOp::kGe: op = OpCode::kCmpGe; break;
+      case BinaryOp::kAdd: op = OpCode::kAdd; break;
+      case BinaryOp::kSub: op = OpCode::kSub; break;
+      case BinaryOp::kMul: op = OpCode::kMul; break;
+      case BinaryOp::kDiv: op = OpCode::kDiv; break;
+      case BinaryOp::kMod: op = OpCode::kMod; break;
+      default:
+        ok_ = false;
+        return 0;
+    }
+    Emit({op, dst, ra, rb, 0});
+    return dst;
+  }
+
+  uint16_t CompileAggregate(const Expr& e);
+
+  bool row_mode_;
+  bool eager_logic_;
+  std::vector<std::unique_ptr<AggregateSpec>>* aggs_;
+  Program prog_;
+  uint16_t next_reg_ = 0;
+  bool has_names_ = false;
+  bool ok_ = true;
+};
+
+/// Compiles a row-mode predicate program; null result means unsupported.
+std::unique_ptr<Program> CompileRowProgram(const Expr& expr, bool eager) {
+  Compiler c(/*row_mode=*/true, eager, /*aggs=*/nullptr);
+  uint16_t result = c.CompileExpr(expr);
+  if (!c.ok()) return nullptr;
+  Program prog = c.Take();
+  prog.insns.push_back({OpCode::kReturn, 0, result, 0, 0});
+  return std::make_unique<Program>(std::move(prog));
+}
+
+/// True when every field reference in `e` is a bare name or a literal —
+/// i.e. the conjunct never names `update.` explicitly. (A bare name can
+/// still resolve to an update field; Bind() detects that case.)
+bool IsUpdateFree(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kField:
+      return e.qualifier.empty();
+    case ExprKind::kUnary:
+      return IsUpdateFree(*e.operand);
+    case ExprKind::kBinary:
+      return IsUpdateFree(*e.lhs) && IsUpdateFree(*e.rhs);
+    default:
+      return false;  // Aggregates/EXISTS/FORALL: not a cache-friendly shape.
+  }
+}
+
+void FlattenConjunction(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
+    FlattenConjunction(*e.lhs, out);
+    FlattenConjunction(*e.rhs, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// Detects `col = update.f` / `update.f = col` group selectors.
+bool IsSelectorForm(const Expr& e, std::string* column, std::string* field) {
+  if (e.kind != ExprKind::kBinary || e.binary_op != BinaryOp::kEq) return false;
+  const Expr* l = e.lhs.get();
+  const Expr* r = e.rhs.get();
+  if (l->kind != ExprKind::kField || r->kind != ExprKind::kField) return false;
+  if (l->qualifier.empty() && r->qualifier == "update") {
+    *column = l->field;
+    *field = r->field;
+    return true;
+  }
+  if (r->qualifier.empty() && l->qualifier == "update") {
+    *column = r->field;
+    *field = l->field;
+    return true;
+  }
+  return false;
+}
+
+/// Structural half of the cacheability analysis: pull out at most one
+/// group selector; everything else must be update-free row predicates.
+void ClassifyWhere(const Expr& where, AggregateSpec* spec) {
+  std::vector<const Expr*> conjuncts;
+  FlattenConjunction(where, &conjuncts);
+  std::vector<const Expr*> row_only;
+  bool have_selector = false;
+  for (const Expr* c : conjuncts) {
+    std::string column, field;
+    if (!have_selector && IsSelectorForm(*c, &column, &field)) {
+      have_selector = true;
+      spec->group_column = column;
+      spec->group_update_field = field;
+      continue;
+    }
+    if (!IsUpdateFree(*c)) return;  // Not cacheable; spec stays scan-only.
+    row_only.push_back(c);
+  }
+  if (!row_only.empty()) {
+    // Rebuild the residual conjunction (clone + fold) and compile it.
+    ExprPtr residual = row_only[0]->Clone();
+    for (size_t i = 1; i < row_only.size(); ++i) {
+      residual = Expr::Binary(BinaryOp::kAnd, std::move(residual),
+                              row_only[i]->Clone());
+    }
+    spec->row_pred = CompileRowProgram(*residual, /*eager=*/false);
+    if (!spec->row_pred) return;
+  }
+  spec->cache_candidate = true;
+}
+
+uint16_t Compiler::CompileAggregate(const Expr& e) {
+  if (row_mode_ || aggs_ == nullptr) {
+    // Aggregates nested inside aggregate predicates keep the interpreter
+    // (they are O(n^2) under any execution strategy anyway).
+    ok_ = false;
+    return 0;
+  }
+  auto spec = std::make_unique<AggregateSpec>();
+  spec->exists = e.kind == ExprKind::kExists;
+  spec->agg = e.agg_kind;
+  spec->table = e.table;
+  spec->column = e.column;
+  spec->window = e.window;
+  spec->expr = &e;
+  if (e.where) {
+    spec->where = CompileRowProgram(*e.where, /*eager=*/false);
+    spec->where_eager = CompileRowProgram(*e.where, /*eager=*/true);
+    if (!spec->where || !spec->where_eager) {
+      ok_ = false;
+      return 0;
+    }
+    ClassifyWhere(*e.where, spec.get());
+  } else {
+    spec->cache_candidate = true;  // Unfiltered aggregate: one global group.
+  }
+  uint16_t dst = NewReg();
+  Emit({OpCode::kAggregate, dst, static_cast<uint16_t>(aggs_->size()), 0, 0});
+  aggs_->push_back(std::move(spec));
+  return dst;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- RegVal
+
+Result<RegVal> RegVal::FromValue(const Value& v) {
+  if (const std::string* s = v.StringRef()) return RegVal::Str(s);
+  if (v.is_bool()) return RegVal::Bool(*v.AsBool());
+  PREVER_ASSIGN_OR_RETURN(int64_t n, v.AsNumeric());
+  return RegVal::Num(n);
+}
+
+// ---------------------------------------------------------------- Program
+
+Program Program::Bind(const storage::Schema& schema) const {
+  Program out = *this;
+  for (Insn& insn : out.insns) {
+    if (insn.op != OpCode::kLoadName) continue;
+    auto idx = schema.ColumnIndex(out.names[insn.a]);
+    if (idx.ok()) {
+      insn.op = OpCode::kLoadRow;
+      insn.a = static_cast<uint16_t>(*idx);
+    } else {
+      insn.op = OpCode::kLoadUpdate;
+      insn.b = 1;  // Bare-name lookup: fall through to update fields.
+    }
+  }
+  out.bound = true;
+  return out;
+}
+
+CompiledConstraint CompileConstraint(const Expr& expr) {
+  CompiledConstraint out;
+  Compiler c(/*row_mode=*/false, /*eager_logic=*/false, &out.aggs);
+  uint16_t result = c.CompileExpr(expr);
+  if (!c.ok()) {
+    out.aggs.clear();
+    return out;
+  }
+  out.top = c.Take();
+  out.top.insns.push_back({OpCode::kReturn, 0, result, 0, 0});
+  out.ok = true;
+  return out;
+}
+
+// ------------------------------------------------------------ Scalar run
+
+Result<RegVal> RunScalar(const Program& program, const EvalContext& ctx,
+                         const RowView* row, const AggFn* agg_fn) {
+  constexpr size_t kInlineRegs = 16;
+  RegVal inline_regs[kInlineRegs];
+  std::vector<RegVal> heap_regs;
+  RegVal* regs = inline_regs;
+  if (program.num_regs > kInlineRegs) {
+    heap_regs.resize(program.num_regs);
+    regs = heap_regs.data();
+  }
+
+  size_t pc = 0;
+  const size_t n = program.insns.size();
+  while (pc < n) {
+    const Insn& insn = program.insns[pc];
+    switch (insn.op) {
+      case OpCode::kLoadConst: {
+        PREVER_ASSIGN_OR_RETURN(regs[insn.dst],
+                                RegVal::FromValue(program.consts[insn.a]));
+        break;
+      }
+      case OpCode::kLoadUpdate: {
+        const std::string& name = program.names[insn.a];
+        if (ctx.update == nullptr) {
+          if (insn.b != 0) {
+            return Status::InvalidArgument("unresolved identifier '" + name +
+                                           "'");
+          }
+          return Status::InvalidArgument("no update bound for update." + name);
+        }
+        auto it = ctx.update->find(name);
+        if (it == ctx.update->end()) {
+          if (insn.b != 0) {
+            return Status::InvalidArgument("unresolved identifier '" + name +
+                                           "'");
+          }
+          return Status::InvalidArgument("update has no field '" + name + "'");
+        }
+        PREVER_ASSIGN_OR_RETURN(regs[insn.dst], RegVal::FromValue(it->second));
+        break;
+      }
+      case OpCode::kLoadRow: {
+        if (row == nullptr || row->row == nullptr) {
+          return Status::Internal("row load outside a scan");
+        }
+        PREVER_ASSIGN_OR_RETURN(regs[insn.dst],
+                                RegVal::FromValue((*row->row)[insn.a]));
+        break;
+      }
+      case OpCode::kLoadName:
+        return Status::Internal("unbound name in compiled program");
+      case OpCode::kNot: {
+        const RegVal& v = regs[insn.a];
+        if (v.tag != RegVal::Tag::kBool) {
+          return Status::InvalidArgument("NOT of a non-bool");
+        }
+        regs[insn.dst] = RegVal::Bool(!v.b);
+        break;
+      }
+      case OpCode::kNeg: {
+        const RegVal& v = regs[insn.a];
+        if (v.tag != RegVal::Tag::kNum) {
+          return Status::InvalidArgument("negation of a non-numeric");
+        }
+        regs[insn.dst] = RegVal::Num(WrapNeg(v.num));
+        break;
+      }
+      case OpCode::kCoerceBool: {
+        const RegVal& v = regs[insn.a];
+        if (v.tag != RegVal::Tag::kBool) {
+          return Status::InvalidArgument("expected a boolean operand");
+        }
+        regs[insn.dst] = v;
+        break;
+      }
+      case OpCode::kJumpIfFalse: {
+        const RegVal& v = regs[insn.a];
+        if (v.tag != RegVal::Tag::kBool) {
+          return Status::InvalidArgument("expected a boolean operand");
+        }
+        if (PREVER_MUTATION(PROG_AND_SHORTCIRCUIT_SKIP, !v.b, false)) {
+          pc = static_cast<size_t>(insn.imm);
+          continue;
+        }
+        break;
+      }
+      case OpCode::kJumpIfTrue: {
+        const RegVal& v = regs[insn.a];
+        if (v.tag != RegVal::Tag::kBool) {
+          return Status::InvalidArgument("expected a boolean operand");
+        }
+        if (v.b) {
+          pc = static_cast<size_t>(insn.imm);
+          continue;
+        }
+        break;
+      }
+      case OpCode::kCmpEq:
+      case OpCode::kCmpNe:
+      case OpCode::kCmpLt:
+      case OpCode::kCmpLe:
+      case OpCode::kCmpGt:
+      case OpCode::kCmpGe: {
+        PREVER_ASSIGN_OR_RETURN(
+            int cmp, CompareRegs(insn.op, regs[insn.a], regs[insn.b]));
+        regs[insn.dst] = RegVal::Bool(CmpVerdict(insn.op, cmp));
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv:
+      case OpCode::kMod: {
+        const RegVal& a = regs[insn.a];
+        const RegVal& b = regs[insn.b];
+        if (a.tag != RegVal::Tag::kNum || b.tag != RegVal::Tag::kNum) {
+          return Status::InvalidArgument("operand is not numeric");
+        }
+        int64_t r;
+        switch (insn.op) {
+          case OpCode::kAdd: r = WrapAdd(a.num, b.num); break;
+          case OpCode::kSub: r = WrapSub(a.num, b.num); break;
+          case OpCode::kMul: r = WrapMul(a.num, b.num); break;
+          case OpCode::kDiv:
+            if (b.num == 0) {
+              return Status::InvalidArgument("division by zero");
+            }
+            r = WrapDiv(a.num, b.num);
+            break;
+          default:
+            if (b.num == 0) {
+              return Status::InvalidArgument("modulo by zero");
+            }
+            r = WrapMod(a.num, b.num);
+            break;
+        }
+        regs[insn.dst] = RegVal::Num(r);
+        break;
+      }
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        const RegVal& a = regs[insn.a];
+        const RegVal& b = regs[insn.b];
+        if (a.tag != RegVal::Tag::kBool || b.tag != RegVal::Tag::kBool) {
+          return Status::InvalidArgument("expected a boolean operand");
+        }
+        regs[insn.dst] = RegVal::Bool(insn.op == OpCode::kAnd ? (a.b && b.b)
+                                                              : (a.b || b.b));
+        break;
+      }
+      case OpCode::kAggregate: {
+        if (agg_fn == nullptr) {
+          return Status::Internal("aggregate op without a resolver");
+        }
+        PREVER_ASSIGN_OR_RETURN(Value v, (*agg_fn)(insn.a));
+        PREVER_ASSIGN_OR_RETURN(regs[insn.dst], RegVal::FromValue(v));
+        break;
+      }
+      case OpCode::kReturn:
+        return regs[insn.a];
+    }
+    ++pc;
+  }
+  return Status::Internal("compiled program fell off the end");
+}
+
+// ------------------------------------------------------------- Batch run
+
+namespace {
+
+/// One register of the vectorized evaluator: a uniform scalar (constants,
+/// update fields) or a column of values. Column loads borrow the batch's
+/// vectors; computed results own theirs. Because column types are uniform,
+/// type checks happen once per instruction, never per row.
+struct BReg {
+  RegVal::Tag tag = RegVal::Tag::kNum;
+  bool uniform = true;
+  RegVal u;
+  std::vector<int64_t> nums;
+  std::vector<uint8_t> bools;
+  const std::vector<int64_t>* nums_src = nullptr;
+  const std::vector<uint8_t>* bools_src = nullptr;
+  const std::vector<std::string>* strs_src = nullptr;
+
+  const int64_t* NumPtr(size_t* stride) const {
+    if (uniform) {
+      *stride = 0;
+      return &u.num;
+    }
+    *stride = 1;
+    return nums_src ? nums_src->data() : nums.data();
+  }
+  const uint8_t* BoolPtr(size_t* stride, uint8_t* scratch) const {
+    if (uniform) {
+      *stride = 0;
+      *scratch = u.b ? 1 : 0;
+      return scratch;
+    }
+    *stride = 1;
+    return bools_src ? bools_src->data() : bools.data();
+  }
+  const std::string& StrAt(size_t i) const {
+    return uniform ? *u.str : (*strs_src)[i];
+  }
+};
+
+}  // namespace
+
+bool RunBatchMask(const Program& program, const ColumnBatch& batch,
+                  const EvalContext& ctx, std::vector<uint8_t>* mask) {
+  const size_t n = batch.num_rows();
+  std::vector<BReg> regs(program.num_regs);
+  for (const Insn& insn : program.insns) {
+    switch (insn.op) {
+      case OpCode::kLoadConst: {
+        auto v = RegVal::FromValue(program.consts[insn.a]);
+        if (!v.ok()) return false;
+        regs[insn.dst] = BReg{};
+        regs[insn.dst].tag = v->tag;
+        regs[insn.dst].u = *v;
+        break;
+      }
+      case OpCode::kLoadUpdate: {
+        if (ctx.update == nullptr) return false;
+        auto it = ctx.update->find(program.names[insn.a]);
+        if (it == ctx.update->end()) return false;
+        auto v = RegVal::FromValue(it->second);
+        if (!v.ok()) return false;
+        regs[insn.dst] = BReg{};
+        regs[insn.dst].tag = v->tag;
+        regs[insn.dst].u = *v;
+        break;
+      }
+      case OpCode::kLoadRow: {
+        const ColumnBatch::ColumnData& col = batch.column(insn.a);
+        BReg r;
+        r.uniform = false;
+        switch (col.type) {
+          case ValueType::kInt64:
+          case ValueType::kTimestamp:
+            r.tag = RegVal::Tag::kNum;
+            r.nums_src = &col.nums;
+            break;
+          case ValueType::kBool:
+            r.tag = RegVal::Tag::kBool;
+            r.bools_src = &col.bools;
+            break;
+          case ValueType::kString:
+            r.tag = RegVal::Tag::kStr;
+            r.strs_src = &col.strs;
+            break;
+        }
+        regs[insn.dst] = std::move(r);
+        break;
+      }
+      case OpCode::kNot: {
+        BReg& a = regs[insn.a];
+        if (a.tag != RegVal::Tag::kBool) return false;
+        BReg r;
+        r.tag = RegVal::Tag::kBool;
+        if (a.uniform) {
+          r.u = RegVal::Bool(!a.u.b);
+        } else {
+          r.uniform = false;
+          size_t sa;
+          uint8_t scratch;
+          const uint8_t* pa = a.BoolPtr(&sa, &scratch);
+          r.bools.resize(n);
+          for (size_t i = 0; i < n; ++i) r.bools[i] = pa[i * sa] ? 0 : 1;
+        }
+        regs[insn.dst] = std::move(r);
+        break;
+      }
+      case OpCode::kNeg: {
+        BReg& a = regs[insn.a];
+        if (a.tag != RegVal::Tag::kNum) return false;
+        BReg r;
+        r.tag = RegVal::Tag::kNum;
+        if (a.uniform) {
+          r.u = RegVal::Num(WrapNeg(a.u.num));
+        } else {
+          r.uniform = false;
+          size_t sa;
+          const int64_t* pa = a.NumPtr(&sa);
+          r.nums.resize(n);
+          for (size_t i = 0; i < n; ++i) r.nums[i] = WrapNeg(pa[i * sa]);
+        }
+        regs[insn.dst] = std::move(r);
+        break;
+      }
+      case OpCode::kCoerceBool: {
+        if (regs[insn.a].tag != RegVal::Tag::kBool) return false;
+        if (insn.dst != insn.a) regs[insn.dst] = regs[insn.a];
+        break;
+      }
+      case OpCode::kCmpEq:
+      case OpCode::kCmpNe:
+      case OpCode::kCmpLt:
+      case OpCode::kCmpLe:
+      case OpCode::kCmpGt:
+      case OpCode::kCmpGe: {
+        BReg& a = regs[insn.a];
+        BReg& b = regs[insn.b];
+        BReg r;
+        r.tag = RegVal::Tag::kBool;
+        if (a.uniform && b.uniform) {
+          auto cmp = CompareRegs(insn.op, a.u, b.u);
+          if (!cmp.ok()) return false;
+          r.u = RegVal::Bool(CmpVerdict(insn.op, *cmp));
+        } else if (a.tag == RegVal::Tag::kStr && b.tag == RegVal::Tag::kStr) {
+          r.uniform = false;
+          r.bools.resize(n);
+          for (size_t i = 0; i < n; ++i) {
+            const std::string& sa = a.StrAt(i);
+            const std::string& sb = b.StrAt(i);
+            int cmp = sa < sb ? -1 : (sa == sb ? 0 : 1);
+            r.bools[i] = CmpVerdict(insn.op, cmp) ? 1 : 0;
+          }
+        } else if (a.tag == RegVal::Tag::kBool && b.tag == RegVal::Tag::kBool) {
+          if (insn.op != OpCode::kCmpEq && insn.op != OpCode::kCmpNe) {
+            return false;
+          }
+          r.uniform = false;
+          size_t sa, sb;
+          uint8_t wa, wb;
+          const uint8_t* pa = a.BoolPtr(&sa, &wa);
+          const uint8_t* pb = b.BoolPtr(&sb, &wb);
+          r.bools.resize(n);
+          for (size_t i = 0; i < n; ++i) {
+            int cmp = pa[i * sa] == pb[i * sb] ? 0 : 1;
+            r.bools[i] = CmpVerdict(insn.op, cmp) ? 1 : 0;
+          }
+        } else if (a.tag == RegVal::Tag::kNum && b.tag == RegVal::Tag::kNum) {
+          r.uniform = false;
+          size_t sa, sb;
+          const int64_t* pa = a.NumPtr(&sa);
+          const int64_t* pb = b.NumPtr(&sb);
+          r.bools.resize(n);
+          for (size_t i = 0; i < n; ++i) {
+            int64_t x = pa[i * sa];
+            int64_t y = pb[i * sb];
+            int cmp = x < y ? -1 : (x == y ? 0 : 1);
+            r.bools[i] = CmpVerdict(insn.op, cmp) ? 1 : 0;
+          }
+        } else {
+          return false;  // Mixed types: the scalar path owns the error.
+        }
+        regs[insn.dst] = std::move(r);
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul: {
+        BReg& a = regs[insn.a];
+        BReg& b = regs[insn.b];
+        if (a.tag != RegVal::Tag::kNum || b.tag != RegVal::Tag::kNum) {
+          return false;
+        }
+        BReg r;
+        r.tag = RegVal::Tag::kNum;
+        if (a.uniform && b.uniform) {
+          int64_t v = insn.op == OpCode::kAdd   ? WrapAdd(a.u.num, b.u.num)
+                      : insn.op == OpCode::kSub ? WrapSub(a.u.num, b.u.num)
+                                                : WrapMul(a.u.num, b.u.num);
+          r.u = RegVal::Num(v);
+        } else {
+          r.uniform = false;
+          size_t sa, sb;
+          const int64_t* pa = a.NumPtr(&sa);
+          const int64_t* pb = b.NumPtr(&sb);
+          r.nums.resize(n);
+          switch (insn.op) {
+            case OpCode::kAdd:
+              for (size_t i = 0; i < n; ++i)
+                r.nums[i] = WrapAdd(pa[i * sa], pb[i * sb]);
+              break;
+            case OpCode::kSub:
+              for (size_t i = 0; i < n; ++i)
+                r.nums[i] = WrapSub(pa[i * sa], pb[i * sb]);
+              break;
+            default:
+              for (size_t i = 0; i < n; ++i)
+                r.nums[i] = WrapMul(pa[i * sa], pb[i * sb]);
+              break;
+          }
+        }
+        regs[insn.dst] = std::move(r);
+        break;
+      }
+      case OpCode::kDiv:
+      case OpCode::kMod: {
+        BReg& a = regs[insn.a];
+        BReg& b = regs[insn.b];
+        if (a.tag != RegVal::Tag::kNum || b.tag != RegVal::Tag::kNum) {
+          return false;
+        }
+        BReg r;
+        r.tag = RegVal::Tag::kNum;
+        size_t sa, sb;
+        const int64_t* pa = a.NumPtr(&sa);
+        const int64_t* pb = b.NumPtr(&sb);
+        if (a.uniform && b.uniform) {
+          if (b.u.num == 0) return false;  // Scalar path owns the error.
+          r.u = RegVal::Num(insn.op == OpCode::kDiv
+                                ? WrapDiv(a.u.num, b.u.num)
+                                : WrapMod(a.u.num, b.u.num));
+        } else {
+          r.uniform = false;
+          r.nums.resize(n);
+          for (size_t i = 0; i < n; ++i) {
+            int64_t d = pb[i * sb];
+            // A zero divisor anywhere in the batch may or may not be an
+            // interpreter error depending on scan order and short-circuit
+            // guards — only the scalar loop can tell, so defer to it.
+            if (d == 0) return false;
+            r.nums[i] = insn.op == OpCode::kDiv ? WrapDiv(pa[i * sa], d)
+                                                : WrapMod(pa[i * sa], d);
+          }
+        }
+        regs[insn.dst] = std::move(r);
+        break;
+      }
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        BReg& a = regs[insn.a];
+        BReg& b = regs[insn.b];
+        if (a.tag != RegVal::Tag::kBool || b.tag != RegVal::Tag::kBool) {
+          return false;
+        }
+        BReg r;
+        r.tag = RegVal::Tag::kBool;
+        if (a.uniform && b.uniform) {
+          r.u = RegVal::Bool(insn.op == OpCode::kAnd ? (a.u.b && b.u.b)
+                                                     : (a.u.b || b.u.b));
+        } else {
+          r.uniform = false;
+          size_t sa, sb;
+          uint8_t wa, wb;
+          const uint8_t* pa = a.BoolPtr(&sa, &wa);
+          const uint8_t* pb = b.BoolPtr(&sb, &wb);
+          r.bools.resize(n);
+          if (insn.op == OpCode::kAnd) {
+            for (size_t i = 0; i < n; ++i)
+              r.bools[i] = (pa[i * sa] & pb[i * sb]) ? 1 : 0;
+          } else {
+            for (size_t i = 0; i < n; ++i)
+              r.bools[i] = (pa[i * sa] | pb[i * sb]) ? 1 : 0;
+          }
+        }
+        regs[insn.dst] = std::move(r);
+        break;
+      }
+      case OpCode::kReturn: {
+        BReg& r = regs[insn.a];
+        if (r.tag != RegVal::Tag::kBool) return false;
+        mask->assign(n, 0);
+        if (r.uniform) {
+          if (r.u.b) mask->assign(n, 1);
+        } else {
+          size_t sr;
+          uint8_t wr;
+          const uint8_t* pr = r.BoolPtr(&sr, &wr);
+          for (size_t i = 0; i < n; ++i) (*mask)[i] = pr[i * sr] ? 1 : 0;
+        }
+        return true;
+      }
+      case OpCode::kLoadName:
+      case OpCode::kJumpIfFalse:
+      case OpCode::kJumpIfTrue:
+      case OpCode::kAggregate:
+        return false;  // Not representable in the vectorized variant.
+    }
+  }
+  return false;
+}
+
+// --------------------------------------------------------------- Folding
+
+void FoldState::Add(int64_t v) {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    if (PREVER_MUTATION(PROG_MIN_UPDATE_SKIP, v < min, false)) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum = WrapAdd(sum, v);
+}
+
+Result<Value> FoldState::Finish(const AggregateSpec& spec) const {
+  if (spec.exists) {
+    return Value::Bool(PREVER_MUTATION(PROG_EXISTS_ALWAYS,  //
+                                       count > 0, count >= 0));
+  }
+  switch (spec.agg) {
+    case AggregateKind::kCount:
+      return Value::Int64(count);
+    case AggregateKind::kSum:
+      return Value::Int64(PREVER_MUTATION(PROG_SUM_OFFBYONE, sum, sum + 1));
+    case AggregateKind::kAvg:
+      return Value::Int64(count == 0 ? 0 : WrapDiv(sum, count));
+    case AggregateKind::kMin:
+      if (count == 0) return Status::InvalidArgument("MIN over empty set");
+      return Value::Int64(min);
+    case AggregateKind::kMax:
+      if (count == 0) return Status::InvalidArgument("MAX over empty set");
+      return Value::Int64(max);
+  }
+  return Status::Internal("unreachable");
+}
+
+SimTime WindowStart(SimTime window, SimTime now) {
+  return window >= now ? 0 : now - window;
+}
+
+bool InWindow(SimTime ts, SimTime start, SimTime now) {
+  // Window is the half-open interval (start, now].
+  if (PREVER_MUTATION(PROG_WINDOW_START_INCLUSIVE, ts <= start, ts < start)) {
+    return false;
+  }
+  return ts <= now;
+}
+
+// ----------------------------------------------------------- Spec binding
+
+Result<BoundSpec> BindSpec(const AggregateSpec& spec,
+                           const storage::Schema& schema) {
+  BoundSpec out;
+  out.spec = &spec;
+  if (!spec.column.empty()) {
+    PREVER_ASSIGN_OR_RETURN(out.column_idx, schema.ColumnIndex(spec.column));
+  }
+  out.column_type = schema.num_columns() > out.column_idx
+                        ? schema.columns()[out.column_idx].type
+                        : ValueType::kInt64;
+  if (spec.window != 0) {
+    size_t ts_idx = schema.num_columns();
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      if (schema.columns()[i].type == ValueType::kTimestamp) {
+        ts_idx = i;
+        break;
+      }
+    }
+    if (ts_idx == schema.num_columns()) {
+      return Status::InvalidArgument("table '" + spec.table +
+                                     "' has no timestamp column for WINDOW");
+    }
+    out.ts_idx = ts_idx;
+  }
+  if (spec.where) {
+    out.where_scalar = spec.where->Bind(schema);
+    out.where_eager = spec.where_eager->Bind(schema);
+  }
+  if (spec.row_pred) {
+    out.row_pred = spec.row_pred->Bind(schema);
+    for (const Insn& insn : out.row_pred.insns) {
+      if (insn.op == OpCode::kLoadUpdate) out.row_pred_reads_update = true;
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- Scanning
+
+namespace {
+
+/// Exact-semantics scalar scan: the same row order, window filter, early
+/// EXISTS stop, and first-error reporting as the tree-walking interpreter,
+/// minus the per-row tree walk.
+Result<Value> ScalarSpecScan(const BoundSpec& bound, const EvalContext& ctx,
+                             const storage::Table& table) {
+  const AggregateSpec& spec = *bound.spec;
+  const storage::Schema& schema = table.schema();
+  const SimTime start = WindowStart(spec.window, ctx.now);
+  const bool needs_value =
+      !spec.exists && spec.agg != AggregateKind::kCount;
+  FoldState fold;
+  Status scan_error;
+  table.Scan([&](const Row& row) {
+    if (spec.window != 0) {
+      auto ts = row[bound.ts_idx].AsTimestamp();
+      if (!ts.ok()) {
+        scan_error = ts.status();
+        return false;
+      }
+      if (!InWindow(*ts, start, ctx.now)) return true;
+    }
+    if (spec.where) {
+      RowView rv{&schema, &row};
+      auto pred = RunScalar(bound.where_scalar, ctx, &rv, nullptr);
+      if (!pred.ok()) {
+        scan_error = pred.status();
+        return false;
+      }
+      if (pred->tag != RegVal::Tag::kBool) {
+        scan_error = Status::InvalidArgument("WHERE predicate is not boolean");
+        return false;
+      }
+      if (!pred->b) return true;
+    }
+    if (spec.exists) {
+      fold.Add(0);
+      return false;  // One match suffices.
+    }
+    if (!needs_value) {
+      fold.Add(0);
+      return true;
+    }
+    auto v = row[bound.column_idx].AsNumeric();
+    if (!v.ok()) {
+      scan_error = v.status();
+      return false;
+    }
+    fold.Add(*v);
+    return true;
+  });
+  if (!scan_error.ok()) return scan_error;
+  return fold.Finish(spec);
+}
+
+}  // namespace
+
+Result<Value> EvaluateSpecByScan(const BoundSpec& bound,
+                                 const EvalContext& ctx,
+                                 storage::ColumnBatchCache* batches) {
+  const AggregateSpec& spec = *bound.spec;
+  if (ctx.db == nullptr) {
+    return Status::InvalidArgument("no database bound for aggregate");
+  }
+  PREVER_ASSIGN_OR_RETURN(const storage::Table* table,
+                          ctx.db->GetTable(spec.table));
+
+  const bool needs_value = !spec.exists && spec.agg != AggregateKind::kCount;
+  const bool numeric_col = bound.column_type == ValueType::kInt64 ||
+                           bound.column_type == ValueType::kTimestamp;
+  if (batches != nullptr && (!needs_value || numeric_col)) {
+    auto batch_or = batches->Get(*ctx.db, spec.table);
+    if (batch_or.ok()) {
+      const ColumnBatch& batch = **batch_or;
+      const size_t n = batch.num_rows();
+      std::vector<uint8_t> mask;
+      bool have_mask = true;
+      if (spec.where) {
+        have_mask = RunBatchMask(bound.where_eager, batch, ctx, &mask);
+      } else {
+        mask.assign(n, 1);
+      }
+      if (have_mask) {
+        const SimTime start = WindowStart(spec.window, ctx.now);
+        const std::vector<int64_t>* ts =
+            spec.window != 0 ? &batch.column(bound.ts_idx).nums : nullptr;
+        const std::vector<int64_t>* vals =
+            needs_value ? &batch.column(bound.column_idx).nums : nullptr;
+        FoldState fold;
+        for (size_t i = 0; i < n; ++i) {
+          if (!mask[i]) continue;
+          if (ts != nullptr &&
+              !InWindow(static_cast<SimTime>((*ts)[i]), start, ctx.now)) {
+            continue;
+          }
+          fold.Add(vals ? (*vals)[i] : 0);
+          if (spec.exists) break;
+        }
+        return fold.Finish(spec);
+      }
+    }
+  }
+  return ScalarSpecScan(bound, ctx, *table);
+}
+
+}  // namespace prever::constraint

@@ -12,7 +12,14 @@ DemarcationEngine::DemarcationEngine(
     OrderingService* ordering)
     : platforms_(std::move(platforms)),
       regulations_(regulations),
-      ordering_(ordering) {}
+      ordering_(ordering),
+      regulation_forms_(regulations) {
+  internal_verifiers_.reserve(platforms_.size());
+  for (FederatedPlatform* p : platforms_) {
+    internal_verifiers_.push_back(std::make_unique<constraint::CompiledVerifier>(
+        &p->internal_constraints, &p->db));
+  }
+}
 
 Status DemarcationEngine::ValidateRegulations() const {
   for (const constraint::Constraint& c : regulations_->constraints()) {
@@ -110,13 +117,13 @@ Status DemarcationEngine::SubmitVia(size_t platform_index,
   obs::TraceSpan causal_verify(obs::TraceStage::kVerify);
   constraint::EvalContext local_ctx{&home->db, &update.fields,
                                     update.timestamp};
-  Status internal = home->internal_constraints.CheckAll(local_ctx);
+  Status internal = internal_verifiers_[platform_index]->VerifyAll(local_ctx);
   if (!internal.ok()) return metrics_.Finish(internal);
   const auto& regulations = regulations_->constraints();
   for (size_t r = 0; r < regulations.size(); ++r) {
-    auto forms = constraint::ExtractLinearConjunction(*regulations[r].expr);
+    auto forms = regulation_forms_.ForConstraint(r);
     if (!forms.ok()) return metrics_.Finish(forms.status());
-    for (const auto& form : *forms) {
+    for (const auto& form : **forms) {
       Status checked = CheckAndConsume(r, form, platform_index, update);
       if (!checked.ok()) return metrics_.Finish(checked);
     }

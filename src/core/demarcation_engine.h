@@ -2,15 +2,18 @@
 #define PREVER_CORE_DEMARCATION_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "constraint/constraint.h"
 #include "constraint/linear.h"
+#include "constraint/verifier.h"
 #include "core/engine.h"
 #include "core/engine_metrics.h"
 #include "core/federated_mpc_engine.h"  // FederatedPlatform.
 #include "core/ordering.h"
+#include "core/regulation_forms.h"
 
 namespace prever::core {
 
@@ -81,6 +84,9 @@ class DemarcationEngine : public UpdateEngine {
   std::vector<FederatedPlatform*> platforms_;
   const constraint::ConstraintCatalog* regulations_;
   OrderingService* ordering_;
+  /// One compiled verifier per platform's internal constraints + database.
+  std::vector<std::unique_ptr<constraint::CompiledVerifier>> internal_verifiers_;
+  RegulationForms regulation_forms_;
   std::map<BudgetKey, BudgetState> budgets_;
   uint64_t transfers_ = 0;
   uint64_t local_admissions_ = 0;

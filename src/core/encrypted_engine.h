@@ -43,6 +43,7 @@ class DataOwner {
   /// values < q) never wraps the plaintext space.
   DataOwner(size_t paillier_bits, const crypto::PedersenParams& pedersen,
             uint64_t seed);
+  virtual ~DataOwner() = default;
 
   const crypto::PaillierPublicKey& paillier_pub() const { return keys_.pub; }
   const crypto::PedersenParams& pedersen() const { return *pedersen_; }
@@ -55,13 +56,16 @@ class DataOwner {
   /// commitment product, and (if compliant) returns a ZK proof that the
   /// total respects the bound. ConstraintViolation when the total violates
   /// it; IntegrityViolation when ciphertexts and commitment disagree.
-  Result<crypto::RangeProof> AttestUpperBound(
+  /// Virtual so the security tests can model a Byzantine owner returning
+  /// proofs for the wrong statement — the manager-side verification must
+  /// catch those regardless of what the oracle answers.
+  virtual Result<crypto::RangeProof> AttestUpperBound(
       const crypto::PaillierCiphertext& total_value_ct,
       const crypto::PaillierCiphertext& total_rand_ct,
       const crypto::PedersenCommitment& total_cm, int64_t bound,
       size_t slack_bits);
 
-  Result<crypto::RangeProof> AttestLowerBound(
+  virtual Result<crypto::RangeProof> AttestLowerBound(
       const crypto::PaillierCiphertext& total_value_ct,
       const crypto::PaillierCiphertext& total_rand_ct,
       const crypto::PedersenCommitment& total_cm, int64_t bound,

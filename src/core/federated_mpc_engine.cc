@@ -17,7 +17,14 @@ FederatedMpcEngine::FederatedMpcEngine(
     : platforms_(std::move(platforms)),
       regulations_(regulations),
       ordering_(ordering),
-      dealer_rng_(dealer_seed) {}
+      regulation_forms_(regulations),
+      dealer_rng_(dealer_seed) {
+  platform_verifiers_.reserve(platforms_.size());
+  for (FederatedPlatform* p : platforms_) {
+    platform_verifiers_.push_back(std::make_unique<constraint::CompiledVerifier>(
+        &p->internal_constraints, &p->db));
+  }
+}
 
 Status FederatedMpcEngine::ValidateRegulations() const {
   for (const constraint::Constraint& c : regulations_->constraints()) {
@@ -32,23 +39,25 @@ Status FederatedMpcEngine::ValidateRegulations() const {
   return Status::Ok();
 }
 
-Status FederatedMpcEngine::CheckRegulation(
-    const constraint::Constraint& regulation, size_t platform_index,
-    const Update& update) {
-  PREVER_ASSIGN_OR_RETURN(auto forms,
-                          constraint::ExtractLinearConjunction(*regulation.expr));
-  for (const constraint::LinearBoundForm& form : forms) {
+Status FederatedMpcEngine::CheckRegulation(size_t index, size_t platform_index,
+                                           const Update& update) {
+  const constraint::Constraint& regulation =
+      regulations_->constraints()[index];
+  PREVER_ASSIGN_OR_RETURN(const auto* forms,
+                          regulation_forms_.ForConstraint(index));
+  for (const constraint::LinearBoundForm& form : *forms) {
     // Each platform evaluates the aggregate over ITS private database. The
     // WHERE predicate may reference update fields (e.g. worker id), which
     // are shared with the platforms for routing — the Separ model, where
     // task metadata is visible to the involved platforms but totals are not.
     std::vector<uint64_t> local_aggregates;
     local_aggregates.reserve(platforms_.size());
-    for (FederatedPlatform* platform : platforms_) {
-      constraint::EvalContext ctx{&platform->db, &update.fields,
+    for (size_t i = 0; i < platforms_.size(); ++i) {
+      constraint::EvalContext ctx{&platforms_[i]->db, &update.fields,
                                   update.timestamp};
-      PREVER_ASSIGN_OR_RETURN(int64_t local,
-                              constraint::EvaluateAggregate(*form.aggregate, ctx));
+      PREVER_ASSIGN_OR_RETURN(
+          int64_t local,
+          platform_verifiers_[i]->EvaluateAggregate(*form.aggregate, ctx));
       if (local < 0) {
         return Status::NotSupported(
             "MPC engine requires non-negative local aggregates");
@@ -114,12 +123,12 @@ Status FederatedMpcEngine::SubmitVia(size_t platform_index,
   // Local internal constraints first (cheap, no cross-platform traffic).
   constraint::EvalContext local_ctx{&home->db, &update.fields,
                                     update.timestamp};
-  Status internal = home->internal_constraints.CheckAll(local_ctx);
+  Status internal = platform_verifiers_[platform_index]->VerifyAll(local_ctx);
   if (!internal.ok()) return metrics_.Finish(internal);
 
   // Global regulations via MPC across all platforms.
-  for (const constraint::Constraint& regulation : regulations_->constraints()) {
-    Status checked = CheckRegulation(regulation, platform_index, update);
+  for (size_t r = 0; r < regulations_->size(); ++r) {
+    Status checked = CheckRegulation(r, platform_index, update);
     if (!checked.ok()) return metrics_.Finish(checked);
   }
   verify_span.End();

@@ -7,9 +7,11 @@
 
 #include "constraint/constraint.h"
 #include "constraint/linear.h"
+#include "constraint/verifier.h"
 #include "core/engine.h"
 #include "core/engine_metrics.h"
 #include "core/ordering.h"
+#include "core/regulation_forms.h"
 #include "mpc/compare.h"
 #include "storage/database.h"
 
@@ -59,12 +61,17 @@ class FederatedMpcEngine : public UpdateEngine {
   const mpc::MpcTranscript& transcript() const { return transcript_; }
 
  private:
-  Status CheckRegulation(const constraint::Constraint& regulation,
-                         size_t platform_index, const Update& update);
+  /// Checks regulation `index` of the catalog (forms precomputed).
+  Status CheckRegulation(size_t index, size_t platform_index,
+                         const Update& update);
 
   std::vector<FederatedPlatform*> platforms_;
   const constraint::ConstraintCatalog* regulations_;
   OrderingService* ordering_;
+  /// One compiled verifier per platform: internal-constraint verification
+  /// plus incrementally cached local aggregates for the MPC inputs.
+  std::vector<std::unique_ptr<constraint::CompiledVerifier>> platform_verifiers_;
+  RegulationForms regulation_forms_;
   Rng dealer_rng_;
   mpc::MpcTranscript transcript_;
   EngineMetrics metrics_{"federated-mpc-rc2"};

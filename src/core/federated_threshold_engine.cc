@@ -20,15 +20,24 @@ FederatedThresholdEngine::FederatedThresholdEngine(
     : platforms_(std::move(platforms)),
       regulations_(regulations),
       ordering_(ordering),
+      regulation_forms_(regulations),
       drbg_(seed),
-      keys_(params, platforms_.size(), drbg_) {}
+      keys_(params, platforms_.size(), drbg_) {
+  platform_verifiers_.reserve(platforms_.size());
+  for (FederatedPlatform* p : platforms_) {
+    platform_verifiers_.push_back(std::make_unique<constraint::CompiledVerifier>(
+        &p->internal_constraints, &p->db));
+  }
+}
 
-Status FederatedThresholdEngine::CheckRegulation(
-    const constraint::Constraint& regulation, size_t platform_index,
-    const Update& update) {
-  PREVER_ASSIGN_OR_RETURN(
-      auto forms, constraint::ExtractLinearConjunction(*regulation.expr));
-  for (const constraint::LinearBoundForm& form : forms) {
+Status FederatedThresholdEngine::CheckRegulation(size_t index,
+                                                 size_t platform_index,
+                                                 const Update& update) {
+  const constraint::Constraint& regulation =
+      regulations_->constraints()[index];
+  PREVER_ASSIGN_OR_RETURN(const auto* forms,
+                          regulation_forms_.ForConstraint(index));
+  for (const constraint::LinearBoundForm& form : *forms) {
     // Each platform: local aggregate over its private database, plus the
     // incoming update's terms at the submitting platform.
     auto total_ct = keys_.Encrypt(0, drbg_);
@@ -37,7 +46,8 @@ Status FederatedThresholdEngine::CheckRegulation(
       constraint::EvalContext ctx{&platforms_[i]->db, &update.fields,
                                   update.timestamp};
       PREVER_ASSIGN_OR_RETURN(
-          int64_t local, constraint::EvaluateAggregate(*form.aggregate, ctx));
+          int64_t local,
+          platform_verifiers_[i]->EvaluateAggregate(*form.aggregate, ctx));
       if (i == platform_index) {
         for (const std::string& field : form.update_terms) {
           auto it = update.fields.find(field);
@@ -116,16 +126,15 @@ Status FederatedThresholdEngine::SubmitViaInternal(size_t platform_index,
     PREVER_CAUSAL_SPAN(causal_verify, obs::TraceStage::kVerify);
     constraint::EvalContext local_ctx{&home->db, &update.fields,
                                       update.timestamp};
-    Status internal = home->internal_constraints.CheckAll(local_ctx);
+    Status internal = platform_verifiers_[platform_index]->VerifyAll(local_ctx);
     if (!internal.ok()) return metrics_.Finish(internal);
   }
   {
     // The regulation check is dominated by threshold ElGamal work.
     PREVER_TRACE_SPAN(metrics_.crypto_ns());
     PREVER_CAUSAL_SPAN(causal_crypto, obs::TraceStage::kCrypto);
-    for (const constraint::Constraint& regulation :
-         regulations_->constraints()) {
-      Status checked = CheckRegulation(regulation, platform_index, update);
+    for (size_t r = 0; r < regulations_->size(); ++r) {
+      Status checked = CheckRegulation(r, platform_index, update);
       if (!checked.ok()) return metrics_.Finish(checked);
     }
   }

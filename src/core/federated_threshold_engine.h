@@ -1,14 +1,17 @@
 #ifndef PREVER_CORE_FEDERATED_THRESHOLD_ENGINE_H_
 #define PREVER_CORE_FEDERATED_THRESHOLD_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "constraint/constraint.h"
 #include "constraint/linear.h"
+#include "constraint/verifier.h"
 #include "core/engine.h"
 #include "core/engine_metrics.h"
 #include "core/federated_mpc_engine.h"  // FederatedPlatform.
 #include "core/ordering.h"
+#include "core/regulation_forms.h"
 #include "crypto/elgamal.h"
 
 namespace prever::core {
@@ -53,14 +56,19 @@ class FederatedThresholdEngine : public UpdateEngine {
   uint64_t totals_opened() const { return totals_opened_; }
 
  private:
-  Status CheckRegulation(const constraint::Constraint& regulation,
-                         size_t platform_index, const Update& update);
+  /// Checks regulation `index` of the catalog (forms precomputed).
+  Status CheckRegulation(size_t index, size_t platform_index,
+                         const Update& update);
   Status SubmitViaInternal(size_t platform_index, const Update& update,
                            bool async_ledger);
 
   std::vector<FederatedPlatform*> platforms_;
   const constraint::ConstraintCatalog* regulations_;
   OrderingService* ordering_;
+  /// One compiled verifier per platform: internal-constraint verification
+  /// plus incrementally cached local aggregates for the encrypted totals.
+  std::vector<std::unique_ptr<constraint::CompiledVerifier>> platform_verifiers_;
+  RegulationForms regulation_forms_;
   crypto::Drbg drbg_;
   crypto::ThresholdElGamal keys_;
   uint64_t totals_opened_ = 0;

@@ -7,7 +7,7 @@ namespace prever::core {
 PlaintextEngine::PlaintextEngine(storage::Database* db,
                                  const constraint::ConstraintCatalog* catalog,
                                  OrderingService* ordering)
-    : db_(db), catalog_(catalog), ordering_(ordering) {}
+    : db_(db), catalog_(catalog), ordering_(ordering), verifier_(catalog, db) {}
 
 Status PlaintextEngine::SubmitUpdate(const Update& update) {
   metrics_.OnSubmit();
@@ -21,7 +21,7 @@ Status PlaintextEngine::SubmitUpdate(const Update& update) {
   {
     PREVER_TRACE_SPAN(metrics_.verify_ns());
     PREVER_CAUSAL_SPAN(causal_verify, obs::TraceStage::kVerify);
-    verified = catalog_->CheckAll(ctx);
+    verified = verifier_.VerifyAll(ctx);
   }
   if (!verified.ok()) return metrics_.Finish(verified);
   // Step 3: incorporate into the database and record on the immutable

@@ -2,6 +2,7 @@
 #define PREVER_CORE_PLAINTEXT_ENGINE_H_
 
 #include "constraint/constraint.h"
+#include "constraint/verifier.h"
 #include "core/engine.h"
 #include "core/engine_metrics.h"
 #include "core/ordering.h"
@@ -27,10 +28,14 @@ class PlaintextEngine : public UpdateEngine {
 
   const storage::Database& db() const { return *db_; }
 
+  /// Compiled-verification counters (bytecode vs interpreter, cache hits).
+  const constraint::CompiledVerifier& verifier() const { return verifier_; }
+
  private:
   storage::Database* db_;
   const constraint::ConstraintCatalog* catalog_;
   OrderingService* ordering_;
+  constraint::CompiledVerifier verifier_;
   EngineMetrics metrics_{"plaintext"};
 };
 

@@ -14,7 +14,8 @@ PublicDataEngine::PublicDataEngine(
       public_catalog_(public_catalog),
       requirements_(std::move(requirements)),
       ordering_(ordering),
-      pedersen_(&pedersen) {}
+      pedersen_(&pedersen),
+      verifier_(public_catalog, db) {}
 
 Result<PrivateAttestation> PublicDataEngine::Attest(
     const AttestationRequirement& requirement, int64_t private_value,
@@ -55,7 +56,7 @@ Status PublicDataEngine::Submit(const Submission& submission) {
   {
     PREVER_TRACE_SPAN(metrics_.verify_ns());
     PREVER_CAUSAL_SPAN(causal_verify, obs::TraceStage::kVerify);
-    public_ok = public_catalog_->CheckAll(ctx);
+    public_ok = verifier_.VerifyAll(ctx);
   }
   if (!public_ok.ok()) return metrics_.Finish(public_ok);
   // (b) One valid attestation per private requirement.

@@ -7,6 +7,7 @@
 
 #include "constraint/constraint.h"
 #include "constraint/linear.h"
+#include "constraint/verifier.h"
 #include "core/engine.h"
 #include "core/engine_metrics.h"
 #include "core/ordering.h"
@@ -91,6 +92,7 @@ class PublicDataEngine : public UpdateEngine {
   std::vector<AttestationRequirement> requirements_;
   OrderingService* ordering_;
   const crypto::PedersenParams* pedersen_;
+  constraint::CompiledVerifier verifier_;
   EngineMetrics metrics_{"public-data-rc3"};
 };
 

@@ -1,0 +1,23 @@
+#include "core/regulation_forms.h"
+
+namespace prever::core {
+
+Result<const std::vector<constraint::LinearBoundForm>*>
+RegulationForms::ForConstraint(size_t index) {
+  if (!ready_ || revision_ != regulations_->revision()) {
+    forms_.clear();
+    forms_.reserve(regulations_->size());
+    for (const constraint::Constraint& c : regulations_->constraints()) {
+      forms_.push_back(constraint::ExtractLinearConjunction(*c.expr));
+    }
+    revision_ = regulations_->revision();
+    ready_ = true;
+  }
+  if (index >= forms_.size()) {
+    return Status::InvalidArgument("regulation index out of range");
+  }
+  if (!forms_[index].ok()) return forms_[index].status();
+  return &*forms_[index];
+}
+
+}  // namespace prever::core

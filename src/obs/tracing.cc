@@ -9,6 +9,23 @@
 
 #include "obs/trace.h"
 
+// Ring generations dropped by Tracer::Configure are leaked by design (a
+// racing writer may still hold a pointer); tell LeakSanitizer so real leaks
+// stay visible instead of drowning in per-scenario reconfigure noise.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(leak_sanitizer)
+#define PREVER_LSAN_AVAILABLE 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define PREVER_LSAN_AVAILABLE 1
+#endif
+#if defined(PREVER_LSAN_AVAILABLE)
+#include <sanitizer/lsan_interface.h>
+#define PREVER_LSAN_IGNORE(ptr) __lsan_ignore_object(ptr)
+#else
+#define PREVER_LSAN_IGNORE(ptr) (void)(ptr)
+#endif
+
 namespace prever::obs {
 
 namespace {
@@ -53,6 +70,9 @@ const char* TraceStageName(TraceStage stage) {
     case TraceStage::kPbftPrePrepare: return "pbft_pre_prepare";
     case TraceStage::kPbftPrepare: return "pbft_prepare";
     case TraceStage::kPbftCommit: return "pbft_commit";
+    case TraceStage::kVerifyCompile: return "verify_compile";
+    case TraceStage::kVerifyEval: return "verify_eval";
+    case TraceStage::kVerifyAggUpdate: return "verify_agg_update";
   }
   return "unknown";
 }
@@ -183,6 +203,8 @@ Tracer::Ring* Tracer::ThreadRing() {
   if (t_ring != nullptr && t_ring_generation == gen) return t_ring;
   std::lock_guard<std::mutex> lock(reg.mu);
   auto* ring = new Ring(reg.next_lane++, reg.capacity);
+  PREVER_LSAN_IGNORE(ring);
+  PREVER_LSAN_IGNORE(ring->slots.data());
   reg.rings.push_back(ring);
   t_ring = ring;
   t_ring_generation = reg.generation.load(std::memory_order_relaxed);

@@ -73,6 +73,10 @@ enum class TraceStage : uint8_t {
   kPbftPrePrepare = 15,     ///< Replica processed pre-prepare; arg = seq.
   kPbftPrepare = 16,        ///< Replica processed prepare; arg = seq.
   kPbftCommit = 17,         ///< Replica processed commit; arg = seq.
+  // Verification sub-phases (span kind; children of kVerify).
+  kVerifyCompile = 18,      ///< Constraint → bytecode compilation.
+  kVerifyEval = 19,         ///< Compiled/interpreted constraint evaluation.
+  kVerifyAggUpdate = 20,    ///< Incremental aggregate-cache delta on commit.
 };
 
 const char* TraceStageName(TraceStage stage);

@@ -1,0 +1,82 @@
+#include "storage/column_batch.h"
+
+namespace prever::storage {
+
+ColumnBatch ColumnBatch::FromTable(const Table& table) {
+  ColumnBatch batch;
+  batch.schema_ = table.schema();
+  batch.table_mod_count_ = table.mod_count();
+  const size_t n_cols = batch.schema_.num_columns();
+  batch.columns_.resize(n_cols);
+  const size_t n_rows = table.size();
+  for (size_t c = 0; c < n_cols; ++c) {
+    ColumnData& col = batch.columns_[c];
+    col.type = batch.schema_.columns()[c].type;
+    switch (col.type) {
+      case ValueType::kInt64:
+      case ValueType::kTimestamp:
+        col.nums.reserve(n_rows);
+        break;
+      case ValueType::kBool:
+        col.bools.reserve(n_rows);
+        break;
+      case ValueType::kString:
+        col.strs.reserve(n_rows);
+        break;
+    }
+  }
+  table.Scan([&](const Row& row) {
+    for (size_t c = 0; c < n_cols; ++c) {
+      ColumnData& col = batch.columns_[c];
+      // Rows are schema-validated at insert, so the typed accessors cannot
+      // fail here.
+      switch (col.type) {
+        case ValueType::kInt64: {
+          auto v = row[c].AsInt64();
+          col.nums.push_back(v.ok() ? *v : 0);
+          break;
+        }
+        case ValueType::kTimestamp: {
+          auto v = row[c].AsTimestamp();
+          col.nums.push_back(v.ok() ? static_cast<int64_t>(*v) : 0);
+          break;
+        }
+        case ValueType::kBool: {
+          auto v = row[c].AsBool();
+          col.bools.push_back(v.ok() && *v ? 1 : 0);
+          break;
+        }
+        case ValueType::kString: {
+          const std::string* s = row[c].StringRef();
+          col.strs.push_back(s != nullptr ? *s : std::string());
+          break;
+        }
+      }
+    }
+    ++batch.num_rows_;
+    return true;
+  });
+  return batch;
+}
+
+Result<const ColumnBatch*> ColumnBatchCache::Get(
+    const Database& db, const std::string& table_name) {
+  PREVER_ASSIGN_OR_RETURN(const Table* table, db.GetTable(table_name));
+  auto it = batches_.find(table_name);
+  if (it != batches_.end() &&
+      it->second->table_mod_count() == table->mod_count()) {
+    return it->second.get();
+  }
+  auto batch = std::make_unique<ColumnBatch>(ColumnBatch::FromTable(*table));
+  const ColumnBatch* out = batch.get();
+  batches_[table_name] = std::move(batch);
+  return out;
+}
+
+void ColumnBatchCache::Invalidate(const std::string& table_name) {
+  batches_.erase(table_name);
+}
+
+void ColumnBatchCache::Clear() { batches_.clear(); }
+
+}  // namespace prever::storage

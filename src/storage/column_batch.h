@@ -1,0 +1,71 @@
+#ifndef PREVER_STORAGE_COLUMN_BATCH_H_
+#define PREVER_STORAGE_COLUMN_BATCH_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace prever::storage {
+
+/// Columnar snapshot of one table: each column decomposed into a flat typed
+/// vector (the ytsaurus row_base typed-value idiom — one tag per column, not
+/// one tag per cell), so vectorized predicate evaluation touches contiguous
+/// int64 data instead of chasing per-row variant cells. Strings are copied
+/// out of the table so the snapshot never dangles across mutations.
+class ColumnBatch {
+ public:
+  struct ColumnData {
+    ValueType type = ValueType::kInt64;
+    /// kInt64 and kTimestamp columns (timestamps as raw SimTime numerics).
+    std::vector<int64_t> nums;
+    /// kBool columns.
+    std::vector<uint8_t> bools;
+    /// kString columns (owned copies).
+    std::vector<std::string> strs;
+  };
+
+  /// Materializes a snapshot of `table` in key (scan) order.
+  static ColumnBatch FromTable(const Table& table);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Schema& schema() const { return schema_; }
+  const ColumnData& column(size_t idx) const { return columns_[idx]; }
+
+  /// Snapshot validity stamp: the table's mod_count at materialization.
+  uint64_t table_mod_count() const { return table_mod_count_; }
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  uint64_t table_mod_count_ = 0;
+  std::vector<ColumnData> columns_;
+};
+
+/// Per-database cache of columnar snapshots, invalidated by each table's
+/// mod_count. Get() rebuilds lazily, so steady-state reads between commits
+/// are zero-copy pointer hands-offs. Not internally synchronized — callers
+/// (CompiledVerifier) serialize access under their own lock.
+class ColumnBatchCache {
+ public:
+  /// Returns a snapshot of `table_name` that reflects the table's current
+  /// contents. The pointer stays valid until the next Get()/Invalidate for
+  /// the same table.
+  Result<const ColumnBatch*> Get(const Database& db,
+                                 const std::string& table_name);
+
+  void Invalidate(const std::string& table_name);
+  void Clear();
+
+ private:
+  std::map<std::string, std::unique_ptr<ColumnBatch>> batches_;
+};
+
+}  // namespace prever::storage
+
+#endif  // PREVER_STORAGE_COLUMN_BATCH_H_

@@ -98,7 +98,27 @@ Status Database::Apply(const Mutation& mutation) {
   }
   PREVER_RETURN_IF_ERROR(ApplyToTable(mutation));
   ++version_;
+  NotifyCommit(mutation);
   return Status::Ok();
+}
+
+uint64_t Database::AddCommitObserver(CommitObserver observer) {
+  uint64_t id = next_observer_id_++;
+  observers_.emplace_back(id, std::move(observer));
+  return id;
+}
+
+void Database::RemoveCommitObserver(uint64_t id) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->first == id) {
+      observers_.erase(it);
+      return;
+    }
+  }
+}
+
+void Database::NotifyCommit(const Mutation& mutation) {
+  for (const auto& [id, observer] : observers_) observer(mutation, version_);
 }
 
 Status Database::ReplayLog(const std::string& path, bool* truncated) {
@@ -108,6 +128,7 @@ Status Database::ReplayLog(const std::string& path, bool* truncated) {
     PREVER_ASSIGN_OR_RETURN(Mutation m, Mutation::Decode(record));
     PREVER_RETURN_IF_ERROR(ApplyToTable(m));
     ++version_;
+    NotifyCommit(m);
   }
   return Status::Ok();
 }

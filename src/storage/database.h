@@ -1,9 +1,11 @@
 #ifndef PREVER_STORAGE_DATABASE_H_
 #define PREVER_STORAGE_DATABASE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/table.h"
@@ -48,16 +50,29 @@ class Database {
   /// Number of successfully applied mutations (the database version).
   uint64_t version() const { return version_; }
 
+  /// Commit observers: invoked after every successfully applied mutation
+  /// (Apply and ReplayLog), with the mutation and the post-commit version.
+  /// Incremental verification caches hang off this hook to fold committed
+  /// deltas into their aggregates. Observers must not mutate the database.
+  using CommitObserver = std::function<void(const Mutation&, uint64_t)>;
+
+  /// Registers an observer; returns an id for RemoveCommitObserver.
+  uint64_t AddCommitObserver(CommitObserver observer);
+  void RemoveCommitObserver(uint64_t id);
+
   /// Replays a WAL into this (empty) database. Tables must be created first
   /// (schemas are not logged — they are static configuration in PReVer).
   Status ReplayLog(const std::string& path, bool* truncated = nullptr);
 
  private:
   Status ApplyToTable(const Mutation& mutation);
+  void NotifyCommit(const Mutation& mutation);
 
   std::map<std::string, Table> tables_;
   WriteAheadLog wal_;
   uint64_t version_ = 0;
+  std::vector<std::pair<uint64_t, CommitObserver>> observers_;
+  uint64_t next_observer_id_ = 1;
 };
 
 }  // namespace prever::storage

@@ -10,6 +10,7 @@ Status Table::Insert(const Row& row) {
     return Status::AlreadyExists("key " + it->first.ToString() +
                                  " already present in table '" + name_ + "'");
   }
+  ++mod_count_;
   return Status::Ok();
 }
 
@@ -22,6 +23,7 @@ Status Table::Update(const Row& row) {
                             name_ + "'");
   }
   it->second = row;
+  ++mod_count_;
   return Status::Ok();
 }
 
@@ -29,6 +31,7 @@ Status Table::Upsert(const Row& row) {
   PREVER_RETURN_IF_ERROR(schema_.ValidateRow(row));
   PREVER_ASSIGN_OR_RETURN(Value key, schema_.KeyOf(row));
   rows_[std::move(key)] = row;
+  ++mod_count_;
   return Status::Ok();
 }
 
@@ -37,6 +40,7 @@ Status Table::Delete(const Value& key) {
     return Status::NotFound("key " + key.ToString() + " not in table '" +
                             name_ + "'");
   }
+  ++mod_count_;
   return Status::Ok();
 }
 

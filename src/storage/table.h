@@ -42,10 +42,16 @@ class Table {
   /// Full scan in key order. Return false from the visitor to stop early.
   void Scan(const std::function<bool(const Row&)>& visitor) const;
 
+  /// Monotone count of successful mutations against this table. Columnar
+  /// snapshots and aggregate caches key their validity on it, so even
+  /// direct Table mutations (bypassing Database::Apply) invalidate them.
+  uint64_t mod_count() const { return mod_count_; }
+
  private:
   std::string name_;
   Schema schema_;
   std::map<Value, Row> rows_;
+  uint64_t mod_count_ = 0;
 };
 
 }  // namespace prever::storage

@@ -50,6 +50,13 @@ class Value {
   /// constraint evaluator's arithmetic).
   Result<int64_t> AsNumeric() const;
 
+  /// Borrowed view of the string payload, or nullptr when not a string.
+  /// The compiled evaluator keeps registers as tagged scalars with string
+  /// pointers into stable storage; this avoids a copy per string load.
+  const std::string* StringRef() const {
+    return std::get_if<std::string>(&data_);
+  }
+
   bool operator==(const Value& o) const { return data_ == o.data_; }
   bool operator!=(const Value& o) const { return !(*this == o); }
 

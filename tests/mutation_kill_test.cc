@@ -15,7 +15,7 @@
 // Exit 0 iff the kill rate over all sites is >= 95%. The report ends with a
 // machine-readable line:
 //
-//   PREVER_MUTATION_REPORT {"sites":68,...}
+//   PREVER_MUTATION_REPORT {"sites":N,...}
 //
 // consumed by scripts/mutation_smoke.sh.
 
@@ -45,10 +45,12 @@ int main() {
 #include "common/status.h"
 #include "consensus/pbft.h"
 #include "consensus/raft.h"
+#include "constraint/agg_cache.h"
 #include "constraint/constraint.h"
 #include "constraint/eval.h"
 #include "constraint/linear.h"
 #include "constraint/parser.h"
+#include "constraint/program.h"
 #include "core/encrypted_engine.h"
 #include "core/federated_token_engine.h"
 #include "core/ordering.h"
@@ -63,6 +65,7 @@ int main() {
 #include "ledger/ledger_db.h"
 #include "mutate/mutation.h"
 #include "net/sim_net.h"
+#include "storage/column_batch.h"
 #include "storage/database.h"
 #include "token/token.h"
 
@@ -161,6 +164,61 @@ Detection ExpectValue(const ConstraintFixture& fx, const std::string& text,
 // (t6=50 + t2=20 + t7=30); mutants produce 200 / 50 / 70 / 101.
 constexpr char kWindowSum[] =
     "SUM(worklog.hours WHERE worker = 'w1' WINDOW 5d)";
+
+// ===================================================================
+// Compiled-path golden helpers: the same probes as the interpreter
+// detectors, routed through CompileConstraint + RunScalar with aggregates
+// served by an AggregateCache — the exact plumbing CompiledVerifier uses,
+// never touching constraint::Evaluate.
+// ===================================================================
+
+Result<Value> RegValToValue(const constraint::RegVal& r) {
+  switch (r.tag) {
+    case constraint::RegVal::Tag::kNum:
+      return Value::Int64(r.num);
+    case constraint::RegVal::Tag::kBool:
+      return Value::Bool(r.b);
+    case constraint::RegVal::Tag::kStr:
+      return Value::String(*r.str);
+  }
+  return Status::Internal("unreachable register tag");
+}
+
+Result<Value> EvalCompiled(const storage::Database& db,
+                           const constraint::UpdateFields& update, SimTime now,
+                           const std::string& text,
+                           constraint::AggregateCache& cache,
+                           storage::ColumnBatchCache& batches) {
+  auto e = constraint::ParseConstraint(text);
+  if (!e.ok()) return e.status();
+  constraint::CompiledConstraint cc = constraint::CompileConstraint(**e);
+  if (!cc.ok) {
+    return Status::NotSupported("probe fell outside the compilable class");
+  }
+  constraint::EvalContext ctx{&db, &update, now};
+  constraint::AggFn agg_fn = [&](size_t i) {
+    return cache.Evaluate(*cc.aggs[i], ctx, &batches);
+  };
+  PREVER_ASSIGN_OR_RETURN(
+      constraint::RegVal top,
+      constraint::RunScalar(cc.top, ctx, /*row=*/nullptr, &agg_fn));
+  return RegValToValue(top);
+}
+
+Detection ExpectCompiled(const ConstraintFixture& fx, const std::string& text,
+                         const Value& want) {
+  constraint::AggregateCache cache;
+  storage::ColumnBatchCache batches;
+  auto got = EvalCompiled(fx.db(), fx.update(), fx.now(), text, cache, batches);
+  if (!got.ok()) {
+    return Killed("compiled evaluation of \"" + text +
+                  "\" errored: " + got.status().message());
+  }
+  if (!(*got == want)) {
+    return Killed("compiled \"" + text + "\" diverged from its golden value");
+  }
+  return Survived("compiled \"" + text + "\" still matches its golden value");
+}
 
 // ===================================================================
 // Crypto fixtures — built ONCE, unmutated, before any pass. Proof forging
@@ -588,6 +646,182 @@ std::map<std::string, Detector> BuildDetectors(
     Status s = catalog.CheckAll(ctx);  // update.hours = 50 violates the cap.
     if (s.ok()) return Killed("catalog accepted a violating update");
     return Survived("violating update still rejected by CheckAll");
+  };
+
+  // -------------------------------------------------- compiled-diff
+  // Bytecode/aggregate-cache twins of the interpreter probes above. Each
+  // drives the exact decision point its mutant flips through the compiled
+  // path; the EVAL_* detectors keep the interpreter honest independently,
+  // so the pair doubles as a standing differential check.
+  auto expect_compiled = [&cfx](const std::string& text, const Value& want) {
+    return [&cfx, text, want] { return ExpectCompiled(cfx, text, want); };
+  };
+  d["PROG_CMP_LE_EXCLUSIVE"] =
+      expect_compiled("update.a <= update.c", Value::Bool(true));
+  d["PROG_AND_SHORTCIRCUIT_SKIP"] = expect_compiled(
+      "update.a = update.b AND update.a = update.c", Value::Bool(false));
+  d["PROG_MIN_UPDATE_SKIP"] =
+      expect_compiled("MIN(worklog.hours)", Value::Int64(8));
+  d["PROG_EXISTS_ALWAYS"] = expect_compiled("EXISTS(worklog WHERE worker = 'zz')",
+                                            Value::Bool(false));
+  d["PROG_SUM_OFFBYONE"] = expect_compiled(kWindowSum, Value::Int64(100));
+  d["PROG_WINDOW_START_INCLUSIVE"] = [&cfx] {
+    // The cache keeps window edges by cursor arithmetic and never calls
+    // InWindow, so this probe must take the scan path (batches == nullptr
+    // → scalar row loop → InWindow) where the mutant lives.
+    auto e = constraint::ParseConstraint(kWindowSum);
+    if (!e.ok()) return Killed("parse failed: " + e.status().message());
+    auto cc = constraint::CompileConstraint(**e);
+    if (!cc.ok || cc.aggs.size() != 1) {
+      return Killed("windowed SUM no longer compiles to a single spec");
+    }
+    auto table = cfx.db().GetTable("worklog");
+    if (!table.ok()) return Killed("fixture table missing");
+    auto bound = constraint::BindSpec(*cc.aggs[0], (*table)->schema());
+    if (!bound.ok()) return Killed("bind failed: " + bound.status().message());
+    constraint::EvalContext ctx{&cfx.db(), &cfx.update(), cfx.now()};
+    auto got = constraint::EvaluateSpecByScan(*bound, ctx, /*batches=*/nullptr);
+    if (!got.ok()) return Killed("scan errored: " + got.status().message());
+    if (!(*got == Value::Int64(100))) {
+      return Killed("scalar window scan pulled in the start-boundary row");
+    }
+    return Survived("scan-path window start still exclusive");
+  };
+  d["AGG_CACHE_EVICT_SKIP"] = [] {
+    storage::Database db;
+    if (!CreateWorklogTable(db).ok()) return Killed("table setup failed");
+    auto add = [&db](const char* id, int64_t hours, SimTime at) {
+      Mutation m;
+      m.op = Mutation::Op::kInsert;
+      m.table = "worklog";
+      m.row = {Value::String(id), Value::String("w1"), Value::Int64(hours),
+               Value::Timestamp(at)};
+      return db.Apply(m);
+    };
+    if (!add("e1", 10, 1 * kDay).ok() || !add("e2", 20, 3 * kDay).ok()) {
+      return Killed("row setup failed");
+    }
+    auto e = constraint::ParseConstraint("SUM(worklog.hours WINDOW 3d)");
+    if (!e.ok()) return Killed("parse failed: " + e.status().message());
+    auto cc = constraint::CompileConstraint(**e);
+    if (!cc.ok || cc.aggs.size() != 1) return Killed("window sum not compiled");
+    constraint::AggregateCache cache;
+    storage::ColumnBatchCache batches;
+    constraint::UpdateFields u;
+    constraint::EvalContext c1{&db, &u, 3 * kDay};
+    auto v1 = cache.Evaluate(*cc.aggs[0], c1, &batches);
+    if (!v1.ok() || !(*v1 == Value::Int64(30))) {
+      return Killed("warm window sum wrong at build time");
+    }
+    // Advance now so e1 leaves the window: the monotone cursor must
+    // subtract the evicted row from the running sum.
+    constraint::EvalContext c2{&db, &u, 5 * kDay};
+    auto v2 = cache.Evaluate(*cc.aggs[0], c2, &batches);
+    if (!v2.ok()) return Killed("advance errored: " + v2.status().message());
+    if (!(*v2 == Value::Int64(20))) {
+      return Killed("evicted row still counted in the window sum");
+    }
+    return Survived("window eviction still subtracts departing rows");
+  };
+  d["AGG_CACHE_DELTA_SKIP"] = [] {
+    storage::Database db;
+    if (!CreateWorklogTable(db).ok()) return Killed("table setup failed");
+    Mutation m0;
+    m0.op = Mutation::Op::kInsert;
+    m0.table = "worklog";
+    m0.row = {Value::String("e1"), Value::String("w1"), Value::Int64(10),
+              Value::Timestamp(1 * kDay)};
+    if (!db.Apply(m0).ok()) return Killed("row setup failed");
+    auto e = constraint::ParseConstraint("SUM(worklog.hours)");
+    if (!e.ok()) return Killed("parse failed: " + e.status().message());
+    auto cc = constraint::CompileConstraint(**e);
+    if (!cc.ok || cc.aggs.size() != 1) return Killed("sum not compiled");
+    constraint::AggregateCache cache;
+    storage::ColumnBatchCache batches;
+    constraint::UpdateFields u;
+    constraint::EvalContext ctx{&db, &u, 2 * kDay};
+    auto v1 = cache.Evaluate(*cc.aggs[0], ctx, &batches);
+    if (!v1.ok() || !(*v1 == Value::Int64(10))) return Killed("build sum wrong");
+    Mutation m1;
+    m1.op = Mutation::Op::kInsert;
+    m1.table = "worklog";
+    m1.row = {Value::String("e2"), Value::String("w1"), Value::Int64(25),
+              Value::Timestamp(1 * kDay + 1)};
+    if (!db.Apply(m1).ok()) return Killed("insert failed");
+    cache.OnCommitted(m1, db);
+    auto v2 = cache.Evaluate(*cc.aggs[0], ctx, &batches);
+    if (!v2.ok()) return Killed("post-commit eval errored");
+    if (!(*v2 == Value::Int64(35))) {
+      return Killed("committed insert missing from the cached sum");
+    }
+    return Survived("insert deltas still folded into the cached aggregate");
+  };
+  d["AGG_CACHE_EPOCH_SKIP"] = [] {
+    storage::Database db;
+    if (!CreateWorklogTable(db).ok()) return Killed("table setup failed");
+    auto add = [&db](const char* id, int64_t hours) {
+      Mutation m;
+      m.op = Mutation::Op::kInsert;
+      m.table = "worklog";
+      m.row = {Value::String(id), Value::String("w1"), Value::Int64(hours),
+               Value::Timestamp(1 * kDay)};
+      return db.Apply(m);
+    };
+    if (!add("e1", 10).ok() || !add("e2", 20).ok()) {
+      return Killed("row setup failed");
+    }
+    auto e = constraint::ParseConstraint("SUM(worklog.hours)");
+    if (!e.ok()) return Killed("parse failed: " + e.status().message());
+    auto cc = constraint::CompileConstraint(**e);
+    if (!cc.ok || cc.aggs.size() != 1) return Killed("sum not compiled");
+    constraint::AggregateCache cache;
+    storage::ColumnBatchCache batches;
+    constraint::UpdateFields u;
+    constraint::EvalContext ctx{&db, &u, 2 * kDay};
+    auto v1 = cache.Evaluate(*cc.aggs[0], ctx, &batches);
+    if (!v1.ok() || !(*v1 == Value::Int64(30))) return Killed("build sum wrong");
+    Mutation del;
+    del.op = Mutation::Op::kDelete;
+    del.table = "worklog";
+    del.key = Value::String("e2");
+    if (!db.Apply(del).ok()) return Killed("delete failed");
+    cache.OnCommitted(del, db);
+    auto v2 = cache.Evaluate(*cc.aggs[0], ctx, &batches);
+    if (!v2.ok()) return Killed("post-delete eval errored");
+    if (!(*v2 == Value::Int64(10))) {
+      return Killed("deleted row still counted by the cached sum");
+    }
+    return Survived("non-insert commits still epoch-invalidate the cache");
+  };
+  d["AGG_CACHE_GROUP_COLLAPSE"] = [] {
+    storage::Database db;
+    if (!CreateWorklogTable(db).ok()) return Killed("table setup failed");
+    auto add = [&db](const char* id, const char* worker, int64_t hours) {
+      Mutation m;
+      m.op = Mutation::Op::kInsert;
+      m.table = "worklog";
+      m.row = {Value::String(id), Value::String(worker), Value::Int64(hours),
+               Value::Timestamp(1 * kDay)};
+      return db.Apply(m);
+    };
+    if (!add("g1", "w1", 10).ok() || !add("g2", "w2", 20).ok()) {
+      return Killed("row setup failed");
+    }
+    auto e = constraint::ParseConstraint(
+        "SUM(worklog.hours WHERE worker = update.worker)");
+    if (!e.ok()) return Killed("parse failed: " + e.status().message());
+    auto cc = constraint::CompileConstraint(**e);
+    if (!cc.ok || cc.aggs.size() != 1) return Killed("grouped sum not compiled");
+    constraint::AggregateCache cache;
+    storage::ColumnBatchCache batches;
+    constraint::UpdateFields u = {{"worker", Value::String("w1")}};
+    constraint::EvalContext ctx{&db, &u, 2 * kDay};
+    auto v = cache.Evaluate(*cc.aggs[0], ctx, &batches);
+    if (!v.ok()) return Killed("grouped eval errored: " + v.status().message());
+    if (!(*v == Value::Int64(10))) {
+      return Killed("other workers' rows leaked into the w1 group sum");
+    }
+    return Survived("group keys still partition the cached aggregate");
   };
 
   // -------------------------------------------------- crypto-negative
@@ -1038,21 +1272,39 @@ std::map<std::string, Detector> BuildDetectors(
     return Survived("broken producer range proof still rejected");
   };
   d["ENC_ATTEST_ACCEPT"] = [&efx] {
-    // Reaches the attestation-verify decision via an honest submission; an
-    // owner that answers attestation requests honestly always returns a
-    // valid proof, so no external input can make the original check fire.
+    // A Byzantine owner attests every upper bound against a loosened
+    // statement: the returned proof is well-formed — for the WRONG bound.
+    // Only the manager-side VerifyUpperBound (the mutated decision) stands
+    // between that proof and a compliance certificate.
+    class ByzantineOwner : public core::DataOwner {
+     public:
+      using core::DataOwner::DataOwner;
+      Result<crypto::RangeProof> AttestUpperBound(
+          const crypto::PaillierCiphertext& total_value_ct,
+          const crypto::PaillierCiphertext& total_rand_ct,
+          const crypto::PedersenCommitment& total_cm, int64_t bound,
+          size_t slack_bits) override {
+        return core::DataOwner::AttestUpperBound(
+            total_value_ct, total_rand_ct, total_cm, bound + 1024, slack_bits);
+      }
+    };
+    // Static: one Paillier keygen shared by the clean pass and the matrix.
+    static ByzantineOwner byzantine{320, crypto::PedersenParams::Test256(),
+                                    1313};
     core::CentralizedOrdering ordering;
     core::EncryptedEngine engine(
-        &efx.owner, &ordering, "worker", "hours",
+        &byzantine, &ordering, "worker", "hours",
         {{constraint::BoundDirection::kUpper, 100, 0, 32}}, 8,
         efx.probe_counter + 1);
-    std::string w = efx.FreshName("att");
+    std::string w = efx.FreshName("byz");
     Status s = engine.SubmitUpdate(MakeWorklogUpdate("u1", w, 5, 10));
-    if (!s.ok()) return Killed("honest submission rejected: " + s.message());
-    return Survived(
-        "honest owner attestations always carry valid proofs; the manager-"
-        "side verify never sees a failing one in-process (documented "
-        "survivor — killing it needs a Byzantine owner implementation)");
+    if (s.ok()) {
+      return Killed("proof for a loosened bound accepted as the attestation");
+    }
+    if (s.code() != StatusCode::kIntegrityViolation) {
+      return Killed("wrong-statement proof misclassified: " + s.message());
+    }
+    return Survived("wrong-statement attestation still rejected by verify");
   };
   d["TOKEN_BUDGET_OFFBYONE"] = [&efx] {
     token::TokenWallet wallet(efx.authority.public_key(),
@@ -1141,13 +1393,10 @@ std::map<std::string, Detector> BuildDetectors(
 
 // Sites whose survival is expected and documented; they count against the
 // kill rate but are listed with their rationale instead of failing silently.
+// Currently empty: the last documented survivor (ENC_ATTEST_ACCEPT) fell to
+// the Byzantine-owner negative-path probe.
 const std::map<std::string, std::string>& ExpectedSurvivors() {
-  static const std::map<std::string, std::string> kExpected = {
-      {"ENC_ATTEST_ACCEPT",
-       "an honest DataOwner never emits an invalid attestation proof, so the "
-       "manager-side verify cannot be made to fail without a Byzantine owner "
-       "implementation"},
-  };
+  static const std::map<std::string, std::string> kExpected = {};
   return kExpected;
 }
 

@@ -71,7 +71,9 @@ const char* Bucket(const std::string& stage) {
       stage == "ledger_phase") {
     return "durability";
   }
-  if (stage == "verify" || stage == "crypto" || stage == "token") {
+  if (stage == "verify" || stage == "crypto" || stage == "token" ||
+      stage == "verify_compile" || stage == "verify_eval" ||
+      stage == "verify_agg_update") {
     return "verify";
   }
   return nullptr;

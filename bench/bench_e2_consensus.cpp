@@ -14,9 +14,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_common.h"
 #include "core/prever.h"
+#include "testing/crash_recovery.h"
 #include "workload/ycsb.h"
 
 namespace {
@@ -229,6 +231,64 @@ void BM_ShardedPbft(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedPbft)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMicrosecond)->Iterations(200);
+
+// End-to-end crash recovery (src/testing/crash_recovery.h): each iteration
+// commits a payload stream through replicated Raft while seed-chosen
+// replicas are killed at seed-chosen crash points — including mid-WAL-append
+// and mid-checkpoint-write — and restarted through the real recovery path
+// (newest intact checkpoint + commit-journal suffix replay +
+// RaftReplica::Recover). The case surfaces the recovery metrics recorded
+// via src/obs/ as benchmark counters: recovery-time percentiles from the
+// prever_recovery_time_us histogram, checkpoint saves, replayed journal
+// entries, and snapshot state-transfer bytes. scripts/bench_smoke.sh
+// asserts the counters are present and that recoveries actually happened.
+void BM_CrashRecovery(benchmark::State& state) {
+  simtest::CrashRecoveryOptions options;
+  options.num_replicas = static_cast<size_t>(state.range(0));
+  options.num_payloads = 48;
+  options.checkpoint_every = 6;
+  options.work_dir =
+      (std::filesystem::temp_directory_path() / "prever_bench_crash_recovery")
+          .string();
+  obs::Registry& reg = obs::Registry::Default();
+  obs::Histogram* rec_time = reg.GetHistogram("prever_recovery_time_us");
+  obs::Counter* saves = reg.GetCounter("prever_recovery_checkpoint_saves");
+  obs::Counter* replayed = reg.GetCounter("prever_recovery_replayed_entries");
+  obs::Counter* transfer =
+      reg.GetCounter("prever_recovery_state_transfer_bytes");
+  obs::HistogramSnapshot before = rec_time->snapshot();
+  uint64_t saves0 = saves->value();
+  uint64_t replayed0 = replayed->value();
+  uint64_t transfer0 = transfer->value();
+  uint64_t seed = 1;
+  uint64_t recoveries = 0;
+  uint64_t committed = 0;
+  for (auto _ : state) {
+    simtest::CrashRecoveryReport report =
+        simtest::RunRaftCrashRecoveryScenario(seed++, options);
+    if (!report.ok) {
+      state.SkipWithError(report.Summary("raft").c_str());
+      break;
+    }
+    recoveries += report.recoveries;
+    committed += report.committed;
+  }
+  obs::HistogramSnapshot delta = rec_time->snapshot().Delta(before);
+  state.counters["recoveries"] = static_cast<double>(recoveries);
+  state.counters["committed"] = static_cast<double>(committed);
+  state.counters["recovery_p50_us"] =
+      static_cast<double>(delta.Percentile(50));
+  state.counters["recovery_p99_us"] =
+      static_cast<double>(delta.Percentile(99));
+  state.counters["checkpoint_saves"] =
+      static_cast<double>(saves->value() - saves0);
+  state.counters["journal_entries_replayed"] =
+      static_cast<double>(replayed->value() - replayed0);
+  state.counters["state_transfer_bytes"] =
+      static_cast<double>(transfer->value() - transfer0);
+}
+BENCHMARK(BM_CrashRecovery)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(6);
 
 // End-to-end causal-tracing case: a plaintext engine over pipelined Raft
 // ordering, so a `--trace=FILE` run captures every transaction's full path

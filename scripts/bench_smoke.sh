@@ -102,6 +102,64 @@ else
 fi
 rm -f "$out_json"
 
+# Crash-recovery scenario metrics: the end-to-end crash/recovery case must
+# actually crash and recover replicas (recoveries > 0 over its seeds), and
+# the recovery instrumentation recorded via src/obs/ must surface both as
+# benchmark counters (recovery-time percentiles, checkpoint saves, journal
+# replay, state-transfer volume) and in the PREVER_METRICS_JSON blob
+# (prever_recovery_time_us histogram with samples + the recovery counters).
+recovery_json="$(mktemp)"
+recovery_out="$(mktemp)"
+if "$BENCH_DIR/bench_e2_consensus" \
+      --benchmark_filter='BM_CrashRecovery' \
+      --benchmark_out="$recovery_json" --benchmark_out_format=json \
+      >"$recovery_out" 2>/dev/null && "$PYTHON" - "$recovery_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cases = [b for b in doc.get("benchmarks", [])
+         if b.get("run_type") != "aggregate"]
+assert cases, "crash-recovery case did not run"
+b = cases[0]
+for key in ("recoveries", "committed", "recovery_p50_us", "recovery_p99_us",
+            "checkpoint_saves", "journal_entries_replayed",
+            "state_transfer_bytes"):
+    assert key in b, f"missing counter {key}"
+assert b["recoveries"] > 0, "no replica ever crashed and recovered"
+assert b["committed"] > 0, "no payloads committed through the scenario"
+assert b["checkpoint_saves"] > 0, "no durable checkpoints were written"
+assert b["recovery_p99_us"] >= b["recovery_p50_us"] >= 0, \
+    "recovery-time percentiles are inconsistent"
+print(f"recoveries={b['recoveries']:.0f} "
+      f"p50={b['recovery_p50_us']:.0f}us p99={b['recovery_p99_us']:.0f}us "
+      f"transfer={b['state_transfer_bytes']:.0f}B")
+EOF
+then
+  line="$(grep '^PREVER_METRICS_JSON ' "$recovery_out" | tail -1 || true)"
+  if [ -n "$line" ] && printf '%s\n' "${line#PREVER_METRICS_JSON }" \
+      | "$PYTHON" -c '
+import json, sys
+doc = json.load(sys.stdin)
+m = doc["metrics"]
+counters = {c["name"] for c in m["counters"]}
+for name in ("prever_recovery_checkpoint_saves",
+             "prever_recovery_replayed_entries"):
+    assert name in counters, f"{name} missing from metrics blob"
+hists = {h["name"]: h for h in m["histograms"]}
+rec = hists.get("prever_recovery_time_us")
+assert rec is not None, "prever_recovery_time_us histogram missing"
+assert rec["count"] > 0, "recovery-time histogram recorded no samples"
+'; then
+    echo "bench_smoke: OK crash-recovery metrics"
+  else
+    echo "bench_smoke: FAIL crash-recovery metrics blob" >&2
+    fail=1
+  fi
+else
+  echo "bench_smoke: FAIL crash-recovery scenario counters" >&2
+  fail=1
+fi
+rm -f "$recovery_json" "$recovery_out"
+
 # Causal-trace export: a traced E2 run (--trace=FILE on the plaintext-over-
 # Raft case) must produce schema-valid Chrome trace JSON — only matched
 # begin/end pairs exported as "X" events (drop counters live in the

@@ -20,6 +20,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # over the seeded sweep (window boundaries, absent fields, int64 overflow)
 # with ASan+UBSan watching both paths.
 "$BUILD_DIR"/tests/constraint_compiled_diff_test
+# Recovery smoke: the checkpoint/journal unit tests and the randomized
+# crash-point sweep run explicitly under ASan+UBSan. The recovery layer is
+# raw FILE* I/O and byte-level frame parsing — exactly where the sanitizers
+# earn their keep — and the sweep's damage injection (torn WAL tails,
+# corrupted checkpoint finals) exercises every quarantine/fallback branch.
+"$BUILD_DIR"/tests/prever_tests --gtest_filter='RecoveryTest.*'
+"$BUILD_DIR"/tests/sim_consensus_test \
+    --gtest_filter='*CrashRecovery*:*BoundedByCheckpointInterval*'
 scripts/bench_smoke.sh "$BUILD_DIR"
 
 # Causal-trace smoke: a traced E2 run must export a Chrome trace whose span
@@ -45,10 +53,11 @@ scripts/mutation_smoke.sh "${MUTATION_BUILD_DIR:-build-mutation}"
 # ThreadSanitizer pass over the components that actually share state across
 # threads (the thread pool, the lock-based observability registry, the
 # ordering layer whose histograms are recorded from pool workers in the
-# engine batch paths, and the compiled verifier's shared-lock aggregate
-# cache). TSan is incompatible with ASan, hence its own tree.
+# engine batch paths, the compiled verifier's shared-lock aggregate cache,
+# and the recovery layer's concurrent state-transfer rebuild). TSan is
+# incompatible with ASan, hence its own tree.
 TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "$TSAN_DIR" -S . -DPREVER_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target prever_tests
 "$TSAN_DIR"/tests/prever_tests \
-    --gtest_filter='ThreadPool*:Obs*:*Ordering*:*GroupCommit*:*Pipelined*:*AggCacheConcurrency*'
+    --gtest_filter='ThreadPool*:Obs*:*Ordering*:*GroupCommit*:*Pipelined*:*AggCacheConcurrency*:*ConcurrentStateTransfer*'

@@ -3,6 +3,7 @@
 #include "common/serial.h"
 #include "crypto/sha256.h"
 #include "mutate/mutation.h"
+#include "obs/registry.h"
 #include "obs/tracing.h"
 
 namespace prever::consensus {
@@ -16,7 +17,22 @@ enum PbftMsgType : uint32_t {
   kCommit = 4,
   kViewChange = 5,
   kNewView = 6,
+  kCheckpoint = 7,
+  kFetchState = 8,
+  kStateResponse = 9,
 };
+
+obs::Counter& PbftStateTransferBytesCounter() {
+  static obs::Counter* c = obs::Registry::Default().GetCounter(
+      "prever_recovery_state_transfer_bytes");
+  return *c;
+}
+
+obs::Counter& PbftLogBytesReclaimedCounter() {
+  static obs::Counter* c = obs::Registry::Default().GetCounter(
+      "prever_recovery_log_bytes_reclaimed");
+  return *c;
+}
 
 Bytes DigestOf(const Bytes& command) { return crypto::Sha256::Hash(command); }
 
@@ -77,8 +93,14 @@ void PbftReplica::SendMsg(net::NodeId to, uint32_t type,
   net_->Send(id_, to, type, payload);
 }
 
+void PbftReplica::Broadcast(uint32_t type, const Bytes& payload) {
+  for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
+    if (to != id_) SendMsg(to, type, payload);
+  }
+}
+
 void PbftReplica::OnMessage(const net::Message& msg) {
-  if (fault_mode_ == PbftFaultMode::kSilent) return;
+  if (crashed_ || fault_mode_ == PbftFaultMode::kSilent) return;
   if (metrics_ != nullptr) metrics_->OnRecv(msg.type);
   switch (msg.type) {
     case kClientRequest:
@@ -99,13 +121,22 @@ void PbftReplica::OnMessage(const net::Message& msg) {
     case kNewView:
       HandleNewView(msg);
       break;
+    case kCheckpoint:
+      HandleCheckpoint(msg);
+      break;
+    case kFetchState:
+      HandleFetchState(msg);
+      break;
+    case kStateResponse:
+      HandleStateResponse(msg);
+      break;
     default:
       break;
   }
 }
 
 void PbftReplica::OnClientRequest(const Bytes& command) {
-  if (fault_mode_ == PbftFaultMode::kSilent) return;
+  if (crashed_ || fault_mode_ == PbftFaultMode::kSilent) return;
   Bytes digest = DigestOf(command);
   if (executed_digests_.count(digest)) return;
   pending_requests_[digest] = command;
@@ -280,6 +311,7 @@ void PbftReplica::ExecuteLoop() {
     SlotState& slot = it->second;
     if (slot.executed) {
       ++last_executed_;
+      MaybeCreateCheckpoint();
       continue;
     }
     if (!slot.pre_prepared || slot.sent_commit == false) return;
@@ -298,6 +330,7 @@ void PbftReplica::ExecuteLoop() {
       // execute only once.
       pending_requests_.erase(slot.digest);
       pending_timers_.erase(slot.digest);
+      MaybeCreateCheckpoint();
       continue;
     }
     ++num_executed_;
@@ -305,6 +338,305 @@ void PbftReplica::ExecuteLoop() {
     pending_requests_.erase(slot.digest);
     pending_timers_.erase(slot.digest);
     if (commit_cb_) commit_cb_(last_executed_, slot.command);
+    MaybeCreateCheckpoint();
+  }
+}
+
+Bytes PbftReplica::BuildCheckpointBlob() const {
+  // Deterministic across replicas at equal execution points: the executed
+  // digests are a sorted set and the app snapshot is a pure function of the
+  // executed prefix.
+  BinaryWriter w;
+  w.WriteU64(last_executed_);
+  w.WriteU32(static_cast<uint32_t>(executed_digests_.size()));
+  for (const Bytes& d : executed_digests_) w.WriteBytes(d);
+  w.WriteBytes(state_snapshot_ ? state_snapshot_() : Bytes{});
+  return w.Take();
+}
+
+void PbftReplica::InstallCheckpointBlob(const Bytes& blob) {
+  BinaryReader r(blob);
+  auto seq = r.ReadU64();
+  auto n = r.ReadU32();
+  if (!seq.ok() || !n.ok()) return;
+  std::set<Bytes> digests;
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto d = r.ReadBytes();
+    if (!d.ok()) return;
+    digests.insert(std::move(*d));
+  }
+  auto app = r.ReadBytes();
+  if (!app.ok()) return;
+
+  last_executed_ = *seq;
+  num_executed_ = digests.size();
+  executed_digests_ = std::move(digests);
+  if (next_seq_ <= *seq) next_seq_ = *seq + 1;
+  stable_seq_ = *seq;
+  stable_blob_ = blob;
+  stable_digest_ = DigestOf(blob);
+  // Everything at or below the installed point is already reflected in the
+  // snapshot; drop those slots (and any pending executions they held).
+  for (auto it = log_.begin(); it != log_.end() && it->first <= *seq;) {
+    it = log_.erase(it);
+  }
+  for (const Bytes& d : executed_digests_) {
+    pending_requests_.erase(d);
+    pending_timers_.erase(d);
+  }
+  if (state_install_) state_install_(*seq, *app);
+}
+
+void PbftReplica::MaybeCreateCheckpoint() {
+  if (config_.checkpoint_interval == 0) return;
+  if (last_executed_ == 0 || last_executed_ <= stable_seq_) return;
+  if (last_executed_ % config_.checkpoint_interval != 0) return;
+  PendingCheckpoint& cp = checkpoints_[last_executed_];
+  if (cp.has_own) return;
+  cp.has_own = true;
+  cp.own_blob = BuildCheckpointBlob();
+  cp.own_digest = DigestOf(cp.own_blob);
+  cp.votes[cp.own_digest].insert(id_);
+
+  BinaryWriter w;
+  w.WriteU64(last_executed_);
+  w.WriteBytes(cp.own_digest);
+  Broadcast(kCheckpoint, w.bytes());
+  MaybeStabilize(last_executed_);
+}
+
+void PbftReplica::MaybeStabilize(uint64_t seq) {
+  if (seq <= stable_seq_) return;
+  auto it = checkpoints_.find(seq);
+  if (it == checkpoints_.end()) return;
+  PendingCheckpoint& cp = it->second;
+  if (!cp.has_own) return;  // Our own state at seq anchors the certificate.
+  auto votes = cp.votes.find(cp.own_digest);
+  if (votes == cp.votes.end() || votes->second.size() < quorum2f1()) return;
+  // 2f+1 matching digests: the checkpoint is stable; advance the low
+  // watermark and garbage-collect the message log below it.
+  stable_seq_ = seq;
+  stable_blob_ = cp.own_blob;
+  stable_digest_ = cp.own_digest;
+  CollectGarbage();
+}
+
+void PbftReplica::CollectGarbage() {
+  uint64_t floor = PREVER_MUTATION(PBFT_GC_BEYOND_STABLE, stable_seq_,
+                                   stable_seq_ + 1);
+  uint64_t reclaimed = 0;
+  for (auto it = log_.begin(); it != log_.end() && it->first <= floor;) {
+    const SlotState& slot = it->second;
+    reclaimed += slot.command.size() + slot.digest.size() + 64;
+    it = log_.erase(it);
+  }
+  for (auto it = checkpoints_.begin();
+       it != checkpoints_.end() && it->first <= stable_seq_;) {
+    reclaimed += it->second.own_blob.size();
+    it = checkpoints_.erase(it);
+  }
+  PbftLogBytesReclaimedCounter().Inc(reclaimed);
+}
+
+void PbftReplica::HandleCheckpoint(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto seq = r.ReadU64();
+  auto digest = r.ReadBytes();
+  if (!seq.ok() || !digest.ok()) return;
+  if (*seq > max_seen_checkpoint_seq_) max_seen_checkpoint_seq_ = *seq;
+  if (*seq > stable_seq_) {
+    checkpoints_[*seq].votes[*digest].insert(msg.from);
+    MaybeStabilize(*seq);
+  }
+  // Peers checkpointing past our execution point means we fell behind more
+  // than a full interval (crash, partition): catch up via state transfer.
+  if (config_.enable_state_transfer &&
+      max_seen_checkpoint_seq_ > last_executed_) {
+    RequestStateTransfer();
+  }
+}
+
+void PbftReplica::RequestStateTransfer() {
+  if (fetch_inflight_) return;
+  fetch_inflight_ = true;
+  state_responses_.clear();
+  BinaryWriter w;
+  w.WriteU64(last_executed_);
+  Broadcast(kFetchState, w.bytes());
+  // Refetch until caught up: responses can race with further progress, and
+  // the first round may arrive while we still lag.
+  net_->ScheduleAfter(config_.view_change_timeout, [this] {
+    if (crashed_ || fault_mode_ == PbftFaultMode::kSilent) return;
+    fetch_inflight_ = false;
+    if (max_seen_checkpoint_seq_ > last_executed_) RequestStateTransfer();
+  });
+}
+
+void PbftReplica::HandleFetchState(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto their_executed = r.ReadU64();
+  if (!their_executed.ok()) return;
+  if (last_executed_ <= *their_executed) return;  // Nothing to offer.
+  BinaryWriter w;
+  w.WriteU64(view_);
+  w.WriteU64(stable_seq_);
+  w.WriteBytes(stable_blob_);
+  // Executed suffix above the stable checkpoint, in sequence order; the
+  // requester certifies each command against f+1 matching responses.
+  std::vector<std::pair<uint64_t, const Bytes*>> suffix;
+  for (const auto& [seq, slot] : log_) {
+    if (slot.executed && seq > stable_seq_ && seq <= last_executed_) {
+      suffix.emplace_back(seq, &slot.command);
+    }
+  }
+  w.WriteU32(static_cast<uint32_t>(suffix.size()));
+  for (const auto& [seq, cmd] : suffix) {
+    w.WriteU64(seq);
+    w.WriteBytes(*cmd);
+  }
+  SendMsg(msg.from, kStateResponse, w.bytes());
+}
+
+void PbftReplica::HandleStateResponse(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  StateResponse resp;
+  auto view = r.ReadU64();
+  auto stable_seq = r.ReadU64();
+  auto blob = r.ReadBytes();
+  auto n = r.ReadU32();
+  if (!view.ok() || !stable_seq.ok() || !blob.ok() || !n.ok()) return;
+  resp.view = *view;
+  resp.stable_seq = *stable_seq;
+  resp.stable_blob = std::move(*blob);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto seq = r.ReadU64();
+    auto cmd = r.ReadBytes();
+    if (!seq.ok() || !cmd.ok()) return;
+    resp.suffix[*seq] = std::move(*cmd);
+  }
+  state_responses_[msg.from] = std::move(resp);
+  TryInstallState();
+}
+
+void PbftReplica::TryInstallState() {
+  // Certify the stable checkpoint: f+1 responders vouching for the same
+  // (seq, blob digest) guarantees at least one honest voucher, and the
+  // checkpoint it vouches for carries a 2f+1 certificate at its origin.
+  size_t needed =
+      PREVER_MUTATION(PBFT_STATE_MATCH_QUORUM_MINUS_ONE, f() + 1, f());
+  if (needed == 0) needed = 1;
+  std::map<std::pair<uint64_t, Bytes>, std::set<net::NodeId>> groups;
+  for (const auto& [from, resp] : state_responses_) {
+    if (resp.stable_seq > last_executed_) {
+      groups[{resp.stable_seq, DigestOf(resp.stable_blob)}].insert(from);
+    }
+  }
+  const Bytes* install_blob = nullptr;
+  uint64_t install_seq = 0;
+  for (const auto& [key, voters] : groups) {
+    if (voters.size() >= needed && key.first > install_seq) {
+      install_seq = key.first;
+      for (const auto& [from, resp] : state_responses_) {
+        if (resp.stable_seq == key.first && voters.count(from)) {
+          install_blob = &resp.stable_blob;
+          break;
+        }
+      }
+    }
+  }
+  if (install_blob != nullptr) {
+    uint64_t bytes = install_blob->size();
+    InstallCheckpointBlob(*install_blob);
+    // Adopt the highest view among the vouching responders so we do not
+    // trigger spurious view changes against a cluster that moved on.
+    for (const auto& [from, resp] : state_responses_) {
+      if (resp.view > view_) {
+        view_ = resp.view;
+        view_changing_ = false;
+      }
+    }
+    PbftStateTransferBytesCounter().Inc(bytes);
+    PREVER_CAUSAL_INSTANT(obs::TraceStage::kStateTransfer, bytes);
+  }
+  ExecuteCertifiedSuffix();
+}
+
+void PbftReplica::ExecuteCertifiedSuffix() {
+  size_t needed =
+      PREVER_MUTATION(PBFT_STATE_MATCH_QUORUM_MINUS_ONE, f() + 1, f());
+  if (needed == 0) needed = 1;
+  for (;;) {
+    uint64_t seq = last_executed_ + 1;
+    // Count matching commands for this sequence across responses.
+    std::map<Bytes, std::set<net::NodeId>> votes;
+    for (const auto& [from, resp] : state_responses_) {
+      auto it = resp.suffix.find(seq);
+      if (it != resp.suffix.end()) votes[it->second].insert(from);
+    }
+    const Bytes* command = nullptr;
+    for (const auto& [cmd, voters] : votes) {
+      if (voters.size() >= needed) {
+        command = &cmd;
+        break;
+      }
+    }
+    if (command == nullptr) return;
+    // Execute through the normal path: record an executed slot so later
+    // fetch-state requests from others can serve this suffix too.
+    SlotState& slot = Slot(seq);
+    Bytes digest = DigestOf(*command);
+    slot.view = view_;
+    slot.digest = digest;
+    slot.command = *command;
+    slot.pre_prepared = true;
+    slot.sent_commit = true;
+    slot.executed = true;
+    last_executed_ = seq;
+    PbftStateTransferBytesCounter().Inc(command->size());
+    if (next_seq_ <= seq) next_seq_ = seq + 1;
+    if (executed_digests_.count(digest) == 0) {
+      ++num_executed_;
+      executed_digests_.insert(digest);
+      pending_requests_.erase(digest);
+      pending_timers_.erase(digest);
+      if (commit_cb_) commit_cb_(last_executed_, *command);
+    }
+    MaybeCreateCheckpoint();
+  }
+}
+
+void PbftReplica::Crash() {
+  crashed_ = true;
+  // Volatile protocol state is lost; view_ survives (durable view counter),
+  // and the application recovers its part from checkpoint + journal.
+  log_.clear();
+  stashed_.clear();
+  seen_requests_.clear();
+  deferred_.clear();
+  deferred_digests_.clear();
+  executed_digests_.clear();
+  pending_timers_.clear();
+  pending_requests_.clear();
+  view_change_entries_.clear();
+  checkpoints_.clear();
+  state_responses_.clear();
+  stable_seq_ = 0;
+  stable_blob_.clear();
+  stable_digest_.clear();
+  max_seen_checkpoint_seq_ = 0;
+  fetch_inflight_ = false;
+  view_changing_ = false;
+  next_seq_ = 1;
+  last_executed_ = 0;
+  num_executed_ = 0;
+}
+
+void PbftReplica::Restart(const Bytes& checkpoint_blob) {
+  crashed_ = false;
+  if (!checkpoint_blob.empty()) InstallCheckpointBlob(checkpoint_blob);
+  if (config_.enable_state_transfer) {
+    fetch_inflight_ = false;
+    RequestStateTransfer();
   }
 }
 
@@ -318,7 +650,7 @@ void PbftReplica::ArmRequestTimer(const Bytes& digest) {
   pending_timers_[digest] = true;
   uint64_t armed_view = view_;
   net_->ScheduleAfter(config_.view_change_timeout, [this, digest, armed_view] {
-    if (fault_mode_ == PbftFaultMode::kSilent) return;
+    if (crashed_ || fault_mode_ == PbftFaultMode::kSilent) return;
     if (executed_digests_.count(digest)) return;
     if (!pending_timers_.count(digest)) return;
     if (view_ != armed_view) return;  // Already moved on; a fresh timer runs.
@@ -334,7 +666,7 @@ void PbftReplica::StartViewChange(uint64_t new_view) {
   // faulty too), move on to the next view — PBFT's exponential-backoff
   // cascade, simplified to a fixed period.
   net_->ScheduleAfter(2 * config_.view_change_timeout, [this, new_view] {
-    if (fault_mode_ == PbftFaultMode::kSilent) return;
+    if (crashed_ || fault_mode_ == PbftFaultMode::kSilent) return;
     bool installed = view_ >= new_view && !view_changing_;
     if (!installed && view_ < new_view + 1) {
       StartViewChange(new_view + 1);
@@ -481,7 +813,10 @@ PbftCluster::PbftCluster(const PbftConfig& config, net::SimNetwork* net) {
                                               {kPrepare, "prepare"},
                                               {kCommit, "commit"},
                                               {kViewChange, "view_change"},
-                                              {kNewView, "new_view"}});
+                                              {kNewView, "new_view"},
+                                              {kCheckpoint, "checkpoint"},
+                                              {kFetchState, "fetch_state"},
+                                              {kStateResponse, "state_response"}});
   executed_.resize(config.num_replicas);
   for (size_t i = 0; i < config.num_replicas; ++i) {
     auto replica = std::make_unique<PbftReplica>(

@@ -1,9 +1,12 @@
 #include "consensus/raft.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/serial.h"
 #include "mutate/mutation.h"
+#include "obs/registry.h"
+#include "obs/tracing.h"
 
 namespace prever::consensus {
 
@@ -14,7 +17,20 @@ enum RaftMsgType : uint32_t {
   kVoteReply = 11,
   kAppendEntries = 12,
   kAppendReply = 13,
+  kInstallSnapshot = 14,
 };
+
+obs::Counter& StateTransferBytesCounter() {
+  static obs::Counter* c =
+      obs::Registry::Default().GetCounter("prever_recovery_state_transfer_bytes");
+  return *c;
+}
+
+obs::Counter& LogBytesReclaimedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Default().GetCounter("prever_recovery_log_bytes_reclaimed");
+  return *c;
+}
 
 }  // namespace
 
@@ -40,6 +56,37 @@ void RaftReplica::Restart() {
   votes_.clear();
   ++timer_epoch_;
   ArmElectionTimer();
+}
+
+void RaftReplica::Recover(uint64_t applied_floor) {
+  Restart();
+  // The caller's durable state (checkpoint + journal) covers entries up to
+  // applied_floor; everything committed above it is re-delivered through the
+  // apply callback. The floor never drops below the snapshot (those commands
+  // are gone from the log) and never exceeds what was actually committed.
+  last_applied_ = std::max(snapshot_index_,
+                           std::min(applied_floor, commit_index_));
+  ApplyCommitted();
+}
+
+Result<uint64_t> RaftReplica::CompactTo(uint64_t index, const Bytes& app_blob) {
+  // Never compact entries that have not been applied: their commands would
+  // be unrecoverable before reaching the state machine.
+  uint64_t bound = PREVER_MUTATION(RAFT_COMPACT_BEYOND_APPLIED,
+                                   std::min(index, last_applied_),
+                                   std::min(index, LastIndex()));
+  if (bound <= snapshot_index_) return uint64_t{0};
+  uint64_t reclaimed = 0;
+  uint64_t drop = bound - snapshot_index_;
+  for (uint64_t i = 0; i < drop; ++i) {
+    reclaimed += sizeof(LogEntry) + log_[i].command.size();
+  }
+  snapshot_term_ = TermAt(bound);
+  log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+  snapshot_index_ = bound;
+  snapshot_blob_ = app_blob;
+  LogBytesReclaimedCounter().Inc(reclaimed);
+  return reclaimed;
 }
 
 void RaftReplica::ArmElectionTimer() {
@@ -78,7 +125,7 @@ void RaftReplica::StartElection() {
   ArmElectionTimer();  // Retry election if this one stalls.
   BinaryWriter w;
   w.WriteU64(term_);
-  w.WriteU64(log_.size());
+  w.WriteU64(LastIndex());
   w.WriteU64(LastLogTerm());
   for (net::NodeId to = 0; to < config_.num_replicas; ++to) {
     if (to != id_) net_->Send(id_, to, kRequestVote, w.bytes());
@@ -92,10 +139,10 @@ void RaftReplica::StartElection() {
 void RaftReplica::BecomeLeader() {
   role_ = Role::kLeader;
   for (size_t i = 0; i < config_.num_replicas; ++i) {
-    next_index_[i] = log_.size() + 1;
+    next_index_[i] = LastIndex() + 1;
     match_index_[i] = 0;
   }
-  match_index_[id_] = log_.size();
+  match_index_[id_] = LastIndex();
   ++timer_epoch_;  // Cancel election timers.
   BroadcastAppendEntries();
   ArmHeartbeatTimer();
@@ -105,7 +152,7 @@ Status RaftReplica::Submit(const Bytes& command) {
   if (crashed_) return Status::Unavailable("replica crashed");
   if (role_ != Role::kLeader) return Status::NotSupported("not the leader");
   log_.push_back(LogEntry{term_, command});
-  match_index_[id_] = log_.size();
+  match_index_[id_] = LastIndex();
   BroadcastAppendEntries();
   return Status::Ok();
 }
@@ -117,26 +164,43 @@ void RaftReplica::BroadcastAppendEntries() {
 }
 
 void RaftReplica::SendAppendEntries(net::NodeId to) {
+  if (next_index_[to] <= snapshot_index_) {
+    // The entries the follower needs were compacted away: state transfer.
+    SendInstallSnapshot(to);
+    return;
+  }
   uint64_t prev_index = next_index_[to] - 1;
-  uint64_t prev_term =
-      prev_index == 0 ? 0 : log_[prev_index - 1].term;
+  uint64_t prev_term = TermAt(prev_index);
   BinaryWriter w;
   w.WriteU64(term_);
   w.WriteU64(prev_index);
   w.WriteU64(prev_term);
   w.WriteU64(commit_index_);
-  uint64_t count = log_.size() - prev_index;
+  uint64_t count = LastIndex() - prev_index;
   w.WriteU32(static_cast<uint32_t>(count));
-  for (uint64_t i = prev_index; i < log_.size(); ++i) {
-    w.WriteU64(log_[i].term);
-    w.WriteBytes(log_[i].command);
+  for (uint64_t i = prev_index + 1; i <= LastIndex(); ++i) {
+    const LogEntry& e = log_[i - snapshot_index_ - 1];
+    w.WriteU64(e.term);
+    w.WriteBytes(e.command);
   }
   net_->Send(id_, to, kAppendEntries, w.bytes());
   // Pipelining: optimistically advance next_index so entries submitted
   // before the reply arrives stream in follow-up AppendEntries instead of
   // waiting a full round trip. The reply's conflict hint walks it back if
   // the follower's log diverged.
-  next_index_[to] = log_.size() + 1;
+  next_index_[to] = LastIndex() + 1;
+}
+
+void RaftReplica::SendInstallSnapshot(net::NodeId to) {
+  BinaryWriter w;
+  w.WriteU64(term_);
+  w.WriteU64(snapshot_index_);
+  w.WriteU64(snapshot_term_);
+  w.WriteBytes(snapshot_blob_);
+  net_->Send(id_, to, kInstallSnapshot, w.bytes());
+  // Optimistic, like SendAppendEntries: stream the post-snapshot suffix
+  // without waiting for the install acknowledgement.
+  next_index_[to] = snapshot_index_ + 1;
 }
 
 void RaftReplica::OnMessage(const net::Message& msg) {
@@ -153,6 +217,9 @@ void RaftReplica::OnMessage(const net::Message& msg) {
       break;
     case kAppendReply:
       HandleAppendReply(msg);
+      break;
+    case kInstallSnapshot:
+      HandleInstallSnapshot(msg);
       break;
     default:
       break;
@@ -173,7 +240,7 @@ void RaftReplica::HandleRequestVote(const net::Message& msg) {
     // Election restriction: candidate's log must be at least as up to date.
     bool up_to_date =
         *last_log_term > LastLogTerm() ||
-        (*last_log_term == LastLogTerm() && *last_log_index >= log_.size());
+        (*last_log_term == LastLogTerm() && *last_log_index >= LastIndex());
     if (PREVER_MUTATION(RAFT_ELECTION_RESTRICTION_SKIP, up_to_date, true)) {
       grant = true;
       voted_for_ = static_cast<int64_t>(msg.from);
@@ -223,11 +290,12 @@ void RaftReplica::HandleAppendEntries(const net::Message& msg) {
   if (PREVER_MUTATION(RAFT_STALE_TERM_ACCEPT, *term >= term_, true)) {
     if (*term > term_ || role_ != Role::kFollower) BecomeFollower(*term);
     ArmElectionTimer();
-    // Log consistency check at prev_index.
-    if (*prev_index == 0 ||
-        (*prev_index <= log_.size() &&
+    // Log consistency check at prev_index. A prev_index at or below our
+    // snapshot is implied to match: snapshots cover only committed entries.
+    if (*prev_index <= snapshot_index_ ||
+        (*prev_index <= LastIndex() &&
          PREVER_MUTATION(RAFT_LOG_MATCH_SKIP,
-                         log_[*prev_index - 1].term == *prev_term, true))) {
+                         TermAt(*prev_index) == *prev_term, true))) {
       success = true;
       uint64_t index = *prev_index;
       for (uint32_t i = 0; i < *count; ++i) {
@@ -235,9 +303,11 @@ void RaftReplica::HandleAppendEntries(const net::Message& msg) {
         auto command = r.ReadBytes();
         if (!entry_term.ok() || !command.ok()) return;
         ++index;
-        if (index <= log_.size()) {
-          if (log_[index - 1].term != *entry_term) {
-            log_.resize(index - 1);  // Conflict: truncate.
+        if (index <= snapshot_index_) continue;  // Covered by our snapshot.
+        if (index <= LastIndex()) {
+          if (TermAt(index) != *entry_term) {
+            // Conflict: truncate the divergent suffix.
+            log_.resize(index - 1 - snapshot_index_);
             log_.push_back(LogEntry{*entry_term, *command});
           }
         } else {
@@ -245,7 +315,7 @@ void RaftReplica::HandleAppendEntries(const net::Message& msg) {
         }
       }
       if (*leader_commit > commit_index_) {
-        commit_index_ = std::min<uint64_t>(*leader_commit, log_.size());
+        commit_index_ = std::min<uint64_t>(*leader_commit, LastIndex());
         ApplyCommitted();
       }
     }
@@ -257,7 +327,7 @@ void RaftReplica::HandleAppendEntries(const net::Message& msg) {
   // Conflict hint: on rejection the leader can rewind next_index straight
   // to our log end instead of decrementing one entry per round trip.
   uint64_t hint =
-      std::min<uint64_t>(log_.size(), *prev_index > 0 ? *prev_index - 1 : 0);
+      std::min<uint64_t>(LastIndex(), *prev_index > 0 ? *prev_index - 1 : 0);
   w.WriteU64(hint);
   net_->Send(id_, msg.from, kAppendReply, w.bytes());
 }
@@ -290,8 +360,9 @@ void RaftReplica::HandleAppendReply(const net::Message& msg) {
 }
 
 void RaftReplica::AdvanceCommitIndex() {
-  for (uint64_t n = log_.size(); n > commit_index_; --n) {
-    if (PREVER_MUTATION(RAFT_COMMIT_FOREIGN_TERM, log_[n - 1].term != term_,
+  for (uint64_t n = LastIndex(); n > commit_index_ && n > snapshot_index_;
+       --n) {
+    if (PREVER_MUTATION(RAFT_COMMIT_FOREIGN_TERM, TermAt(n) != term_,
                         false)) {
       break;  // Only current-term entries.
     }
@@ -311,8 +382,62 @@ void RaftReplica::AdvanceCommitIndex() {
 void RaftReplica::ApplyCommitted() {
   while (last_applied_ < commit_index_) {
     ++last_applied_;
-    if (apply_cb_) apply_cb_(last_applied_, log_[last_applied_ - 1].command);
+    const Bytes* cmd = CommandAt(last_applied_);
+    if (apply_cb_ && cmd != nullptr) apply_cb_(last_applied_, *cmd);
   }
+}
+
+void RaftReplica::HandleInstallSnapshot(const net::Message& msg) {
+  BinaryReader r(msg.payload);
+  auto term = r.ReadU64();
+  auto snap_index = r.ReadU64();
+  auto snap_term = r.ReadU64();
+  auto blob = r.ReadBytes();
+  if (!term.ok() || !snap_index.ok() || !snap_term.ok() || !blob.ok()) return;
+  if (*term < term_) {
+    BinaryWriter w;
+    w.WriteU64(term_);
+    w.WriteBool(false);
+    w.WriteU64(0);
+    w.WriteU64(LastIndex());  // Conflict hint.
+    net_->Send(id_, msg.from, kAppendReply, w.bytes());
+    return;
+  }
+  if (*term > term_ || role_ != Role::kFollower) BecomeFollower(*term);
+  ArmElectionTimer();
+  // A snapshot at or below our own snapshot/applied point is stale: our
+  // state already covers it, so acknowledge without installing (a stale
+  // install would rewind the application's restored state).
+  bool fresh = *snap_index > snapshot_index_ && *snap_index > last_applied_;
+  if (!PREVER_MUTATION(RAFT_SNAPSHOT_STALE_ACCEPT, !fresh, false)) {
+    if (*snap_index > snapshot_index_) {
+      if (LastIndex() >= *snap_index && TermAt(*snap_index) == *snap_term) {
+        // Our log extends past the snapshot and agrees at its boundary:
+        // retain the uncovered suffix (§7).
+        log_.erase(log_.begin(),
+                   log_.begin() +
+                       static_cast<std::ptrdiff_t>(*snap_index -
+                                                   snapshot_index_));
+      } else {
+        log_.clear();
+      }
+      snapshot_index_ = *snap_index;
+      snapshot_term_ = *snap_term;
+    }
+    snapshot_blob_ = *blob;
+    commit_index_ = std::max(commit_index_, *snap_index);
+    last_applied_ = std::max(last_applied_, *snap_index);
+    StateTransferBytesCounter().Inc(blob->size());
+    PREVER_CAUSAL_INSTANT(obs::TraceStage::kStateTransfer, blob->size());
+    if (snapshot_installer_) snapshot_installer_(*snap_index, *blob);
+    ApplyCommitted();  // Log suffix may already be committed past the blob.
+  }
+  BinaryWriter w;
+  w.WriteU64(term_);
+  w.WriteBool(true);
+  w.WriteU64(*snap_index);  // Match index: the snapshot covers the prefix.
+  w.WriteU64(LastIndex());  // Conflict hint (unused on success).
+  net_->Send(id_, msg.from, kAppendReply, w.bytes());
 }
 
 RaftCluster::RaftCluster(const RaftConfig& config, net::SimNetwork* net) {

@@ -1,0 +1,28 @@
+#include "constraint/program_cache.h"
+
+#include <utility>
+
+namespace prever::constraint {
+
+std::shared_ptr<const CompiledConstraint> ProgramCache::Get(const Expr& expr) {
+  std::string key = expr.ToString();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.compiles;
+  auto compiled =
+      std::make_shared<const CompiledConstraint>(CompileConstraint(expr));
+  entries_.emplace(std::move(key), compiled);
+  return compiled;
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace prever::constraint

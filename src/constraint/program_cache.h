@@ -1,0 +1,51 @@
+#ifndef PREVER_CONSTRAINT_PROGRAM_CACHE_H_
+#define PREVER_CONSTRAINT_PROGRAM_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "constraint/ast.h"
+#include "constraint/program.h"
+
+namespace prever::constraint {
+
+/// Process-wide (or harness-wide) cache of compiled constraint bytecode,
+/// shared across CompiledVerifier instances. Compilation is pure — the
+/// bytecode depends only on the expression — so the cache keys on the
+/// expression's canonical text: structurally identical expressions compile
+/// once even when they are distinct clones (each engine's RegulationForms
+/// clones the aggregate subtree, so pointer identity would never share
+/// across paired engines).
+///
+/// The returned CompiledConstraint is immutable after compilation and safe
+/// to share: per-verifier AggregateCaches key on the contained
+/// AggregateSpec addresses independently, and execution only reads the
+/// programs. Verifiers keep shared_ptr references, so entries stay alive
+/// across catalog refreshes on either side.
+///
+/// Thread-safe; a single mutex guards the map (compilation is cheap and
+/// happens once per distinct expression).
+class ProgramCache {
+ public:
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;      ///< Served an existing compilation.
+    uint64_t compiles = 0;  ///< First sight of the expression text.
+  };
+
+  /// Returns the compiled form of `expr`, compiling on first sight.
+  std::shared_ptr<const CompiledConstraint> Get(const Expr& expr);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const CompiledConstraint>> entries_;
+  Stats stats_;
+};
+
+}  // namespace prever::constraint
+
+#endif  // PREVER_CONSTRAINT_PROGRAM_CACHE_H_

@@ -9,8 +9,9 @@
 namespace prever::constraint {
 
 CompiledVerifier::CompiledVerifier(const ConstraintCatalog* catalog,
-                                   storage::Database* db)
-    : catalog_(catalog), db_(db) {
+                                   storage::Database* db,
+                                   ProgramCache* programs)
+    : catalog_(catalog), db_(db), programs_(programs) {
   if (db_ != nullptr) {
     observer_id_ = db_->AddCommitObserver(
         [this](const storage::Mutation& mutation, uint64_t /*version*/) {
@@ -23,6 +24,12 @@ CompiledVerifier::CompiledVerifier(const ConstraintCatalog* catalog,
 
 CompiledVerifier::~CompiledVerifier() {
   if (db_ != nullptr) db_->RemoveCommitObserver(observer_id_);
+}
+
+std::shared_ptr<const CompiledConstraint> CompiledVerifier::Compile(
+    const Expr& expr) const {
+  if (programs_ != nullptr) return programs_->Get(expr);
+  return std::make_shared<const CompiledConstraint>(CompileConstraint(expr));
 }
 
 void CompiledVerifier::RefreshLocked() {
@@ -39,8 +46,8 @@ void CompiledVerifier::RefreshLocked() {
   for (const Constraint& c : catalog_->constraints()) {
     Entry e;
     e.constraint = &c;
-    e.compiled = CompileConstraint(*c.expr);
-    if (e.compiled.ok) {
+    e.compiled = Compile(*c.expr);
+    if (e.compiled->ok) {
       ++stats_.compiled_constraints;
     } else {
       ++stats_.interpreted_constraints;
@@ -69,7 +76,7 @@ bool CompiledVerifier::TryVerifyAllShared(const EvalContext& ctx,
   }
   for (const Entry& e : entries_) {
     bool ok;
-    if (!e.compiled.ok) {
+    if (!e.compiled->ok) {
       auto r = EvaluateBool(*e.constraint->expr, ctx);
       if (!r.ok()) {
         *out = r.status();
@@ -80,13 +87,13 @@ bool CompiledVerifier::TryVerifyAllShared(const EvalContext& ctx,
       bool miss = false;
       AggFn agg_fn = [&](size_t i) -> Result<storage::Value> {
         Result<storage::Value> v = Status::Internal("agg cache miss");
-        if (!agg_cache_.TryReadEvaluate(*e.compiled.aggs[i], ctx, &v)) {
+        if (!agg_cache_.TryReadEvaluate(*e.compiled->aggs[i], ctx, &v)) {
           miss = true;
           return Status::Internal("agg cache miss");
         }
         return v;
       };
-      auto r = RunScalar(e.compiled.top, ctx, nullptr, &agg_fn);
+      auto r = RunScalar(e.compiled->top, ctx, nullptr, &agg_fn);
       if (miss) return false;  // Cache needs maintenance: retry exclusive.
       if (!r.ok()) {
         *out = r.status();
@@ -117,10 +124,10 @@ bool CompiledVerifier::TryVerifyAllShared(const EvalContext& ctx,
 Status CompiledVerifier::CheckOneLocked(const Entry& entry,
                                         const EvalContext& ctx) {
   bool ok;
-  if (!entry.compiled.ok) {
+  if (!entry.compiled->ok) {
     PREVER_ASSIGN_OR_RETURN(ok, EvaluateBool(*entry.constraint->expr, ctx));
   } else {
-    const CompiledConstraint& cc = entry.compiled;
+    const CompiledConstraint& cc = *entry.compiled;
     AggFn agg_fn = [&](size_t i) -> Result<storage::Value> {
       return agg_cache_.Evaluate(*cc.aggs[i], ctx, &batches_);
     };
@@ -174,7 +181,7 @@ Result<int64_t> CompiledVerifier::EvaluateAggregate(const Expr& agg,
         return constraint::EvaluateAggregate(agg, ctx);
       }
       Result<storage::Value> v = Status::Internal("agg cache miss");
-      if (agg_cache_.TryReadEvaluate(*it->second->compiled.aggs[0], ctx, &v)) {
+      if (agg_cache_.TryReadEvaluate(*it->second->compiled->aggs[0], ctx, &v)) {
         if (!v.ok()) return v.status();
         return v->AsInt64();
       }
@@ -185,13 +192,13 @@ Result<int64_t> CompiledVerifier::EvaluateAggregate(const Expr& agg,
   if (!up) {
     PREVER_CAUSAL_SPAN(causal_compile, obs::TraceStage::kVerifyCompile);
     up = std::make_unique<AdhocAgg>();
-    up->compiled = CompileConstraint(agg);
+    up->compiled = Compile(agg);
     // A lone top-level aggregate always lowers to exactly one spec.
-    up->usable = up->compiled.ok && up->compiled.aggs.size() == 1;
+    up->usable = up->compiled->ok && up->compiled->aggs.size() == 1;
   }
   if (!up->usable) return constraint::EvaluateAggregate(agg, ctx);
   PREVER_CAUSAL_SPAN(causal_eval, obs::TraceStage::kVerifyEval);
-  auto v = agg_cache_.Evaluate(*up->compiled.aggs[0], ctx, &batches_);
+  auto v = agg_cache_.Evaluate(*up->compiled->aggs[0], ctx, &batches_);
   if (!v.ok()) return v.status();
   return v->AsInt64();
 }

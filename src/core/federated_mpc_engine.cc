@@ -13,7 +13,8 @@ constexpr size_t kComparisonBits = 32;
 FederatedMpcEngine::FederatedMpcEngine(
     std::vector<FederatedPlatform*> platforms,
     const constraint::ConstraintCatalog* regulations,
-    OrderingService* ordering, uint64_t dealer_seed)
+    OrderingService* ordering, uint64_t dealer_seed,
+    constraint::ProgramCache* programs)
     : platforms_(std::move(platforms)),
       regulations_(regulations),
       ordering_(ordering),
@@ -22,7 +23,7 @@ FederatedMpcEngine::FederatedMpcEngine(
   platform_verifiers_.reserve(platforms_.size());
   for (FederatedPlatform* p : platforms_) {
     platform_verifiers_.push_back(std::make_unique<constraint::CompiledVerifier>(
-        &p->internal_constraints, &p->db));
+        &p->internal_constraints, &p->db, programs));
   }
 }
 

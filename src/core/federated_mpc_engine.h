@@ -40,10 +40,13 @@ class FederatedMpcEngine : public UpdateEngine {
  public:
   /// `regulations` are the global (external-authority) constraints; each is
   /// compiled to linear bound form at construction. `platforms` must
-  /// outlive the engine.
+  /// outlive the engine. `programs` (optional) is a shared compiled-bytecode
+  /// cache — pass the same cache to paired engines so each regulation
+  /// aggregate compiles once across all of them.
   FederatedMpcEngine(std::vector<FederatedPlatform*> platforms,
                      const constraint::ConstraintCatalog* regulations,
-                     OrderingService* ordering, uint64_t dealer_seed);
+                     OrderingService* ordering, uint64_t dealer_seed,
+                     constraint::ProgramCache* programs = nullptr);
 
   /// Validates that every regulation is in linear bound form.
   Status ValidateRegulations() const;
@@ -59,6 +62,13 @@ class FederatedMpcEngine : public UpdateEngine {
   const char* name() const override { return "federated-mpc-rc2"; }
 
   const mpc::MpcTranscript& transcript() const { return transcript_; }
+
+  /// Compiled-verification counters of platform `i`'s verifier (aggregate
+  /// cache hit/delta/scan mix) — the differential harness asserts the
+  /// incremental path stays engaged.
+  constraint::CompiledVerifier::Stats verifier_stats(size_t i) const {
+    return platform_verifiers_[i]->stats();
+  }
 
  private:
   /// Checks regulation `index` of the catalog (forms precomputed).

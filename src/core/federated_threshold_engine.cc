@@ -16,7 +16,7 @@ FederatedThresholdEngine::FederatedThresholdEngine(
     std::vector<FederatedPlatform*> platforms,
     const constraint::ConstraintCatalog* regulations,
     OrderingService* ordering, const crypto::PedersenParams& params,
-    uint64_t seed)
+    uint64_t seed, constraint::ProgramCache* programs)
     : platforms_(std::move(platforms)),
       regulations_(regulations),
       ordering_(ordering),
@@ -26,7 +26,7 @@ FederatedThresholdEngine::FederatedThresholdEngine(
   platform_verifiers_.reserve(platforms_.size());
   for (FederatedPlatform* p : platforms_) {
     platform_verifiers_.push_back(std::make_unique<constraint::CompiledVerifier>(
-        &p->internal_constraints, &p->db));
+        &p->internal_constraints, &p->db, programs));
   }
 }
 

@@ -31,11 +31,15 @@ namespace prever::core {
 /// trade — individual contributions stay hidden either way.
 class FederatedThresholdEngine : public UpdateEngine {
  public:
+  /// `programs` (optional) is a shared compiled-bytecode cache: pass the
+  /// same cache to paired engines (or this engine's siblings) so each
+  /// regulation aggregate compiles once across all of them.
   FederatedThresholdEngine(std::vector<FederatedPlatform*> platforms,
                            const constraint::ConstraintCatalog* regulations,
                            OrderingService* ordering,
                            const crypto::PedersenParams& params,
-                           uint64_t seed);
+                           uint64_t seed,
+                           constraint::ProgramCache* programs = nullptr);
 
   Status SubmitVia(size_t platform_index, const Update& update);
   Status SubmitUpdate(const Update& update) override {
@@ -54,6 +58,13 @@ class FederatedThresholdEngine : public UpdateEngine {
 
   /// Joint decryptions performed (each reveals one aggregate total).
   uint64_t totals_opened() const { return totals_opened_; }
+
+  /// Compiled-verification counters of platform `i`'s verifier (aggregate
+  /// cache hit/delta/scan mix) — the differential harness asserts the
+  /// incremental path stays engaged.
+  constraint::CompiledVerifier::Stats verifier_stats(size_t i) const {
+    return platform_verifiers_[i]->stats();
+  }
 
  private:
   /// Checks regulation `index` of the catalog (forms precomputed).

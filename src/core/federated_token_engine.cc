@@ -33,6 +33,17 @@ Status FederatedTokenEngine::SubmitVia(size_t platform_index,
   return SubmitViaInternal(platform_index, update, /*async_ledger=*/false);
 }
 
+Status FederatedTokenEngine::SyncSpentFromLedger() {
+  const ledger::LedgerDb& led = ordering_->Ledger();
+  PREVER_RETURN_IF_ERROR(led.Audit());
+  spent_.clear();
+  for (uint64_t seq = 0; seq < led.size(); ++seq) {
+    PREVER_ASSIGN_OR_RETURN(ledger::LedgerEntry entry, led.GetEntry(seq));
+    spent_.insert(entry.payload);
+  }
+  return Status::Ok();
+}
+
 Status FederatedTokenEngine::SubmitBatchVia(size_t platform_index,
                                             const std::vector<Update>& updates) {
   Status first = Status::Ok();

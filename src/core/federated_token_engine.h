@@ -57,6 +57,12 @@ class FederatedTokenEngine : public UpdateEngine {
 
   uint64_t tokens_spent() const { return tokens_spent_; }
 
+  /// Rebuilds the shared spent-serial index from the ordering ledger — the
+  /// restart path: the committed payloads ARE the burned serials, so any
+  /// platform can reconstruct the double-spend filter independently after a
+  /// crash (the same property TokenVerifier::SyncFromLedger documents).
+  Status SyncSpentFromLedger();
+
   /// Optional worker pool (not owned; may be null): token signatures within
   /// one update are independent RSA verifications, checked concurrently
   /// when a pool is set. Wallet draws and ledger writes stay serial.

@@ -37,6 +37,16 @@ struct OrderingPipelineConfig {
   SimTime retry_interval = 500 * kMillisecond;
 };
 
+/// Recovery knobs for the consensus-backed ordering services (DESIGN.md
+/// "Crash recovery & state transfer").
+struct OrderingRecoveryConfig {
+  /// PBFT stable-checkpoint interval (executions between checkpoints);
+  /// 0 disables checkpointing and message-log GC.
+  uint64_t checkpoint_interval = 0;
+  /// PBFT fetch-state path for restarted/lagging replicas.
+  bool enable_state_transfer = false;
+};
+
 /// Ledger timestamps for batch envelopes encode (consensus position,
 /// intra-batch index) so they are deterministic across replicas and
 /// collision-free: the low `kBatchStampIndexBits` bits hold the index, the
@@ -189,11 +199,19 @@ class CentralizedOrdering : public OrderingService {
 /// keeps up to `max_inflight` instances running the three phases at once.
 class PbftOrdering : public OrderingService {
  public:
+  /// Called after a commit event appends to one replica's ledger, with the
+  /// consensus position, the batch id, and the canonical encodings of the
+  /// entries just appended — everything a durable commit journal needs.
+  using CommitObserver =
+      std::function<void(size_t replica, uint64_t position, uint64_t batch_id,
+                         const std::vector<Bytes>& entries)>;
+
   /// `proto_label` tags this cluster's pipeline histograms in the default
   /// registry (sharded deployments use "pbft-sharded").
   PbftOrdering(size_t num_replicas, net::SimNetConfig net_config,
                const std::string& proto_label = "pbft",
-               OrderingPipelineConfig pipeline = OrderingPipelineConfig());
+               OrderingPipelineConfig pipeline = OrderingPipelineConfig(),
+               OrderingRecoveryConfig recovery = OrderingRecoveryConfig());
 
   Status Append(const Bytes& payload, SimTime timestamp) override;
   /// Orders a whole batch through ONE consensus instance; the replica
@@ -212,11 +230,32 @@ class PbftOrdering : public OrderingService {
   const ledger::LedgerDb& ReplicaLedger(size_t i) const { return ledgers_[i]; }
   size_t num_replicas() const { return ledgers_.size(); }
 
+  void SetReplicaCommitObserver(CommitObserver observer) {
+    commit_observer_ = std::move(observer);
+  }
+
+  /// Application state for checkpoints/state transfer: the replica's ledger
+  /// plus its applied watermark ([u64 applied_seq][u64 n][entries...]);
+  /// deterministic across replicas at equal execution points.
+  Bytes EncodeReplicaState(size_t i) const;
+  /// Installs an EncodeReplicaState blob (PBFT state-transfer landing).
+  Status RestoreReplicaState(size_t i, const Bytes& blob);
+  /// Crash-recovery restore from durable state: replaces replica i's ledger
+  /// and watermark (the caller then drives
+  /// cluster().replica(i).Restart(...)).
+  Status RestoreReplica(size_t i, ledger::LedgerDb ledger,
+                        uint64_t applied_seq);
+  uint64_t replica_applied_seq(size_t i) const { return applied_seq_[i]; }
+
  private:
   std::unique_ptr<net::SimNetwork> net_;
   std::unique_ptr<consensus::PbftCluster> cluster_;
   std::vector<ledger::LedgerDb> ledgers_;
   uint64_t committed_ = 0;
+  /// Commit events at or below this watermark are already reflected in the
+  /// replica's (restored) ledger and must not re-append.
+  std::vector<uint64_t> applied_seq_;
+  CommitObserver commit_observer_;
   std::unique_ptr<GroupCommitPipeline> pipeline_;
 };
 
@@ -270,6 +309,12 @@ class ShardedPbftOrdering : public OrderingService {
 /// Raft-replicated ordering (crash-fault baseline).
 class RaftOrdering : public OrderingService {
  public:
+  /// Same contract as PbftOrdering::CommitObserver: (replica, log index,
+  /// batch id, encoded ledger entries appended by this apply).
+  using CommitObserver =
+      std::function<void(size_t replica, uint64_t position, uint64_t batch_id,
+                         const std::vector<Bytes>& entries)>;
+
   RaftOrdering(size_t num_replicas, net::SimNetConfig net_config,
                OrderingPipelineConfig pipeline = OrderingPipelineConfig());
 
@@ -287,6 +332,26 @@ class RaftOrdering : public OrderingService {
   const net::SimNetwork& network() const { return *net_; }
   consensus::RaftCluster& cluster() { return *cluster_; }
   const ledger::LedgerDb& ReplicaLedger(size_t i) const { return ledgers_[i]; }
+  size_t num_replicas() const { return ledgers_.size(); }
+
+  void SetReplicaCommitObserver(CommitObserver observer) {
+    commit_observer_ = std::move(observer);
+  }
+
+  /// Self-contained replica state for Raft snapshots ([u64 applied floor]
+  /// [u64 n_ids][ids...][u64 n][entries...]): handed to CompactTo as the
+  /// snapshot blob and installed on followers via InstallSnapshot.
+  Bytes EncodeReplicaState(size_t i) const;
+  /// Installs an EncodeReplicaState blob (InstallSnapshot landing; also the
+  /// crash-recovery restore primitive for full-image restores).
+  Status RestoreReplicaState(size_t i, const Bytes& blob);
+  /// Crash-recovery restore from checkpoint + journal: replaces replica i's
+  /// ledger, applied floor, and batch-id dedup set, then rejoins the replica
+  /// through RaftReplica::Recover (re-applying the committed suffix).
+  Status RestoreReplica(size_t i, ledger::LedgerDb ledger,
+                        uint64_t applied_floor,
+                        const std::vector<uint64_t>& batch_ids);
+  uint64_t replica_applied_floor(size_t i) const { return applied_floor_[i]; }
 
  private:
   std::unique_ptr<net::SimNetwork> net_;
@@ -296,6 +361,9 @@ class RaftOrdering : public OrderingService {
   /// Batch ids applied per replica: Raft has no digest-level dedup, so the
   /// apply callback must make Flush's re-submissions idempotent itself.
   std::vector<std::set<uint64_t>> applied_batches_;
+  /// Highest log index each replica has had delivered (ledger-reflected).
+  std::vector<uint64_t> applied_floor_;
+  CommitObserver commit_observer_;
   std::unique_ptr<GroupCommitPipeline> pipeline_;
 };
 

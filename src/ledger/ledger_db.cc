@@ -149,6 +149,17 @@ Result<LedgerDb> LedgerDb::LoadFromFile(const std::string& path) {
   if (truncated) {
     return Status::IntegrityViolation("ledger file has a corrupt tail");
   }
+  return FromRecords(records);
+}
+
+std::vector<Bytes> LedgerDb::EncodeEntries() const {
+  std::vector<Bytes> records;
+  records.reserve(entries_.size());
+  for (const LedgerEntry& entry : entries_) records.push_back(entry.Encode());
+  return records;
+}
+
+Result<LedgerDb> LedgerDb::FromRecords(const std::vector<Bytes>& records) {
   LedgerDb ledger;
   for (const Bytes& record : records) {
     PREVER_ASSIGN_OR_RETURN(LedgerEntry entry, LedgerEntry::Decode(record));

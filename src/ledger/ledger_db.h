@@ -110,6 +110,16 @@ class LedgerDb {
   Status SaveToFile(const std::string& path) const;
   static Result<LedgerDb> LoadFromFile(const std::string& path);
 
+  /// Canonical encodings of all entries in sequence order — the journal
+  /// image embedded in checkpoints and state-transfer blobs (src/recovery/).
+  std::vector<Bytes> EncodeEntries() const;
+
+  /// Rebuilds a ledger from encoded entries (the restore half of
+  /// EncodeEntries). Entries must decode and be dense from sequence 0;
+  /// the Merkle tree is rebuilt, so callers can compare the resulting
+  /// Digest().root against a manifest's recorded root.
+  static Result<LedgerDb> FromRecords(const std::vector<Bytes>& records);
+
  private:
   std::vector<LedgerEntry> entries_;
   crypto::MerkleTree tree_;

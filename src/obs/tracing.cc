@@ -73,6 +73,9 @@ const char* TraceStageName(TraceStage stage) {
     case TraceStage::kVerifyCompile: return "verify_compile";
     case TraceStage::kVerifyEval: return "verify_eval";
     case TraceStage::kVerifyAggUpdate: return "verify_agg_update";
+    case TraceStage::kRecoverLoad: return "recover_load";
+    case TraceStage::kRecoverReplay: return "recover_replay";
+    case TraceStage::kStateTransfer: return "state_transfer";
   }
   return "unknown";
 }

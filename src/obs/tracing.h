@@ -77,6 +77,10 @@ enum class TraceStage : uint8_t {
   kVerifyCompile = 18,      ///< Constraint → bytecode compilation.
   kVerifyEval = 19,         ///< Compiled/interpreted constraint evaluation.
   kVerifyAggUpdate = 20,    ///< Incremental aggregate-cache delta on commit.
+  // Crash recovery (span kind; see src/recovery/ and DESIGN.md).
+  kRecoverLoad = 21,        ///< Checkpoint locate + CRC validate + decode.
+  kRecoverReplay = 22,      ///< WAL/journal suffix replay past the checkpoint.
+  kStateTransfer = 23,      ///< Peer checkpoint fetch/install; arg = bytes.
 };
 
 const char* TraceStageName(TraceStage stage);

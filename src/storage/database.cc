@@ -73,6 +73,13 @@ Result<Table*> Database::GetMutableTable(const std::string& name) {
   return &it->second;
 }
 
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
 Status Database::ApplyToTable(const Mutation& mutation) {
   PREVER_ASSIGN_OR_RETURN(Table * table, GetMutableTable(mutation.table));
   switch (mutation.op) {

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "constraint/constraint.h"
+#include "constraint/program_cache.h"
 #include "core/federated_threshold_engine.h"
 #include "core/federated_token_engine.h"
 #include "core/ordering.h"
@@ -247,11 +248,16 @@ EngineDiffReport RunEngineDifferential(uint64_t seed,
   core::FederatedTokenEngine token_engine(raw(tok_platforms),
                                           fixtures.authority, &ord_tok,
                                           "hours");
+  // The paired federated engines evaluate structurally identical regulation
+  // aggregates over their (independent) platform databases: one shared
+  // ProgramCache compiles each distinct expression once across both engines
+  // and all their platform verifiers. Aggregate caches stay per-verifier.
+  constraint::ProgramCache shared_programs;
   core::FederatedThresholdEngine threshold_engine(
       raw(thr_platforms), &catalog, &ord_thr,
-      crypto::PedersenParams::Test256(), seed * 5 + 3);
+      crypto::PedersenParams::Test256(), seed * 5 + 3, &shared_programs);
   core::FederatedMpcEngine mpc_engine(raw(mpc_platforms), &catalog, &ord_mpc,
-                                      seed * 7 + 5);
+                                      seed * 7 + 5, &shared_programs);
 
   // ---- Replay the stream through all five engines. The body is shared by
   // the random-stream and boundary-mutator modes; `expect` (when non-null)
@@ -407,6 +413,39 @@ EngineDiffReport RunEngineDifferential(uint64_t seed,
            " accepted/submitted, expected " +
            std::to_string(report.accepted) + "/" +
            std::to_string(report.updates));
+      return report;
+    }
+  }
+
+  // Shared compiled-program cache: the regulation aggregate must have
+  // compiled once between the paired engines, with every later verifier
+  // served from cache — and the second (MPC) engine's verifiers must have
+  // stayed on the incremental delta path, never the per-query rescan.
+  constraint::ProgramCache::Stats pc = shared_programs.stats();
+  if (pc.hits + pc.compiles != pc.lookups) {
+    fail("program cache accounting broken: " + std::to_string(pc.hits) +
+         " hits + " + std::to_string(pc.compiles) + " compiles != " +
+         std::to_string(pc.lookups) + " lookups");
+    return report;
+  }
+  if (report.updates > 0 && pc.hits == 0) {
+    fail("paired engines recompiled every constraint: shared program cache "
+         "saw " + std::to_string(pc.lookups) + " lookups but no hits");
+    return report;
+  }
+  for (size_t i = 0; i < o.num_platforms; ++i) {
+    constraint::CompiledVerifier::Stats vs = mpc_engine.verifier_stats(i);
+    if (vs.agg.scan_evals != 0) {
+      fail("mpc platform " + std::to_string(i) + " verifier fell off the "
+           "incremental path: " + std::to_string(vs.agg.scan_evals) +
+           " per-query rescans");
+      return report;
+    }
+    if (report.updates >= 2 &&
+        vs.agg.cache_hits + vs.agg.delta_applies == 0) {
+      fail("mpc platform " + std::to_string(i) + " verifier never served "
+           "from incremental aggregate state (" +
+           std::to_string(vs.agg.cache_builds) + " builds)");
       return report;
     }
   }

@@ -92,6 +92,7 @@ Status RaftInvariantChecker::CheckStep() {
   for (size_t i = 0; i < cluster_->size(); ++i) {
     consensus::RaftReplica& r = cluster_->replica(i);
     for (uint64_t k = verified_commit_[i] + 1; k <= r.commit_index(); ++k) {
+      if (k <= r.snapshot_index()) continue;  // Compacted; command is gone.
       const Bytes* cmd = r.CommandAt(k);
       if (cmd == nullptr) {
         return Status::IntegrityViolation(
@@ -132,8 +133,12 @@ Status RaftInvariantChecker::CheckLogMatching() const {
           break;
         }
       }
-      // …then everything at or below it must be identical.
-      for (uint64_t k = 1; k <= agree; ++k) {
+      // …then everything at or below it must be identical. Entries either
+      // replica compacted away have no command to compare; agreement there
+      // is implied (snapshots cover only committed, hence agreed, prefixes).
+      uint64_t floor =
+          std::max<uint64_t>(a.snapshot_index(), b.snapshot_index());
+      for (uint64_t k = floor + 1; k <= agree; ++k) {
         if (a.TermAt(k) != b.TermAt(k) ||
             *a.CommandAt(k) != *b.CommandAt(k)) {
           return Status::IntegrityViolation(

@@ -380,6 +380,51 @@ TEST_F(FederatedTokenEngineTest, RejectsMalformedCost) {
   EXPECT_FALSE(engine_->SubmitVia(0, neg).ok());
 }
 
+TEST_F(FederatedTokenEngineTest, SpentSerialIndexRebuiltFromLedgerAfterRestart) {
+  // Spend tokens through the first engine instance, then simulate a platform
+  // restart: a fresh engine over the SAME ordering ledger rebuilds its
+  // spent-serial index through SyncSpentFromLedger, and a replayed token —
+  // spent before the restart, presented again after it — is still caught.
+  auto& wallet = engine_->WalletOf("dave");
+  ASSERT_TRUE(wallet.Withdraw(*authority_, "dave", 1, kDay).ok());
+  auto replayed = wallet.Take();
+  ASSERT_TRUE(replayed.ok());
+  // Put it back: the 1-hour task below draws exactly this token.
+  wallet.PutForTest(*replayed);
+  ASSERT_TRUE(
+      engine_->SubmitVia(0, MakeWorklogUpdate("d1", "dave", 1, kDay)).ok());
+  ASSERT_TRUE(
+      engine_->SubmitVia(1, MakeWorklogUpdate("d2", "dave", 4, 2 * kDay)).ok());
+  uint64_t committed = ordering_.CommittedCount();
+  ASSERT_EQ(committed, 5u);  // One ledger entry per burned token.
+
+  // "Restart": a new engine instance over the same platforms and ledger,
+  // with an empty in-memory spent-serial set until it syncs.
+  std::vector<FederatedPlatform*> raw;
+  for (auto& p : platforms_) raw.push_back(p.get());
+  FederatedTokenEngine restarted(raw, authority_, &ordering_, "hours");
+  ASSERT_TRUE(restarted.SyncSpentFromLedger().ok());
+
+  // Wallet seeds are engine-local and deterministic; without this skew the
+  // restarted dave wallet would regenerate the original wallet's serials
+  // verbatim (a fixture artifact — real producers keep their wallet state).
+  restarted.WalletOf("seed-skew");
+
+  // The double-spend attempt straddles the restart: the token was burned by
+  // the old instance, the replay hits the new one.
+  restarted.WalletOf("dave").PutForTest(*replayed);
+  Status s =
+      restarted.SubmitVia(1, MakeWorklogUpdate("d3", "dave", 1, 3 * kDay));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ordering_.CommittedCount(), committed);  // Nothing burned.
+
+  // Fresh tokens still spend through the restarted engine.
+  EXPECT_TRUE(
+      restarted.SubmitVia(0, MakeWorklogUpdate("d4", "dave", 2, 4 * kDay))
+          .ok());
+  EXPECT_EQ(ordering_.CommittedCount(), committed + 2);
+}
+
 // ------------------------------------------------- RC3 public-data engine
 
 class PublicDataEngineTest : public ::testing::Test {

@@ -33,13 +33,16 @@ int main() {
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/crc32.h"
 #include "common/serial.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -65,6 +68,7 @@ int main() {
 #include "ledger/ledger_db.h"
 #include "mutate/mutation.h"
 #include "net/sim_net.h"
+#include "recovery/checkpoint.h"
 #include "storage/column_batch.h"
 #include "storage/database.h"
 #include "token/token.h"
@@ -377,6 +381,7 @@ constexpr uint32_t kRaftRequestVote = 10;
 constexpr uint32_t kRaftVoteReply = 11;
 constexpr uint32_t kRaftAppendEntries = 12;
 constexpr uint32_t kRaftAppendReply = 13;
+constexpr uint32_t kRaftInstallSnapshot = 14;
 
 struct RaftRig {
   net::SimNetwork net{QuietNet()};
@@ -460,16 +465,20 @@ constexpr uint32_t kPbftPrepare = 3;
 constexpr uint32_t kPbftCommit = 4;
 constexpr uint32_t kPbftViewChange = 5;
 constexpr uint32_t kPbftNewView = 6;
+constexpr uint32_t kPbftCheckpoint = 7;
+constexpr uint32_t kPbftStateResponse = 9;
 
 struct PbftRig {
   net::SimNetwork net{QuietNet()};
   std::vector<net::Message> captured;
   std::unique_ptr<consensus::PbftReplica> replica;  // Backup, node id 1.
 
-  explicit PbftRig(uint64_t watermark_window = 128) {
+  explicit PbftRig(uint64_t watermark_window = 128,
+                   uint64_t checkpoint_interval = 0) {
     consensus::PbftConfig cfg;
     cfg.num_replicas = 4;
     cfg.high_watermark_window = watermark_window;
+    cfg.checkpoint_interval = checkpoint_interval;
     net.AddNode([this](const net::Message& m) { captured.push_back(m); });
     replica = std::make_unique<consensus::PbftReplica>(1, cfg, &net);
     net.AddNode([this](const net::Message& m) { replica->OnMessage(m); });
@@ -530,6 +539,76 @@ struct PbftRig {
     return n;
   }
 };
+
+// ===================================================================
+// Recovery fixtures: scratch checkpoint directories plus raw access to
+// the CRC32 record framing, so probes can hand-craft corrupt files.
+// ===================================================================
+
+/// Fresh scratch directory for a checkpoint-store probe. Recreated from
+/// empty on every call so the clean pass and the matrix pass never see
+/// each other's files.
+std::string RecoveryScratchDir(const std::string& tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("prever_mutation_" + tag))
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+/// Splits a checkpoint file into its framed payloads, ignoring the CRCs
+/// (probes re-frame with valid CRCs on write).
+bool ReadFramedRecords(const std::string& path, std::vector<Bytes>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  for (;;) {
+    uint8_t header[8];
+    size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) break;
+    if (got != sizeof(header)) {
+      std::fclose(f);
+      return false;
+    }
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(header[i]) << (8 * i);
+    }
+    Bytes payload(len);
+    if (len != 0 && std::fread(payload.data(), 1, len, f) != len) {
+      std::fclose(f);
+      return false;
+    }
+    out->push_back(std::move(payload));
+  }
+  std::fclose(f);
+  return true;
+}
+
+/// Rewrites a checkpoint file from payloads, framing each with a VALID
+/// CRC32 — corruption introduced this way is invisible to the CRC check
+/// and must be caught by the semantic validators behind it.
+bool WriteFramedRecords(const std::string& path,
+                        const std::vector<Bytes>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  for (const Bytes& r : records) {
+    uint8_t header[8];
+    uint32_t len = static_cast<uint32_t>(r.size());
+    uint32_t crc = Crc32(r);
+    for (int i = 0; i < 4; ++i) {
+      header[i] = static_cast<uint8_t>((len >> (8 * i)) & 0xff);
+      header[4 + i] = static_cast<uint8_t>((crc >> (8 * i)) & 0xff);
+    }
+    if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header) ||
+        (!r.empty() && std::fwrite(r.data(), 1, r.size(), f) != r.size())) {
+      std::fclose(f);
+      return false;
+    }
+  }
+  std::fclose(f);
+  return true;
+}
 
 // ===================================================================
 // Engine fixtures (shared; expensive keys generated once).
@@ -1186,6 +1265,225 @@ std::map<std::string, Detector> BuildDetectors(
       return Killed("stale ViewChange(5) regressed the view from 8 to 5");
     }
     return Survived("stale view changes still discarded");
+  };
+
+  // ---------------------------------------------------------- recovery
+  d["RECOVERY_CRC_CHECK_SKIP"] = [] {
+    std::string dir = RecoveryScratchDir("crc_skip");
+    recovery::CheckpointStore store(dir);
+    if (!store.Init().ok()) return Killed("checkpoint store init failed");
+    ledger::LedgerDb ledger;
+    ledger.Append(ToBytes("crc-entry-0"), 1);
+    ledger.Append(ToBytes("crc-entry-1"), 2);
+    recovery::CheckpointContents contents;
+    contents.ledger = &ledger;
+    contents.consensus_seq = 2;
+    contents.app_state = ToBytes("app-state-blob");
+    if (!store.Save(contents).ok()) return Killed("checkpoint save failed");
+    // Flip the file's final byte: it lands in the app-state record body,
+    // so every frame length stays intact and only the CRC can object.
+    std::vector<std::string> files = store.ListFiles();
+    if (files.empty()) return Killed("no checkpoint file on disk");
+    std::string path = dir + "/" + files.back();
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    if (f == nullptr) return Killed("cannot reopen checkpoint file");
+    std::fseek(f, -1, SEEK_END);
+    int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_END);
+    std::fputc(c ^ 0x5a, f);
+    std::fclose(f);
+    if (store.LoadLatest().ok()) {
+      return Killed("corrupt checkpoint loaded despite a CRC mismatch");
+    }
+    return Survived("corrupt checkpoint still quarantined");
+  };
+  d["RECOVERY_ROOT_CHECK_SKIP"] = [] {
+    std::string dir = RecoveryScratchDir("root_skip");
+    recovery::CheckpointStore store(dir);
+    if (!store.Init().ok()) return Killed("checkpoint store init failed");
+    ledger::LedgerDb ledger;
+    ledger.Append(ToBytes("root-entry-A"), 1);
+    ledger.Append(ToBytes("root-entry-B"), 2);
+    recovery::CheckpointContents contents;
+    contents.ledger = &ledger;
+    contents.consensus_seq = 2;
+    if (!store.Save(contents).ok()) return Killed("checkpoint save failed");
+    // Swap the first embedded ledger entry for a different one, re-framed
+    // with a valid CRC: every record parses, but the recomputed Merkle
+    // root no longer matches the manifest's commitment.
+    std::vector<std::string> files = store.ListFiles();
+    if (files.empty()) return Killed("no checkpoint file on disk");
+    std::string path = dir + "/" + files.back();
+    std::vector<Bytes> records;
+    if (!ReadFramedRecords(path, &records) || records.size() < 2) {
+      return Killed("cannot parse checkpoint frames");
+    }
+    ledger::LedgerDb other;
+    other.Append(ToBytes("root-entry-X"), 1);
+    auto swapped = other.GetEntry(0);
+    if (!swapped.ok()) return Killed("cannot build substitute entry");
+    records[1] = swapped->Encode();
+    if (!WriteFramedRecords(path, records)) {
+      return Killed("cannot rewrite checkpoint file");
+    }
+    if (store.LoadLatest().ok()) {
+      return Killed("checkpoint loaded with a mismatched Merkle root");
+    }
+    return Survived("root-mismatched checkpoint still rejected");
+  };
+  d["RECOVERY_STALE_CHECKPOINT_ACCEPT"] = [] {
+    std::string dir = RecoveryScratchDir("stale_accept");
+    recovery::CheckpointStore store(dir);
+    if (!store.Init().ok()) return Killed("checkpoint store init failed");
+    ledger::LedgerDb ledger;
+    for (int i = 0; i < 3; ++i) {
+      ledger.Append(ToBytes("stale-" + std::to_string(i)), i + 1);
+    }
+    recovery::CheckpointContents contents;
+    contents.ledger = &ledger;
+    contents.consensus_seq = 3;
+    if (!store.Save(contents).ok()) return Killed("first save failed");
+    for (int i = 3; i < 6; ++i) {
+      ledger.Append(ToBytes("stale-" + std::to_string(i)), i + 1);
+    }
+    contents.consensus_seq = 6;
+    if (!store.Save(contents).ok()) return Killed("second save failed");
+    auto loaded = store.LoadLatest();
+    if (!loaded.ok()) return Killed("no checkpoint loaded");
+    if (loaded->manifest.consensus_seq != 6) {
+      return Killed("stale checkpoint restored over the newest intact one");
+    }
+    return Survived("newest intact checkpoint still wins");
+  };
+  d["RECOVERY_REPLAY_OFF_BY_ONE"] = [] {
+    ledger::LedgerDb full;
+    ledger::LedgerDb restored;
+    for (int i = 0; i < 4; ++i) {
+      Bytes payload = ToBytes("replay-" + std::to_string(i));
+      full.Append(payload, i + 1);
+      if (i < 2) restored.Append(payload, i + 1);  // Checkpoint covers 2.
+    }
+    std::vector<Bytes> records;
+    for (uint64_t seq = 0; seq < full.size(); ++seq) {
+      auto entry = full.GetEntry(seq);
+      if (!entry.ok()) return Killed("cannot encode journal record");
+      records.push_back(entry->Encode());
+    }
+    auto appended = recovery::ReplayLedgerSuffix(records, &restored);
+    if (!appended.ok() || restored.size() != 4) {
+      return Killed("replay dropped the first post-checkpoint entry");
+    }
+    if (restored.Digest().root != full.Digest().root) {
+      return Killed("replayed ledger diverged from the source");
+    }
+    return Survived("suffix replay still lands every entry");
+  };
+  d["RAFT_COMPACT_BEYOND_APPLIED"] = [] {
+    RaftRig rig(3, /*start_timers=*/false);
+    rig.SendAppendEntries(
+        1, 1, 0, 0, /*commit=*/2,
+        {{1, ToBytes("c1")}, {1, ToBytes("c2")}, {1, ToBytes("c3")}});
+    rig.Run(10 * kMillisecond);
+    if (rig.replica->log_size() != 3) return Killed("log seeding failed");
+    // Entry 3 is committed=2's successor: in the log but never applied.
+    auto reclaimed = rig.replica->CompactTo(3, ToBytes("snap"));
+    if (!reclaimed.ok()) return Killed("compaction failed outright");
+    if (rig.replica->snapshot_index() > 2) {
+      return Killed("compaction discarded an entry never applied");
+    }
+    return Survived("compaction still clamped to the applied prefix");
+  };
+  d["RAFT_SNAPSHOT_STALE_ACCEPT"] = [] {
+    RaftRig rig(3, /*start_timers=*/false);
+    std::vector<uint64_t> installs;
+    rig.replica->SetSnapshotInstaller(
+        [&installs](uint64_t index, const Bytes&) {
+          installs.push_back(index);
+        });
+    auto send_snapshot = [&rig](uint64_t index, const std::string& blob) {
+      BinaryWriter w;
+      w.WriteU64(1);  // term
+      w.WriteU64(index);
+      w.WriteU64(1);  // snapshot term
+      w.WriteBytes(ToBytes(blob));
+      rig.net.Send(1, 0, kRaftInstallSnapshot, w.bytes());
+    };
+    send_snapshot(10, "snap-10");
+    rig.Run(10 * kMillisecond);
+    if (rig.replica->snapshot_index() != 10) {
+      return Killed("fresh snapshot was not installed");
+    }
+    send_snapshot(5, "snap-5");  // Stale: covered by the idx-10 install.
+    rig.Run(10 * kMillisecond);
+    if (installs.size() >= 2) {
+      return Killed("stale snapshot reinstalled, rewinding restored state");
+    }
+    return Survived("stale snapshot still acknowledged without installing");
+  };
+  d["PBFT_STATE_MATCH_QUORUM_MINUS_ONE"] = [] {
+    PbftRig rig;  // f = 1: state install requires f+1 = 2 vouchers.
+    BinaryWriter blob;
+    blob.WriteU64(4);        // Claimed last-executed sequence.
+    blob.WriteU32(0);        // No executed digests.
+    blob.WriteBytes(Bytes{});  // Empty app snapshot.
+    BinaryWriter w;
+    w.WriteU64(0);  // view
+    w.WriteU64(4);  // stable_seq
+    w.WriteBytes(blob.bytes());
+    w.WriteU32(0);  // Empty executed suffix.
+    rig.net.Send(0, 1, kPbftStateResponse, w.bytes());
+    rig.Run(8 * kMillisecond);
+    if (rig.replica->last_executed() >= 4) {
+      return Killed("checkpoint installed from a single (f) voucher");
+    }
+    return Survived("state transfer still demands f+1 matching vouchers");
+  };
+  d["PBFT_GC_BEYOND_STABLE"] = [] {
+    PbftRig rig(/*watermark_window=*/128, /*checkpoint_interval=*/2);
+    Bytes c1 = ToBytes("gc-cmd-1");
+    Bytes c2 = ToBytes("gc-cmd-2");
+    Bytes c3 = ToBytes("gc-cmd-3");
+    auto execute = [&rig](uint64_t seq, const Bytes& cmd) {
+      Bytes digest = crypto::Sha256::Hash(cmd);
+      rig.SendPrePrepare(0, 0, seq, cmd);
+      rig.Run(8 * kMillisecond);
+      rig.SendPrepare(2, 0, seq, digest);
+      rig.SendPrepare(3, 0, seq, digest);
+      rig.Run(8 * kMillisecond);
+      rig.SendCommit(0, 0, seq, digest);
+      rig.SendCommit(2, 0, seq, digest);
+      rig.Run(8 * kMillisecond);
+    };
+    execute(1, c1);
+    execute(2, c2);  // Interval boundary: replica checkpoints itself here.
+    execute(3, c3);
+    if (rig.replica->last_executed() != 3) {
+      return Killed("execution never reached seq 3");
+    }
+    if (!rig.replica->HasSlot(3)) return Killed("slot 3 missing before GC");
+    // Forge the two missing checkpoint votes for the replica's OWN digest
+    // at seq 2 (reconstructed from the deterministic blob encoding);
+    // stabilization then garbage-collects the log below the watermark.
+    std::set<Bytes> digests{crypto::Sha256::Hash(c1),
+                            crypto::Sha256::Hash(c2)};
+    BinaryWriter blob;
+    blob.WriteU64(2);
+    blob.WriteU32(2);
+    for (const Bytes& dig : digests) blob.WriteBytes(dig);
+    blob.WriteBytes(Bytes{});  // No app-snapshot callback set.
+    BinaryWriter vote;
+    vote.WriteU64(2);
+    vote.WriteBytes(crypto::Sha256::Hash(blob.bytes()));
+    rig.net.Send(0, 1, kPbftCheckpoint, vote.bytes());
+    rig.net.Send(2, 1, kPbftCheckpoint, vote.bytes());
+    rig.Run(8 * kMillisecond);
+    if (rig.replica->stable_checkpoint_seq() != 2) {
+      return Killed("checkpoint at seq 2 never stabilized");
+    }
+    if (!rig.replica->HasSlot(3)) {
+      return Killed("GC erased the slot just above the stable watermark");
+    }
+    return Survived("slots above the stable watermark still retained");
   };
 
   // ----------------------------------------------------------- engine

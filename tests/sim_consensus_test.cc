@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
+#include "core/ordering.h"
+#include "testing/crash_recovery.h"
 #include "testing/sim_runner.h"
 
 namespace prever::simtest {
@@ -158,6 +161,164 @@ TEST(SimConsensusTest, OrderingTraceIsDeterministic) {
     EXPECT_FALSE(a.trace.empty());
     EXPECT_EQ(a.trace, b.trace) << "seed " << seed;
     EXPECT_EQ(a.committed, b.committed);
+  }
+}
+
+// ---------------------------------------------- Crash-recovery sweeps
+//
+// End-to-end durability: replicas are killed at seed-chosen crash points —
+// including mid-checkpoint-write and mid-WAL-append (the harness mutilates
+// the on-disk files exactly as an interrupted write would) — then restarted
+// through the real recovery path: CheckpointStore::LoadLatest (quarantining
+// corrupt finals) + commit-journal suffix replay + consensus-level catch-up
+// (Raft snapshot/log re-delivery, PBFT stable-checkpoint install + state
+// transfer). Each scenario asserts digest-identical replica prefixes,
+// exactly-once commits post-Flush, and checkpoint-root == recomputed Merkle
+// root. Replay one seed with PREVER_SIM_SEED.
+
+constexpr uint64_t kNumCrashRecoverySeeds = 60;
+
+CrashRecoveryOptions CrashRecoveryOptionsFor(const char* proto,
+                                             uint64_t seed) {
+  CrashRecoveryOptions o;
+  o.work_dir = ::testing::TempDir() + "prever_crashrec_" + proto + "_" +
+               std::to_string(seed);
+  return o;
+}
+
+TEST(SimConsensusTest, RaftCrashRecoverySweep) {
+  uint64_t only = 0;
+  if (SingleSeed(&only)) {
+    CrashRecoveryReport r = RunRaftCrashRecoveryScenario(
+        only, CrashRecoveryOptionsFor("raft", only));
+    EXPECT_TRUE(r.ok) << r.Summary("Raft");
+    std::fputs(r.trace.c_str(), stderr);
+    return;
+  }
+  size_t total_crashes = 0;
+  size_t total_quarantined = 0;
+  for (uint64_t seed = 1; seed <= kNumCrashRecoverySeeds; ++seed) {
+    CrashRecoveryOptions o = CrashRecoveryOptionsFor("raft", seed);
+    o.num_replicas = 5;
+    CrashRecoveryReport r = RunRaftCrashRecoveryScenario(seed, o);
+    ASSERT_TRUE(r.ok) << r.Summary("Raft");
+    EXPECT_EQ(r.crashes, r.recoveries) << r.Summary("Raft");
+    total_crashes += r.crashes;
+    total_quarantined += r.checkpoints_quarantined;
+  }
+  // The sweep must actually exercise kills and the corrupt-checkpoint
+  // fallback — a quiet sweep would be an expensive no-op.
+  EXPECT_GT(total_crashes, kNumCrashRecoverySeeds / 2);
+  EXPECT_GT(total_quarantined, 0u);
+}
+
+TEST(SimConsensusTest, PbftCrashRecoverySweep) {
+  uint64_t only = 0;
+  if (SingleSeed(&only)) {
+    CrashRecoveryReport r = RunPbftCrashRecoveryScenario(
+        only, CrashRecoveryOptionsFor("pbft", only));
+    EXPECT_TRUE(r.ok) << r.Summary("Pbft");
+    std::fputs(r.trace.c_str(), stderr);
+    return;
+  }
+  size_t total_crashes = 0;
+  for (uint64_t seed = 1; seed <= kNumCrashRecoverySeeds; ++seed) {
+    CrashRecoveryOptions o = CrashRecoveryOptionsFor("pbft", seed);
+    o.num_replicas = 4;  // f = 1.
+    CrashRecoveryReport r = RunPbftCrashRecoveryScenario(seed, o);
+    ASSERT_TRUE(r.ok) << r.Summary("Pbft");
+    EXPECT_EQ(r.crashes, r.recoveries) << r.Summary("Pbft");
+    total_crashes += r.crashes;
+  }
+  EXPECT_GT(total_crashes, kNumCrashRecoverySeeds / 2);
+}
+
+// Log compaction keeps memory bounded by the checkpoint interval, not the
+// history length: under a long run, the PBFT message log and the physical
+// Raft log must stay within a constant factor of the interval.
+TEST(SimConsensusTest, RaftLogBoundedByCheckpointInterval) {
+  net::SimNetConfig net_config;
+  net_config.seed = 7;
+  core::OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 64;
+  pipeline.max_inflight = 8;
+  core::RaftOrdering ordering(3, net_config, pipeline);
+  constexpr uint64_t kPayloads = 100000;
+  constexpr uint64_t kInterval = 256;  // Applied entries between compactions.
+  size_t max_physical = 0;
+  std::vector<uint64_t> last_compact(3, 0);
+  std::vector<Bytes> batch;
+  for (uint64_t k = 0; k < kPayloads; ++k) {
+    batch.push_back(Bytes{static_cast<uint8_t>(k), static_cast<uint8_t>(k >> 8),
+                          static_cast<uint8_t>(k >> 16)});
+    if (batch.size() == 512 || k + 1 == kPayloads) {
+      ASSERT_TRUE(ordering.AppendBatch(batch, 0).ok());
+      batch.clear();
+      for (size_t i = 0; i < 3; ++i) {
+        auto& replica = ordering.cluster().replica(i);
+        uint64_t floor = ordering.replica_applied_floor(i);
+        if (floor >= last_compact[i] + kInterval) {
+          ASSERT_TRUE(
+              replica.CompactTo(floor, ordering.EncodeReplicaState(i)).ok());
+          last_compact[i] = floor;
+        }
+        max_physical = std::max(max_physical, replica.physical_log_entries());
+      }
+    }
+  }
+  EXPECT_EQ(ordering.ReplicaLedger(0).size(), kPayloads);
+  // Between compactions at most kInterval applied entries accumulate, plus
+  // the in-flight window of uncompacted batches.
+  EXPECT_LE(max_physical, kInterval + 2 * pipeline.max_inflight + 16)
+      << "Raft physical log grew unboundedly";
+}
+
+TEST(SimConsensusTest, PbftMessageLogBoundedByCheckpointInterval) {
+  net::SimNetConfig net_config;
+  net_config.seed = 11;
+  core::OrderingPipelineConfig pipeline;
+  pipeline.max_batch = 64;
+  pipeline.max_inflight = 8;
+  core::OrderingRecoveryConfig recovery;
+  recovery.checkpoint_interval = 16;  // Executions between stable checkpoints.
+  core::PbftOrdering ordering(4, net_config, "pbft-bounded", pipeline,
+                              recovery);
+  constexpr uint64_t kPayloads = 100000;
+  size_t max_slots = 0;
+  std::vector<Bytes> batch;
+  for (uint64_t k = 0; k < kPayloads; ++k) {
+    batch.push_back(Bytes{static_cast<uint8_t>(k), static_cast<uint8_t>(k >> 8),
+                          static_cast<uint8_t>(k >> 16)});
+    if (batch.size() == 512 || k + 1 == kPayloads) {
+      ASSERT_TRUE(ordering.AppendBatch(batch, 0).ok());
+      batch.clear();
+      for (size_t i = 0; i < 4; ++i) {
+        max_slots =
+            std::max(max_slots, ordering.cluster().replica(i).log_slots());
+      }
+    }
+  }
+  EXPECT_EQ(ordering.ReplicaLedger(0).size(), kPayloads);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(ordering.cluster().replica(i).stable_checkpoint_seq(), 0u);
+  }
+  // 2f+1 checkpoint certificates advance the low watermark and GC the log
+  // below it: occupancy is bounded by interval + the watermark window, never
+  // by the 100k history.
+  EXPECT_LE(max_slots,
+            recovery.checkpoint_interval + 2 * pipeline.max_inflight + 16)
+      << "PBFT message log grew unboundedly";
+}
+
+TEST(SimConsensusTest, CrashRecoveryTraceIsDeterministic) {
+  for (uint64_t seed : {9u, 31u}) {
+    CrashRecoveryOptions o = CrashRecoveryOptionsFor("raftdet", seed);
+    CrashRecoveryReport a = RunRaftCrashRecoveryScenario(seed, o);
+    CrashRecoveryReport b = RunRaftCrashRecoveryScenario(seed, o);
+    ASSERT_TRUE(a.ok) << a.Summary("Raft");
+    EXPECT_EQ(a.trace, b.trace) << "seed " << seed;
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.checkpoints_saved, b.checkpoints_saved);
   }
 }
 
